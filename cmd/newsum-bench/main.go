@@ -1,0 +1,183 @@
+// Command newsum-bench regenerates the paper's evaluation tables and
+// figures (HPDC'16, §6). Each experiment prints the same rows/series the
+// paper reports; see DESIGN.md for the experiment index and EXPERIMENTS.md
+// for recorded paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	newsum-bench -exp all
+//	newsum-bench -exp fig6 -n 40000 -repeats 3
+//	newsum-bench -exp table5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"newsum/internal/bench"
+	"newsum/internal/core"
+	"newsum/internal/model"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table3|table4|table5|fig5|fig6|fig7|fig8|fig9|fig10|all")
+		n       = flag.Int("n", 40000, "target matrix order for empirical experiments")
+		blocks  = flag.Int("blocks", 16, "block-Jacobi block count (stand-in for MPI ranks)")
+		repeats = flag.Int("repeats", 3, "timing repetitions (median reported)")
+		seed    = flag.Int64("seed", 20160531, "deterministic seed (HPDC'16 started 2016-05-31)")
+		csvDir  = flag.String("csv", "", "also write each experiment's data as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "newsum-bench:", err)
+			os.Exit(1)
+		}
+	}
+	if err := run(*exp, *n, *blocks, *repeats, *seed, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "newsum-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, n, blocks, repeats int, seed int64, csvDir string) error {
+	writeCSV := func(name string, emit func(w *os.File) error) error {
+		if csvDir == "" {
+			return nil
+		}
+		f, err := os.Create(csvDir + "/" + name)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	out := os.Stdout
+	all := exp == "all"
+
+	if all || exp == "table3" {
+		w, err := bench.CircuitPCG(minInt(n, 4900), minInt(blocks, 8), seed)
+		if err != nil {
+			return err
+		}
+		r, err := bench.Table3(w, seed)
+		if err != nil {
+			return err
+		}
+		bench.WriteTable3(out, r)
+		fmt.Fprintln(out)
+	}
+	if all || exp == "table4" {
+		// (d, cd) = (1, 12): the paper's λ=1 optimum; c0 = 4.8 matches
+		// G3_circuit's nnz/n.
+		bench.WriteTable4(out, 1, 12, 4.8)
+		fmt.Fprintln(out)
+	}
+	if all || exp == "table5" {
+		bench.WriteTable5(out, model.Stampede(), 2000, 1000)
+		if err := writeCSV("table5.csv", func(f *os.File) error {
+			return bench.WriteTable5CSV(f, model.Stampede(), 2000, 1000)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if all || exp == "fig5" {
+		bench.WriteFigure5(out, model.Stampede(), 2000)
+		if err := writeCSV("figure5_pcg.csv", func(f *os.File) error {
+			return bench.WriteSurfaceCSV(f, model.Stampede().PCG, 1.0, 2000, 40, 8)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if all || exp == "fig6" {
+		w, err := bench.CircuitPCG(n, blocks, seed)
+		if err != nil {
+			return err
+		}
+		fig, err := bench.FigureOverheads(w, repeats, seed)
+		if err != nil {
+			return err
+		}
+		bench.WriteOverheadFigure(out, "Figure 6: PCG overheads (host measurement)", fig)
+		if err := writeCSV("figure6.csv", func(f *os.File) error { return bench.WriteOverheadCSV(f, fig) }); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if all || exp == "fig7" {
+		side := isqrt(n)
+		w, err := bench.ConvectionPBiCGSTAB(side, side, blocks, 20)
+		if err != nil {
+			return err
+		}
+		fig, err := bench.FigureOverheads(w, repeats, seed)
+		if err != nil {
+			return err
+		}
+		bench.WriteOverheadFigure(out, "Figure 7: PBiCGSTAB overheads (host measurement)", fig)
+		if err := writeCSV("figure7.csv", func(f *os.File) error { return bench.WriteOverheadCSV(f, fig) }); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if all || exp == "fig8" {
+		fig := bench.ProjectOverheads(model.Tianhe2(), core.MethodPCG, 1, 12, 4.8)
+		bench.WriteProjectedFigure(out, "Figure 8: PCG overheads on Tianhe-2", fig)
+		if err := writeCSV("figure8.csv", func(f *os.File) error { return bench.WriteProjectedCSV(f, fig) }); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if all || exp == "fig9" {
+		fig := bench.ProjectOverheads(model.Tianhe2(), core.MethodPBiCGSTAB, 1, 10, 4.8)
+		bench.WriteProjectedFigure(out, "Figure 9: PBiCGSTAB overheads on Tianhe-2", fig)
+		if err := writeCSV("figure9.csv", func(f *os.File) error { return bench.WriteProjectedCSV(f, fig) }); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if all || exp == "fig10" {
+		w, err := bench.CircuitPCG(n, blocks, seed)
+		if err != nil {
+			return err
+		}
+		fig, err := bench.Figure10(w, repeats, seed)
+		if err != nil {
+			return err
+		}
+		bench.WriteFigure10(out, fig)
+		if err := writeCSV("figure10.csv", func(f *os.File) error { return bench.WriteFigure10CSV(f, fig) }); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	switch exp {
+	case "all", "table3", "table4", "table5", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10":
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func isqrt(n int) int {
+	s := 1
+	for s*s < n {
+		s++
+	}
+	return s
+}

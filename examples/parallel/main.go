@@ -1,0 +1,56 @@
+// Parallel: the distributed ABFT PCG of internal/par — goroutine ranks
+// standing in for the paper's 2048 MPI processes. Checksums and checkpoints
+// are rank-local (§5.1's scalability argument); verification costs one
+// scalar all-reduce. A fault is injected into one rank's MVM and recovered
+// by a coordinated rollback of everyone's local state.
+//
+// Run: go run ./examples/parallel [-ranks 8] [-n 40000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"newsum/internal/core"
+	"newsum/internal/par"
+	"newsum/internal/sparse"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 8, "number of goroutine ranks")
+	n := flag.Int("n", 40000, "matrix order")
+	flag.Parse()
+
+	a := sparse.CircuitLike(*n, 11)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1
+	}
+	fmt.Printf("distributed ABFT PCG: %d rows over %d ranks (block rows + block-Jacobi ILU(0))\n",
+		a.Rows, *ranks)
+
+	start := time.Now()
+	clean, err := par.ABFTPCG(a, b, *ranks, par.Options{Tol: 1e-8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fault-free: %d iterations in %v, %d local checkpoints/rank\n",
+		clean.Iterations, time.Since(start).Round(time.Millisecond), clean.Checkpoints)
+
+	start = time.Now()
+	faulted, err := par.ABFTPCG(a, b, *ranks, par.Options{
+		Tol: 1e-8,
+		Faults: []par.Fault{
+			{Iteration: clean.Iterations / 2, Rank: *ranks - 1, Index: 3},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with a fault on rank %d: %d iterations in %v — %d detection(s), %d coordinated rollback(s)\n",
+		*ranks-1, faulted.Iterations, time.Since(start).Round(time.Millisecond),
+		faulted.Detections, faulted.Rollbacks)
+	fmt.Printf("true residual after recovery: %.2e\n", core.TrueResidual(a, b, faulted.X))
+}

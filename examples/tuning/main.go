@@ -1,0 +1,43 @@
+// Tuning: explore the paper's Eq. (5) expected-execution-time model — how
+// the optimal checkpoint interval cd and detection interval d move with the
+// system error rate λ (Fig. 5 and Table 5).
+//
+// Run: go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+
+	"newsum/internal/model"
+)
+
+func main() {
+	m := model.Stampede()
+	fmt.Printf("Eq. (5) parameters, %s profile (PCG on G3_circuit):\n", m.Name)
+	fmt.Printf("  t=%.3gs  t_u=%.3gs  t_d=%.3gs  t_c=%.3gs  t_r=%.3gs\n\n",
+		m.PCG.Iter, m.PCG.Update, m.PCG.Detect, m.PCG.Checkpoint, m.PCG.Recover)
+
+	const iters = 2000
+	fmt.Println("optimal (cd, d) as the error rate grows (Table 5):")
+	for _, lam := range []float64{1e-3, 1e-2, 1e-1, 1, 3, 10} {
+		cd, d, e := model.Optimize(m.PCG, lam, iters, 1000)
+		cdB, dB, _ := model.Optimize(m.PBiCGSTAB, lam, iters, 1000)
+		fmt.Printf("  lambda=%6.3f  PCG: (cd=%4d, d=%d) E=%7.1fs   PBiCGSTAB: (cd=%4d, d=%d)\n",
+			lam, cd, d, e, cdB, dB)
+	}
+
+	fmt.Println("\nE(cd, d=1) cross-section at lambda = 1 (Fig. 5 ridge):")
+	for cd := 2; cd <= 40; cd += 2 {
+		e := model.ExpectedTime(m.PCG, 1.0, iters, cd, 1)
+		bar := ""
+		for k := 0; k < int((e-100)/2); k++ {
+			bar += "#"
+		}
+		fmt.Printf("  cd=%2d  E=%7.2fs  %s\n", cd, e, bar)
+	}
+
+	fmt.Println("\nper-iteration overhead ranking by scenario (Table 4, d=1, cd=12, c0=4.8):")
+	for _, s := range []model.Scenario{model.Scenario1, model.Scenario2, model.Scenario3} {
+		fmt.Printf("  %-38s %v\n", s, model.Ranking(s, 1, 12, 4.8, m.Ops))
+	}
+}

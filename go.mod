@@ -1,0 +1,3 @@
+module newsum
+
+go 1.22

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"newsum/internal/model"
+)
+
+// CSV emitters so the figures can be re-plotted with external tooling. Each
+// writer emits one header row and one row per series point; Inf renders as
+// the literal "inf".
+
+func fmtPct(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return strconv.FormatFloat(100*v, 'f', 3, 64)
+}
+
+// WriteOverheadCSV emits an empirical overhead figure (Figs. 6–7) as
+// scheme,error-free,scenario1,scenario2,scenario3 percentage rows.
+func WriteOverheadCSV(w io.Writer, fig OverheadFigure) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"scheme", "error_free_pct", "scenario1_pct", "scenario2_pct", "scenario3_pct"}); err != nil {
+		return err
+	}
+	for _, v := range FigureVariants() {
+		row := []string{v.Label}
+		for _, scen := range Scenarios() {
+			row = append(row, fmtPct(fig.Overhead[v.Label][scen]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteProjectedCSV emits a projected figure (Figs. 8–9).
+func WriteProjectedCSV(w io.Writer, fig ProjectedFigure) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"scheme", "error_free_pct", "scenario1_pct", "scenario2_pct", "scenario3_pct"}); err != nil {
+		return err
+	}
+	for _, label := range projLabels {
+		row := []string{label}
+		for _, scen := range Scenarios() {
+			row = append(row, fmtPct(fig.Overhead[label][scen]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure10CSV emits the multi-error comparison.
+func WriteFigure10CSV(w io.Writer, fig MultiErrorFigure) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"mvm_errors", "vlo_error", "basic_pct", "twolevel_eager_pct", "twolevel_lazy_pct"}); err != nil {
+		return err
+	}
+	for _, c := range fig.Cases {
+		row := []string{
+			strconv.Itoa(c.K),
+			strconv.FormatBool(c.WithVLO),
+			fmtPct(c.Overhead["basic"]),
+			fmtPct(c.Overhead["two-level/eager"]),
+			fmtPct(c.Overhead["two-level/lazy"]),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSurfaceCSV emits the Fig. 5 E(cd, d) landscape as cd,d,E rows.
+func WriteSurfaceCSV(w io.Writer, costs model.OpCosts, lambda float64, iters, maxCD, maxD int) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"cd", "d", "expected_seconds"}); err != nil {
+		return err
+	}
+	for _, p := range model.Surface(costs, lambda, iters, maxCD, maxD) {
+		if err := cw.Write([]string{
+			strconv.Itoa(p.CD), strconv.Itoa(p.D),
+			strconv.FormatFloat(p.E, 'f', 6, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable5CSV emits the optimal-interval table.
+func WriteTable5CSV(w io.Writer, m model.Machine, iters, maxCD int) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"lambda", "pcg_cd", "pcg_d", "pbicgstab_cd", "pbicgstab_d"}); err != nil {
+		return err
+	}
+	for _, r := range Table5(m, iters, maxCD) {
+		if err := cw.Write([]string{
+			fmt.Sprintf("%g", r.Lambda),
+			strconv.Itoa(r.PCGCD), strconv.Itoa(r.PCGD),
+			strconv.Itoa(r.BiCGCD), strconv.Itoa(r.BiCGD),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

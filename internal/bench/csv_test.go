@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"newsum/internal/core"
+	"newsum/internal/model"
+)
+
+func TestWriteOverheadCSV(t *testing.T) {
+	fig := OverheadFigure{Overhead: map[string]map[ScenarioName]float64{}}
+	for _, v := range FigureVariants() {
+		fig.Overhead[v.Label] = map[ScenarioName]float64{
+			ErrorFree: 0.01, S1: 0.02, S2: 0.5, S3: math.Inf(1),
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteOverheadCSV(&buf, fig); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+len(FigureVariants()) {
+		t.Fatalf("rows: %d", len(lines))
+	}
+	if !strings.Contains(out, "inf") {
+		t.Fatalf("Inf not rendered: %q", out)
+	}
+	if !strings.Contains(lines[1], "1.000") {
+		t.Fatalf("percent formatting: %q", lines[1])
+	}
+}
+
+func TestWriteProjectedCSV(t *testing.T) {
+	fig := ProjectOverheads(model.Stampede(), core.MethodPCG, 1, 12, 4.8)
+	var buf bytes.Buffer
+	if err := WriteProjectedCSV(&buf, fig); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "basic") || !strings.Contains(buf.String(), "inf") {
+		t.Fatalf("projected CSV incomplete: %q", buf.String())
+	}
+}
+
+func TestWriteFigure10CSV(t *testing.T) {
+	fig := MultiErrorFigure{Cases: []MultiErrorCase{{
+		K: 4, WithVLO: true,
+		Overhead: map[string]float64{"basic": 0.5, "two-level/eager": 0.4, "two-level/lazy": 0.25},
+	}}}
+	var buf bytes.Buffer
+	if err := WriteFigure10CSV(&buf, fig); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "4,true,50.000,40.000,25.000") {
+		t.Fatalf("figure 10 CSV: %q", buf.String())
+	}
+}
+
+func TestWriteSurfaceAndTable5CSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSurfaceCSV(&buf, model.Stampede().PCG, 1.0, 100, 10, 2); err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Count(buf.String(), "\n")
+	if rows != 1+10+5 {
+		t.Fatalf("surface rows: %d", rows)
+	}
+	buf.Reset()
+	if err := WriteTable5CSV(&buf, model.Stampede(), 2000, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1,12,1,6,1") {
+		t.Fatalf("table5 CSV: %q", buf.String())
+	}
+}

@@ -1,0 +1,107 @@
+// Package checkpoint provides the in-memory checkpoint/rollback store the
+// online ABFT schemes use for outer-level recovery (§5.1): every cd
+// iterations the minimum set of vectors, scalars and checksums needed to
+// reconstruct solver state is deep-copied; on error detection the solver
+// rolls back to the latest snapshot.
+//
+// Matching the paper's scalability note, snapshots live in local memory
+// (per solver instance, and per rank in the parallel substrate) — there is
+// no global or disk-based checkpoint.
+package checkpoint
+
+import "fmt"
+
+// Snapshot is one saved solver state.
+type Snapshot struct {
+	// Iteration is the iteration index the snapshot was taken at; rolling
+	// back resumes from this iteration.
+	Iteration int
+	// Vectors maps names (e.g. "p", "x") to copies of their contents.
+	Vectors map[string][]float64
+	// Scalars maps names (e.g. "rho") to values.
+	Scalars map[string]float64
+	// Checksums maps vector names to copies of their checksum slots.
+	Checksums map[string][]float64
+}
+
+// Store holds the latest snapshot and usage statistics.
+type Store struct {
+	latest *Snapshot
+	// Saves counts checkpoints taken.
+	Saves int
+	// Rollbacks counts restorations.
+	Rollbacks int
+	// BytesCopied accumulates the volume of vector data copied into
+	// snapshots, for overhead accounting.
+	BytesCopied int64
+}
+
+// Save deep-copies the given state as the new latest snapshot. Any of the
+// maps may be nil.
+func (s *Store) Save(iter int, vectors map[string][]float64, scalars map[string]float64, checksums map[string][]float64) {
+	snap := &Snapshot{
+		Iteration: iter,
+		Vectors:   make(map[string][]float64, len(vectors)),
+		Scalars:   make(map[string]float64, len(scalars)),
+		Checksums: make(map[string][]float64, len(checksums)),
+	}
+	for name, v := range vectors {
+		c := make([]float64, len(v))
+		copy(c, v)
+		snap.Vectors[name] = c
+		s.BytesCopied += int64(8 * len(v))
+	}
+	for name, v := range scalars {
+		snap.Scalars[name] = v
+	}
+	for name, v := range checksums {
+		c := make([]float64, len(v))
+		copy(c, v)
+		snap.Checksums[name] = c
+	}
+	s.latest = snap
+	s.Saves++
+}
+
+// HasSnapshot reports whether a snapshot is available to roll back to.
+func (s *Store) HasSnapshot() bool { return s.latest != nil }
+
+// Latest returns the current snapshot without counting a rollback, or nil.
+func (s *Store) Latest() *Snapshot { return s.latest }
+
+// Restore copies the latest snapshot's state back into the caller's
+// buffers. Destination vectors must exist in the snapshot and have matching
+// lengths; scalars and checksums are returned through the maps provided (a
+// nil map skips that class of state). It returns the snapshot's iteration.
+func (s *Store) Restore(vectors map[string][]float64, scalars map[string]float64, checksums map[string][]float64) (int, error) {
+	if s.latest == nil {
+		return 0, fmt.Errorf("checkpoint: no snapshot to restore")
+	}
+	for name, dst := range vectors {
+		src, ok := s.latest.Vectors[name]
+		if !ok {
+			return 0, fmt.Errorf("checkpoint: vector %q not in snapshot", name)
+		}
+		if len(src) != len(dst) {
+			return 0, fmt.Errorf("checkpoint: vector %q length %d, want %d", name, len(src), len(dst))
+		}
+		copy(dst, src)
+	}
+	if scalars != nil {
+		for name, v := range s.latest.Scalars {
+			scalars[name] = v
+		}
+	}
+	for name, dst := range checksums {
+		src, ok := s.latest.Checksums[name]
+		if !ok {
+			return 0, fmt.Errorf("checkpoint: checksums %q not in snapshot", name)
+		}
+		if len(src) != len(dst) {
+			return 0, fmt.Errorf("checkpoint: checksums %q length %d, want %d", name, len(src), len(dst))
+		}
+		copy(dst, src)
+	}
+	s.Rollbacks++
+	return s.latest.Iteration, nil
+}

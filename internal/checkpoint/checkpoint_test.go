@@ -1,0 +1,95 @@
+package checkpoint
+
+import "testing"
+
+func TestSaveRestoreRoundTrip(t *testing.T) {
+	var s Store
+	if s.HasSnapshot() {
+		t.Fatalf("empty store claims a snapshot")
+	}
+	p := []float64{1, 2, 3}
+	x := []float64{4, 5, 6}
+	cs := []float64{6}
+	s.Save(7,
+		map[string][]float64{"p": p, "x": x},
+		map[string]float64{"rho": 2.5},
+		map[string][]float64{"p": cs})
+
+	// Mutate the live state; the snapshot must be unaffected (deep copy).
+	p[0] = 99
+	x[2] = -1
+	cs[0] = 0
+
+	pr := make([]float64, 3)
+	xr := make([]float64, 3)
+	csr := make([]float64, 1)
+	scal := map[string]float64{}
+	iter, err := s.Restore(
+		map[string][]float64{"p": pr, "x": xr},
+		scal,
+		map[string][]float64{"p": csr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iter != 7 {
+		t.Fatalf("iteration: %d", iter)
+	}
+	if pr[0] != 1 || xr[2] != 6 || csr[0] != 6 {
+		t.Fatalf("restore returned mutated data: %v %v %v", pr, xr, csr)
+	}
+	if scal["rho"] != 2.5 {
+		t.Fatalf("scalar lost: %v", scal)
+	}
+	if s.Saves != 1 || s.Rollbacks != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.BytesCopied != 48 {
+		t.Fatalf("bytes copied: %d", s.BytesCopied)
+	}
+}
+
+func TestRestoreWithoutSnapshot(t *testing.T) {
+	var s Store
+	if _, err := s.Restore(nil, nil, nil); err == nil {
+		t.Fatalf("expected error")
+	}
+}
+
+func TestRestoreUnknownVector(t *testing.T) {
+	var s Store
+	s.Save(0, map[string][]float64{"x": {1}}, nil, nil)
+	if _, err := s.Restore(map[string][]float64{"y": make([]float64, 1)}, nil, nil); err == nil {
+		t.Fatalf("expected unknown-vector error")
+	}
+	if _, err := s.Restore(map[string][]float64{"x": make([]float64, 2)}, nil, nil); err == nil {
+		t.Fatalf("expected length-mismatch error")
+	}
+	if _, err := s.Restore(nil, nil, map[string][]float64{"x": make([]float64, 1)}); err == nil {
+		t.Fatalf("expected unknown-checksums error")
+	}
+}
+
+func TestLatestSnapshotReplaced(t *testing.T) {
+	var s Store
+	s.Save(1, map[string][]float64{"x": {1}}, nil, nil)
+	s.Save(5, map[string][]float64{"x": {2}}, nil, nil)
+	if s.Latest().Iteration != 5 {
+		t.Fatalf("latest: %d", s.Latest().Iteration)
+	}
+	x := make([]float64, 1)
+	iter, err := s.Restore(map[string][]float64{"x": x}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iter != 5 || x[0] != 2 {
+		t.Fatalf("rollback target wrong: iter %d x %v", iter, x)
+	}
+}
+
+func TestNilMaps(t *testing.T) {
+	var s Store
+	s.Save(0, nil, nil, nil)
+	if _, err := s.Restore(nil, nil, nil); err != nil {
+		t.Fatalf("nil-map restore should be a no-op success: %v", err)
+	}
+}

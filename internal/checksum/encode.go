@@ -1,0 +1,238 @@
+package checksum
+
+import (
+	"fmt"
+	"math"
+
+	"newsum/internal/sparse"
+)
+
+// Matrix holds the new-sum encoding of a square matrix A for a set of
+// checksum weights: one dense row checksum(A) = cᵀA − d·cᵀ per weight
+// (Fig. 2(c)), plus the shared decoupling scalar d. The rows are kept
+// separate from A itself (Fig. 2(d)) so the original operation — and, for
+// SPD matrices, symmetry — is untouched, and the output vector's checksums
+// are computed directly from the inputs' checksums.
+type Matrix struct {
+	N       int
+	D       float64
+	Weights []Weight
+	// Rows[k] is the length-N dense vector (c_kᵀA − d·c_kᵀ).
+	Rows [][]float64
+}
+
+// EncodeMatrix computes the new-sum checksum rows of a for each weight with
+// decoupling scalar d. Cost: one pass over the nonzeros per weight, O(nnz).
+func EncodeMatrix(a *sparse.CSR, weights []Weight, d float64) *Matrix {
+	if a.Rows != a.Cols {
+		panic("checksum: EncodeMatrix requires a square matrix")
+	}
+	if d == 0 {
+		panic("checksum: decoupling scalar d must be non-zero")
+	}
+	if len(weights) == 0 {
+		panic("checksum: at least one weight required")
+	}
+	m := &Matrix{N: a.Rows, D: d, Weights: weights, Rows: make([][]float64, len(weights))}
+	for k, w := range weights {
+		row := make([]float64, a.Cols)
+		// cᵀA: accumulate c_i * a_ij into column j.
+		for i := 0; i < a.Rows; i++ {
+			ci := w.At(i)
+			cols, vals := a.RowView(i)
+			for t, j := range cols {
+				row[j] += ci * vals[t]
+			}
+		}
+		// − d·cᵀ densifies the row.
+		for j := range row {
+			row[j] -= d * w.At(j)
+		}
+		m.Rows[k] = row
+	}
+	return m
+}
+
+// NumChecksums returns the number of encoded checksum rows.
+func (m *Matrix) NumChecksums() int { return len(m.Weights) }
+
+// UpdateMVM computes the output checksums of w := A·u from the input
+// checksums su, per Eq. (2): checksum_k(w) = Rows[k]·u + d·su[k].
+// The result is written to dst, which must have one slot per weight.
+// Cost: one dense dot of length N per weight — O(N), independent of nnz.
+func (m *Matrix) UpdateMVM(dst []float64, u []float64, su []float64) {
+	if len(u) != m.N {
+		panic("checksum: vector length mismatch in UpdateMVM")
+	}
+	if len(dst) != len(m.Weights) || len(su) != len(m.Weights) {
+		panic("checksum: checksum slot mismatch in UpdateMVM")
+	}
+	for k, row := range m.Rows {
+		var s float64
+		for i, v := range u {
+			s += row[i] * v
+		}
+		dst[k] = s + m.D*su[k]
+	}
+}
+
+// UpdatePCO computes the output checksums of the preconditioned solve
+// M·w = u from the input checksums su and the computed solution w, per the
+// (sign-corrected) Eq. (4): checksum_k(w) = (su[k] − Rows[k]·w) / d, where
+// Rows encodes M. See DESIGN.md §2 for the derivation; this form satisfies
+// Lemma 1's identity checksum(w) − cᵀw = (checksum(u) − cᵀu)/d.
+func (m *Matrix) UpdatePCO(dst []float64, w []float64, su []float64) {
+	if len(w) != m.N {
+		panic("checksum: vector length mismatch in UpdatePCO")
+	}
+	if len(dst) != len(m.Weights) || len(su) != len(m.Weights) {
+		panic("checksum: checksum slot mismatch in UpdatePCO")
+	}
+	for k, row := range m.Rows {
+		var s float64
+		for i, v := range w {
+			s += row[i] * v
+		}
+		dst[k] = (su[k] - s) / m.D
+	}
+}
+
+// UpdateVLOAxpby computes the checksums of z := alpha·x + beta·y from the
+// operand checksums, per Eq. (3). O(1) per weight. dst may alias sx or sy.
+func UpdateVLOAxpby(dst []float64, alpha float64, sx []float64, beta float64, sy []float64) {
+	if len(dst) != len(sx) || len(dst) != len(sy) {
+		panic("checksum: checksum slot mismatch in UpdateVLOAxpby")
+	}
+	for k := range dst {
+		dst[k] = alpha*sx[k] + beta*sy[k]
+	}
+}
+
+// UpdateVLOScale computes the checksums of w := alpha·u. dst may alias su.
+func UpdateVLOScale(dst []float64, alpha float64, su []float64) {
+	if len(dst) != len(su) {
+		panic("checksum: checksum slot mismatch in UpdateVLOScale")
+	}
+	for k := range dst {
+		dst[k] = alpha * su[k]
+	}
+}
+
+// UpdateVLOAxpy computes the checksums of y := y + alpha·x in place on sy.
+func UpdateVLOAxpy(sy []float64, alpha float64, sx []float64) {
+	if len(sy) != len(sx) {
+		panic("checksum: checksum slot mismatch in UpdateVLOAxpy")
+	}
+	for k := range sy {
+		sy[k] += alpha * sx[k]
+	}
+}
+
+// Eps is the double-precision machine epsilon used by the running
+// round-off bounds below.
+const Eps = 2.220446049250313e-16
+
+// The Bound variants of the update rules additionally propagate a
+// first-order round-off bound η for each checksum, following the standard
+// model |fl(Σaᵢ) − Σaᵢ| ≤ n·ε·Σ|aᵢ|. The decoupling scalar d amplifies the
+// update's round-off (the d·cᵀu terms cancel analytically but not in
+// floating point), so a fixed θ threshold misfires once n·ε·d approaches θ;
+// verifying against max(θ·scale, K·η) keeps detection sound at any n and d.
+// This running-bound machinery is an extension over the paper's fixed
+// θ = 1e-10 rule (see DESIGN.md §2).
+
+// UpdateMVMBound is UpdateMVM plus η propagation:
+// η_out = |d|·η_in + n·ε·(Σ|row_i·u_i| + |d·su|).
+func (m *Matrix) UpdateMVMBound(dst, etaDst []float64, u []float64, su, etaSrc []float64) {
+	if len(u) != m.N {
+		panic("checksum: vector length mismatch in UpdateMVMBound")
+	}
+	if len(dst) != len(m.Weights) || len(su) != len(m.Weights) ||
+		len(etaDst) != len(m.Weights) || len(etaSrc) != len(m.Weights) {
+		panic("checksum: checksum slot mismatch in UpdateMVMBound")
+	}
+	nEps := float64(m.N) * Eps
+	for k, row := range m.Rows {
+		var s, abs float64
+		for i, v := range u {
+			t := row[i] * v
+			s += t
+			abs += math.Abs(t)
+		}
+		dst[k] = s + m.D*su[k]
+		etaDst[k] = math.Abs(m.D)*etaSrc[k] + nEps*(abs+math.Abs(m.D*su[k]))
+	}
+}
+
+// UpdatePCOBound is UpdatePCO plus η propagation:
+// η_out = (η_in + n·ε·(Σ|row_i·w_i| + |su|)) / |d|.
+func (m *Matrix) UpdatePCOBound(dst, etaDst []float64, w []float64, su, etaSrc []float64) {
+	if len(w) != m.N {
+		panic("checksum: vector length mismatch in UpdatePCOBound")
+	}
+	if len(dst) != len(m.Weights) || len(su) != len(m.Weights) ||
+		len(etaDst) != len(m.Weights) || len(etaSrc) != len(m.Weights) {
+		panic("checksum: checksum slot mismatch in UpdatePCOBound")
+	}
+	nEps := float64(m.N) * Eps
+	for k, row := range m.Rows {
+		var s, abs float64
+		for i, v := range w {
+			t := row[i] * v
+			s += t
+			abs += math.Abs(t)
+		}
+		dst[k] = (su[k] - s) / m.D
+		etaDst[k] = (etaSrc[k] + nEps*(abs+math.Abs(su[k]))) / math.Abs(m.D)
+	}
+}
+
+// UpdateVLOAxpbyBound is UpdateVLOAxpby plus η propagation.
+func UpdateVLOAxpbyBound(dst, etaDst []float64, alpha float64, sx, etaX []float64, beta float64, sy, etaY []float64) {
+	for k := range dst {
+		dst[k] = alpha*sx[k] + beta*sy[k]
+		etaDst[k] = math.Abs(alpha)*etaX[k] + math.Abs(beta)*etaY[k] +
+			4*Eps*(math.Abs(alpha*sx[k])+math.Abs(beta*sy[k]))
+	}
+}
+
+// UpdateVLOAxpyBound is UpdateVLOAxpy plus η propagation (in place on sy).
+func UpdateVLOAxpyBound(sy, etaY []float64, alpha float64, sx, etaX []float64) {
+	for k := range sy {
+		sy[k] += alpha * sx[k]
+		etaY[k] += math.Abs(alpha)*etaX[k] + 4*Eps*(math.Abs(sy[k])+math.Abs(alpha*sx[k]))
+	}
+}
+
+// Deltas computes δ_k = c_kᵀy − expected[k] for every weight: the checksum
+// inconsistencies of vector y against its carried checksums. In the absence
+// of errors every δ is round-off-small (Lemma 1); any soft error before or
+// during the producing operation breaks at least δ1 (Lemma 2 / Theorem 3).
+func Deltas(y []float64, weights []Weight, expected []float64) []float64 {
+	if len(weights) != len(expected) {
+		panic("checksum: weight/expected length mismatch in Deltas")
+	}
+	d := make([]float64, len(weights))
+	for k, w := range weights {
+		d[k] = w.Apply(y) - expected[k]
+	}
+	return d
+}
+
+// Delta1 computes only δ1 = c1ᵀy − expected1, the cheap single-checksum
+// detection probe the inner level runs after every MVM (§5.3 step 7a).
+func Delta1(y []float64, w Weight, expected float64) float64 {
+	return w.Apply(y) - expected
+}
+
+// String identifies the encoding for diagnostics.
+func (m *Matrix) String() string {
+	names := ""
+	for i, w := range m.Weights {
+		if i > 0 {
+			names += ","
+		}
+		names += w.Name
+	}
+	return fmt.Sprintf("newsum encoding n=%d d=%g weights=[%s]", m.N, m.D, names)
+}

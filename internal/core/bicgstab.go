@@ -1,0 +1,314 @@
+package core
+
+import (
+	"newsum/internal/checkpoint"
+	"newsum/internal/checksum"
+	"newsum/internal/precond"
+	"newsum/internal/sparse"
+	"newsum/internal/vec"
+)
+
+// BasicPBiCGSTAB solves A·x = b with the basic online ABFT preconditioned
+// BiCGSTAB, constructed with the §5.3 recipe: checksum updates after every
+// vector-generating operation, verification of the x and r relationships
+// every DetectInterval iterations, and checkpoints of the minimal vector set
+// {x, p} (everything else is recomputable: r = b−Ax, v = A·M⁻¹p) plus the
+// recurrence scalars.
+//
+// BiCGSTAB exercises the generality claim: it has no orthogonality relations
+// for the Chen-style baseline to check (§6), and its two MVMs and two PCOs
+// per iteration double the checksum-update load relative to PCG.
+func BasicPBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options) (Result, error) {
+	return abftBiCGSTAB(a, m, b, opts, Basic)
+}
+
+// TwoLevelPBiCGSTAB adds triple-checksum inner-level protection after each
+// of the two MVMs per iteration: single errors are corrected in place,
+// multiple errors trigger immediate rollback.
+func TwoLevelPBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options) (Result, error) {
+	return abftBiCGSTAB(a, m, b, opts, TwoLevel)
+}
+
+func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options, scheme Scheme) (Result, error) {
+	var res Result
+	if err := validateSystem(a, b); err != nil {
+		return res, err
+	}
+	opts.normalize()
+	weights := checksum.Single
+	if scheme == TwoLevel && opts.EagerTriple {
+		weights = checksum.Triple
+	}
+	e := newEngine(a, m, weights, &opts, &res.Stats)
+	if scheme == TwoLevel && !opts.EagerTriple {
+		e.initLazyDiag()
+	}
+	n := e.n
+
+	x := e.newTracked("x")
+	if opts.X0 != nil {
+		copy(x.data, opts.X0)
+		e.recompute(x)
+	}
+	r := e.newTracked("r")
+	p := e.newTracked("p")
+	v := e.newTracked("v")
+	s := e.newTracked("s")
+	t := e.newTracked("t")
+	phat := e.newTracked("phat")
+	shat := e.newTracked("shat")
+	bT := e.wrap("b", b)
+
+	a.MulVec(r.data, x.data)
+	vec.Sub(r.data, bT.data, r.data)
+	e.recompute(r)
+	rhat := vec.Clone(r.data) // shadow residual, fixed for the whole solve
+
+	normB := vec.Norm2(b)
+	if normB == 0 {
+		normB = 1
+	}
+	tolRes := opts.Tol
+	if tolRes <= 0 {
+		tolRes = 1e-8
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+
+	res.X = x.data
+	relres := vec.Norm2(r.data) / normB
+	if relres <= tolRes {
+		res.Converged = true
+		res.Residual = relres
+		return res, nil
+	}
+
+	rhoPrev, alpha, omega := 1.0, 1.0, 1.0
+
+	var store checkpoint.Store
+	d, cd := opts.DetectInterval, opts.CheckpointInterval
+
+	saveCheckpoint := func(iter int) {
+		opts.Trace.add(iter, EvCheckpoint, "snapshot {x, p}")
+		store.Save(iter,
+			map[string][]float64{"x": x.data, "p": p.data},
+			map[string]float64{"rhoPrev": rhoPrev, "alpha": alpha, "omega": omega},
+			map[string][]float64{"x": x.s, "p": p.s, "x.eta": x.eta, "p.eta": p.eta},
+		)
+		res.Stats.Checkpoints++
+	}
+	// rollback restores {x, p} and the scalars, then reconstructs
+	// r = b − A·x and v = A·M⁻¹p with fresh checksums (two MVMs + one PCO).
+	rollback := func(iter int) (int, bool) {
+		res.Stats.Rollbacks++
+		if res.Stats.Rollbacks > opts.MaxRollbacks {
+			return iter, false
+		}
+		scal := map[string]float64{}
+		snapIter, err := store.Restore(
+			map[string][]float64{"x": x.data, "p": p.data},
+			scal,
+			map[string][]float64{"x": x.s, "p": p.s, "x.eta": x.eta, "p.eta": p.eta},
+		)
+		if err != nil {
+			return iter, false
+		}
+		rhoPrev, alpha, omega = scal["rhoPrev"], scal["alpha"], scal["omega"]
+		a.MulVec(r.data, x.data)
+		vec.Sub(r.data, bT.data, r.data)
+		e.recompute(r)
+		res.Stats.RecoveryMVMs++
+		if snapIter > 0 {
+			// v = A·M⁻¹·p, needed by the search-direction update.
+			if err := applyClean(m, phat.data, p.data); err != nil {
+				return iter, false
+			}
+			e.recompute(phat)
+			a.MulVec(v.data, phat.data)
+			e.recompute(v)
+			res.Stats.RecoveryMVMs++
+		}
+		res.Stats.WastedIterations += iter - snapIter
+		opts.Trace.add(iter, EvRollback, "restored iteration %d, recomputed r, v", snapIter)
+		return snapIter, true
+	}
+
+	storm := func() (Result, error) {
+		res.Residual = relres
+		res.Stats.InjectedErrors = e.injectedCount()
+		return res, rollbackStormErr("PBiCGSTAB", scheme)
+	}
+
+	i := 0
+	for i < maxIter {
+		if i > 0 && i%d == 0 {
+			if !e.verify(x) || !e.verify(r) {
+				opts.Trace.add(i, EvDetection, "outer-level: checksum(x)/checksum(r) mismatch")
+				var ok bool
+				if i, ok = rollback(i); !ok {
+					return storm()
+				}
+				continue
+			}
+		}
+		if i%cd == 0 {
+			// Guard the snapshot: p must verify clean before it becomes
+			// the rollback target.
+			if i > 0 && !e.verify(p) {
+				var ok bool
+				if i, ok = rollback(i); !ok {
+					return storm()
+				}
+				continue
+			}
+			saveCheckpoint(i)
+		}
+
+		rho := vec.Dot(rhat, r.data)
+		if rho == 0 {
+			res.Residual = relres
+			return res, breakdownErr("PBiCGSTAB", scheme, i, "ρ = 0")
+		}
+		if i == 0 {
+			copyTracked(p, r)
+		} else {
+			beta := (rho / rhoPrev) * (alpha / omega)
+			// p = r + beta*(p − omega*v)
+			e.axpy(i, p, -omega, v)
+			e.xpby(i, p, r, beta, p)
+		}
+		if err := e.pco(i, phat, p); err != nil {
+			return res, err
+		}
+		e.mvm(i, v, phat)
+		if scheme == TwoLevel {
+			diag := e.innerCheck(v, phat)
+			if diag.Kind == checksum.SingleError {
+				opts.Trace.add(i, EvCorrection, "inner-level: v[%d] -= %.6g", diag.Pos, diag.Magnitude)
+			}
+			if diag.Kind == checksum.MultipleErrors {
+				var ok bool
+				if i, ok = rollback(i); !ok {
+					return storm()
+				}
+				continue
+			}
+		}
+		if e.takeFlag() {
+			var ok bool
+			if i, ok = rollback(i); !ok {
+				return storm()
+			}
+			continue
+		}
+		rhatV := vec.Dot(rhat, v.data)
+		if rhatV == 0 {
+			res.Residual = relres
+			return res, breakdownErr("PBiCGSTAB", scheme, i, "r̂ᵀv = 0")
+		}
+		alpha = rho / rhatV
+		e.axpbyInto(i, s, 1, r, -alpha, v)
+
+		if rel := vec.Norm2(s.data) / normB; rel <= tolRes {
+			e.axpy(i, x, alpha, phat)
+			i++
+			res.Iterations = i
+			relres = rel
+			if opts.RecordResiduals {
+				res.History = append(res.History, relres)
+			}
+			if e.verify(x) && e.verify(s) {
+				res.Converged = true
+				break
+			}
+			var ok bool
+			if i, ok = rollback(i); !ok {
+				return storm()
+			}
+			continue
+		}
+
+		if err := e.pco(i, shat, s); err != nil {
+			return res, err
+		}
+		e.mvm(i, t, shat)
+		if scheme == TwoLevel {
+			diag := e.innerCheck(t, shat)
+			if diag.Kind == checksum.SingleError {
+				opts.Trace.add(i, EvCorrection, "inner-level: t[%d] -= %.6g", diag.Pos, diag.Magnitude)
+			}
+			if diag.Kind == checksum.MultipleErrors {
+				var ok bool
+				if i, ok = rollback(i); !ok {
+					return storm()
+				}
+				continue
+			}
+		}
+		if e.takeFlag() {
+			var ok bool
+			if i, ok = rollback(i); !ok {
+				return storm()
+			}
+			continue
+		}
+		tt := vec.Dot(t.data, t.data)
+		if tt == 0 {
+			res.Residual = relres
+			return res, breakdownErr("PBiCGSTAB", scheme, i, "tᵀt = 0")
+		}
+		omega = vec.Dot(t.data, s.data) / tt
+		if omega == 0 {
+			res.Residual = relres
+			return res, breakdownErr("PBiCGSTAB", scheme, i, "ω = 0")
+		}
+		e.axpy(i, x, alpha, phat)
+		e.axpy(i, x, omega, shat)
+		e.axpbyInto(i, r, 1, s, -omega, t)
+		if e.takeFlag() {
+			var ok bool
+			if i, ok = rollback(i); !ok {
+				return storm()
+			}
+			continue
+		}
+		rhoPrev = rho
+		i++
+		res.Iterations = i
+
+		relres = vec.Norm2(r.data) / normB
+		if opts.RecordResiduals {
+			res.History = append(res.History, relres)
+		}
+		if relres <= tolRes {
+			if e.verify(x) && e.verify(r) {
+				res.Converged = true
+				break
+			}
+			var ok bool
+			if i, ok = rollback(i); !ok {
+				return storm()
+			}
+			continue
+		}
+	}
+
+	res.Residual = relres
+	res.Stats.InjectedErrors = e.injectedCount()
+	if !res.Converged {
+		return notConverged("ABFT PBiCGSTAB", res, relres)
+	}
+	return res, nil
+}
+
+// applyClean applies a preconditioner without instrumentation, for recovery
+// paths that must not consume injector events.
+func applyClean(m precond.Preconditioner, z, r []float64) error {
+	if m == nil {
+		copy(z, r)
+		return nil
+	}
+	return m.Apply(z, r)
+}

@@ -1,0 +1,203 @@
+// Package core implements the paper's primary contribution: the two online
+// ABFT schemes built on the new-sum error-preserving checksum encoding —
+// the basic ("lazy") scheme of Algorithm 1 and the two-level ("hybrid")
+// scheme of Algorithm 2 — applied to preconditioned CG, preconditioned
+// BiCGSTAB, Jacobi and Chebyshev; plus the three comparison baselines of
+// §6 (online MV, online orthogonality, offline residual).
+//
+// Every protected solver follows the same contract: it computes the same
+// iterates as its unprotected counterpart in internal/solver (the checksum
+// machinery is fully decoupled from the numerical operations, Fig. 2(d)),
+// detects soft errors injected through a fault.Injector, and recovers via
+// immediate correction (inner level) or checkpoint rollback (outer level).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"newsum/internal/fault"
+	"newsum/internal/solver"
+	"newsum/internal/sparse"
+)
+
+// ErrRollbackStorm is wrapped when a protected solver exceeds its rollback
+// budget — the "does not terminate" outcome (Table 4, Scenario 3, basic
+// scheme) reported as Inf in the paper's Fig. 6.
+var ErrRollbackStorm = errors.New("core: rollback limit exceeded; execution does not terminate")
+
+// Scheme names a fault-tolerance design under comparison (§6).
+type Scheme int
+
+const (
+	// Unprotected is the plain solver with no fault tolerance.
+	Unprotected Scheme = iota
+	// Basic is the paper's basic online ABFT (Algorithm 1): checksum
+	// updates every operation, lazy verification every d iterations,
+	// checkpoint/rollback recovery.
+	Basic
+	// TwoLevel is the paper's two-level online ABFT (Algorithm 2):
+	// triple-checksum correct-or-rollback after every MVM plus the
+	// Basic outer level.
+	TwoLevel
+	// OnlineMV is the Sloan-style baseline: traditional checksum verified
+	// after every MVM with binary-search localization, duplicated
+	// PCO/VLO execution for the remaining operations.
+	OnlineMV
+	// Orthogonality is the Chen-style baseline: periodic residual
+	// relationship checking with checkpoint/rollback.
+	Orthogonality
+	// OfflineResidual verifies only at the end and recomputes everything
+	// on failure.
+	OfflineResidual
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case Unprotected:
+		return "unprotected"
+	case Basic:
+		return "basic online ABFT"
+	case TwoLevel:
+		return "two-level online ABFT"
+	case OnlineMV:
+		return "online MV"
+	case Orthogonality:
+		return "online orthogonality"
+	case OfflineResidual:
+		return "offline residual"
+	default:
+		return "unknown scheme"
+	}
+}
+
+// Stats accounts for the fault-tolerance work a protected solve performed.
+type Stats struct {
+	// ChecksumUpdates counts checksum update computations (one per
+	// vector-generating operation per weight set).
+	ChecksumUpdates int
+	// Verifications counts checksum relationship verifications (each an
+	// O(n) weighted sum).
+	Verifications int
+	// Detections counts verifications that flagged an inconsistency.
+	Detections int
+	// Corrections counts inner-level single-error corrections (two-level
+	// scheme) or localized recomputations (online MV).
+	Corrections int
+	// Checkpoints counts snapshots taken.
+	Checkpoints int
+	// Rollbacks counts checkpoint restorations.
+	Rollbacks int
+	// RecoveryMVMs counts full matrix-vector products performed solely
+	// for recovery or for baseline detection (orthogonality checks,
+	// binary-search recomputation is accounted in PartialRecomputeNNZ).
+	RecoveryMVMs int
+	// PartialRecomputeNNZ counts nonzeros touched by online MV's
+	// binary-search localization and repair.
+	PartialRecomputeNNZ int
+	// InjectedErrors is the number of fault records that fired during the
+	// run.
+	InjectedErrors int
+	// WastedIterations counts iterations discarded by rollbacks.
+	WastedIterations int
+}
+
+// Result is the outcome of a protected solve.
+type Result struct {
+	solver.Result
+	Stats Stats
+}
+
+// Options configures a protected solve. The zero value selects the paper's
+// defaults: θ = 1e-10, d = 1, cd = 10, PracticalD decoupling scalar.
+type Options struct {
+	solver.Options
+
+	// DetectInterval is the paper's d: outer-level verification happens
+	// every d iterations. 0 means 1.
+	DetectInterval int
+	// CheckpointInterval is the paper's cd: checkpoints are taken every
+	// cd iterations. It is rounded up to a multiple of DetectInterval so
+	// snapshots are always taken on verified state. 0 means
+	// 10·DetectInterval.
+	CheckpointInterval int
+	// Theta is the checksum verification threshold θ; 0 means 1e-10.
+	Theta float64
+	// MaxRollbacks bounds recovery attempts; exceeding it aborts with
+	// ErrRollbackStorm. 0 means 1000.
+	MaxRollbacks int
+	// DScalar overrides the decoupling scalar d of the encoding; 0 selects
+	// checksum.PracticalD(A). Set UseLemmaD for the worst-case bound.
+	DScalar float64
+	// UseLemmaD selects the Lemma 2 lower bound for the decoupling scalar
+	// (see checksum.LemmaD for the numerical trade-off).
+	UseLemmaD bool
+	// EagerDetection verifies every vector-generating operation's output
+	// immediately instead of waiting for the DetectInterval boundary — the
+	// paper's "eager" mode (§1, §4: errors can be detected "eagerly or
+	// lazily"). Detection latency drops to a single operation at the cost
+	// of roughly one extra O(n) weighted sum per operation. Rollback
+	// recovery is unchanged.
+	EagerDetection bool
+	// EagerTriple makes the two-level scheme carry all three checksums
+	// through every operation, as in the paper's Table 4 cost model
+	// ((2/d+9) VDP per iteration). The default is the lazy variant: only
+	// the c1 checksum is carried (basic-scheme cost) and the locating
+	// checksums δ2, δ3 are evaluated directly from the encoded matrix rows
+	// when — and only when — the δ1 probe detects an error. The two are
+	// semantically equivalent (exp_k = row_k·p + d·c_kᵀp = c_kᵀA·p); the
+	// lazy variant moves 6 O(n) dots from every iteration to the rare
+	// error path. The eager mode remains for the Table 4 ablation.
+	EagerTriple bool
+	// Injector supplies scheduled soft errors; nil runs fault-free.
+	Injector *fault.Injector
+	// Trace, when non-nil, receives the run's fault-tolerance timeline
+	// (detections, corrections, rollbacks, checkpoints). Cold-path only.
+	Trace *Trace
+}
+
+func (o *Options) normalize() {
+	if o.DetectInterval < 1 {
+		o.DetectInterval = 1
+	}
+	if o.CheckpointInterval < 1 {
+		o.CheckpointInterval = 10 * o.DetectInterval
+	}
+	// Checkpoints must land on verified state, so cd is rounded up to a
+	// multiple of d — except under eager detection, where every operation
+	// is verified and any checkpoint cadence is safe.
+	if !o.EagerDetection {
+		if rem := o.CheckpointInterval % o.DetectInterval; rem != 0 {
+			o.CheckpointInterval += o.DetectInterval - rem
+		}
+	}
+	if o.Theta <= 0 {
+		o.Theta = 1e-10
+	}
+	if o.MaxRollbacks <= 0 {
+		o.MaxRollbacks = 1000
+	}
+}
+
+func notConverged(method string, r Result, relres float64) (Result, error) {
+	return r, fmt.Errorf("%w: %s after %d iterations (relres %.3e)",
+		solver.ErrNotConverged, method, r.Iterations, relres)
+}
+
+func validateSystem(a *sparse.CSR, b []float64) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("core: matrix must be square, got %dx%d", a.Rows, a.Cols)
+	}
+	if len(b) != a.Rows {
+		return fmt.Errorf("core: rhs length %d, want %d", len(b), a.Rows)
+	}
+	return nil
+}
+
+func rollbackStormErr(method string, s Scheme) error {
+	return fmt.Errorf("%w: %s under %s", ErrRollbackStorm, method, s)
+}
+
+func breakdownErr(method string, s Scheme, iter int, what string) error {
+	return fmt.Errorf("core: %s (%s) breakdown at iteration %d: %s", method, s, iter, what)
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"newsum/internal/checkpoint"
+	"newsum/internal/checksum"
+	"newsum/internal/sparse"
+	"newsum/internal/vec"
+)
+
+// BasicCR solves the symmetric system A·x = b with the conjugate residual
+// method under basic online ABFT protection — another §1-listed Krylov
+// solver built from the same four vector-generating operations.
+//
+// Dependency analysis (§5.3 step 4): the CR recurrence keeps x, r, p and
+// the products Ar, Ap. Errors anywhere propagate into x and r, so the
+// outer level verifies those two; the checkpoint set is {x, p} with the
+// scalar rᵀAr — r is recomputed as b − A·x and the products as A·r, A·p
+// (three recovery MVMs).
+func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
+	var res Result
+	if err := validateSystem(a, b); err != nil {
+		return res, err
+	}
+	opts.normalize()
+	e := newEngine(a, nil, checksum.Single, &opts, &res.Stats)
+	n := e.n
+
+	x := e.newTracked("x")
+	if opts.X0 != nil {
+		copy(x.data, opts.X0)
+		e.recompute(x)
+	}
+	r := e.newTracked("r")
+	p := e.newTracked("p")
+	ar := e.newTracked("ar")
+	ap := e.newTracked("ap")
+	bT := e.wrap("b", b)
+
+	a.MulVec(r.data, x.data)
+	vec.Sub(r.data, bT.data, r.data)
+	e.recompute(r)
+	copyTracked(p, r)
+	a.MulVec(ar.data, r.data)
+	e.recompute(ar)
+	copyTracked(ap, ar)
+
+	normB := vec.Norm2(b)
+	if normB == 0 {
+		normB = 1
+	}
+	tolRes := opts.Tol
+	if tolRes <= 0 {
+		tolRes = 1e-8
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+
+	res.X = x.data
+	relres := vec.Norm2(r.data) / normB
+	if relres <= tolRes {
+		res.Converged = true
+		res.Residual = relres
+		return res, nil
+	}
+	rAr := vec.Dot(r.data, ar.data)
+
+	var store checkpoint.Store
+	d, cd := opts.DetectInterval, opts.CheckpointInterval
+	rollback := func(iter int) (int, bool) {
+		res.Stats.Rollbacks++
+		if res.Stats.Rollbacks > opts.MaxRollbacks {
+			return iter, false
+		}
+		scal := map[string]float64{}
+		snapIter, err := store.Restore(
+			map[string][]float64{"x": x.data, "p": p.data},
+			scal,
+			map[string][]float64{"x": x.s, "p": p.s, "x.eta": x.eta, "p.eta": p.eta})
+		if err != nil {
+			return iter, false
+		}
+		rAr = scal["rAr"]
+		a.MulVec(r.data, x.data)
+		vec.Sub(r.data, bT.data, r.data)
+		e.recompute(r)
+		a.MulVec(ar.data, r.data)
+		e.recompute(ar)
+		a.MulVec(ap.data, p.data)
+		e.recompute(ap)
+		res.Stats.RecoveryMVMs += 3
+		res.Stats.WastedIterations += iter - snapIter
+		return snapIter, true
+	}
+	storm := func() (Result, error) {
+		res.Residual = relres
+		res.Stats.InjectedErrors = e.injectedCount()
+		return res, rollbackStormErr("CR", Basic)
+	}
+
+	i := 0
+	for i < maxIter {
+		if i > 0 && i%d == 0 {
+			if !e.verify(x) || !e.verify(r) {
+				var ok bool
+				if i, ok = rollback(i); !ok {
+					return storm()
+				}
+				continue
+			}
+		}
+		if i%cd == 0 {
+			if i > 0 && !e.verify(p) {
+				var ok bool
+				if i, ok = rollback(i); !ok {
+					return storm()
+				}
+				continue
+			}
+			store.Save(i,
+				map[string][]float64{"x": x.data, "p": p.data},
+				map[string]float64{"rAr": rAr},
+				map[string][]float64{"x": x.s, "p": p.s, "x.eta": x.eta, "p.eta": p.eta})
+			res.Stats.Checkpoints++
+		}
+
+		apap := vec.Dot(ap.data, ap.data)
+		if apap == 0 || rAr == 0 {
+			res.Residual = relres
+			return res, breakdownErr("CR", Basic, i, "ApᵀAp = 0 or rᵀAr = 0")
+		}
+		alpha := rAr / apap
+		e.axpy(i, x, alpha, p)
+		e.axpy(i, r, -alpha, ap)
+		if e.takeFlag() {
+			var ok bool
+			if i, ok = rollback(i); !ok {
+				return storm()
+			}
+			continue
+		}
+		i++
+		res.Iterations = i
+
+		relres = vec.Norm2(r.data) / normB
+		if opts.RecordResiduals {
+			res.History = append(res.History, relres)
+		}
+		if relres <= tolRes {
+			if e.verify(x) && e.verify(r) {
+				res.Converged = true
+				break
+			}
+			var ok bool
+			if i, ok = rollback(i); !ok {
+				return storm()
+			}
+			continue
+		}
+
+		e.mvm(i-1, ar, r)
+		rArNew := vec.Dot(r.data, ar.data)
+		beta := rArNew / rAr
+		e.xpby(i-1, p, r, beta, p)
+		e.xpby(i-1, ap, ar, beta, ap)
+		rAr = rArNew
+		if e.takeFlag() {
+			var ok bool
+			if i, ok = rollback(i); !ok {
+				return storm()
+			}
+			continue
+		}
+	}
+
+	res.Residual = relres
+	res.Stats.InjectedErrors = e.injectedCount()
+	if !res.Converged {
+		return notConverged("ABFT CR", res, relres)
+	}
+	return res, nil
+}

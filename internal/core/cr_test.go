@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"newsum/internal/fault"
+	"newsum/internal/solver"
+	"newsum/internal/sparse"
+	"newsum/internal/vec"
+)
+
+func TestBasicCRFaultFreeMatchesUnprotected(t *testing.T) {
+	a := sparse.Laplacian2D(15, 15)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1
+	}
+	plain, err := solver.CR(a, b, solver.Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, err := BasicCR(a, b, Options{Options: solver.Options{Tol: 1e-10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prot.Iterations != plain.Iterations {
+		t.Errorf("iterations: protected %d, plain %d", prot.Iterations, plain.Iterations)
+	}
+	if !vec.Equal(prot.X, plain.X, 1e-12) {
+		t.Errorf("protected CR diverged from plain")
+	}
+	if prot.Stats.Detections != 0 {
+		t.Errorf("fault-free detections: %+v", prot.Stats)
+	}
+}
+
+func TestBasicCRRecoversFromErrors(t *testing.T) {
+	for _, ev := range []fault.Event{
+		{Iteration: 6, Site: fault.SiteMVM, Kind: fault.Arithmetic, Index: -1},
+		{Iteration: 6, Site: fault.SiteVLO, Kind: fault.Arithmetic, Index: -1},
+		{Iteration: 6, Site: fault.SiteMVM, Kind: fault.Memory, Index: -1},
+		{Iteration: 6, Site: fault.SiteMVM, Kind: fault.CacheRegister, Index: -1},
+	} {
+		a := sparse.Laplacian2D(15, 15)
+		b := make([]float64, a.Rows)
+		for i := range b {
+			b[i] = 1
+		}
+		inj := fault.NewInjector([]fault.Event{ev}, 17)
+		res, err := BasicCR(a, b, Options{
+			Options:  solver.Options{Tol: 1e-10, MaxIter: 20000},
+			Injector: inj,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", ev, err)
+		}
+		if res.Stats.Detections == 0 {
+			t.Errorf("%v: undetected", ev)
+		}
+		if tr := TrueResidual(a, b, res.X); tr > 1e-8 {
+			t.Errorf("%v: true residual %.3e", ev, tr)
+		}
+	}
+}
+
+func TestBasicCREager(t *testing.T) {
+	a := sparse.Laplacian2D(12, 12)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1
+	}
+	inj := fault.NewInjector([]fault.Event{
+		{Iteration: 9, Site: fault.SiteVLO, Kind: fault.Arithmetic, Index: -1},
+	}, 18)
+	res, err := BasicCR(a, b, Options{
+		Options:        solver.Options{Tol: 1e-10},
+		DetectInterval: 500,
+		EagerDetection: true,
+		Injector:       inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Detections == 0 {
+		t.Errorf("eager CR missed the error")
+	}
+	if tr := TrueResidual(a, b, res.X); tr > 1e-8 {
+		t.Errorf("true residual %.3e", tr)
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"newsum/internal/fault"
+	"newsum/internal/solver"
+)
+
+// TestEagerDetectionCatchesWithinOneIteration: with eager detection the
+// error must be caught before it contaminates more than the current
+// iteration, so the wasted-work count stays minimal even with a huge
+// detection interval.
+func TestEagerDetectionCatchesWithinOneIteration(t *testing.T) {
+	a, m, b, _ := testSystem(t, 400)
+	inj := fault.NewInjector([]fault.Event{
+		{Iteration: 12, Site: fault.SiteMVM, Kind: fault.Arithmetic, Index: -1},
+	}, 7)
+	res, err := BasicPCG(a, m, b, Options{
+		Options:            solver.Options{Tol: 1e-10},
+		DetectInterval:     1000, // lazy path would wait forever
+		CheckpointInterval: 10,
+		EagerDetection:     true,
+		Injector:           inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Detections == 0 || res.Stats.Rollbacks == 0 {
+		t.Fatalf("eager mode missed the error: %+v", res.Stats)
+	}
+	// Rollback target is at most 10 iterations back (cd), and detection
+	// fired in the same iteration as the error, so at most ~cd iterations
+	// are wasted per rollback.
+	if res.Stats.WastedIterations > 12 {
+		t.Fatalf("eager detection wasted %d iterations", res.Stats.WastedIterations)
+	}
+	if tr := TrueResidual(a, b, res.X); tr > 1e-8 {
+		t.Fatalf("true residual %.3e", tr)
+	}
+}
+
+// TestLazyVsEagerSameAnswer: the two detection modes must agree on the
+// final solution for the same fault schedule.
+func TestLazyVsEagerSameAnswer(t *testing.T) {
+	a, m, b, _ := testSystem(t, 400)
+	solve := func(eager bool) Result {
+		inj := fault.NewInjector([]fault.Event{
+			{Iteration: 8, Site: fault.SiteVLO, Kind: fault.Arithmetic, Index: -1},
+		}, 9)
+		res, err := BasicPCG(a, m, b, Options{
+			Options:        solver.Options{Tol: 1e-10},
+			EagerDetection: eager,
+			Injector:       inj,
+		})
+		if err != nil {
+			t.Fatalf("eager=%v: %v", eager, err)
+		}
+		return res
+	}
+	lazy := solve(false)
+	eager := solve(true)
+	if TrueResidual(a, b, lazy.X) > 1e-8 || TrueResidual(a, b, eager.X) > 1e-8 {
+		t.Fatalf("one of the modes produced a wrong answer")
+	}
+	// Eager must pay more verifications but detect no later.
+	if eager.Stats.Verifications <= lazy.Stats.Verifications {
+		t.Errorf("eager mode should verify more: %d vs %d",
+			eager.Stats.Verifications, lazy.Stats.Verifications)
+	}
+}
+
+// TestEagerDetectionPBiCGSTAB exercises the eager path on the second
+// solver.
+func TestEagerDetectionPBiCGSTAB(t *testing.T) {
+	a, m, b := unsymSystem(t, 16)
+	inj := fault.NewInjector([]fault.Event{
+		{Iteration: 5, Site: fault.SitePCO, Kind: fault.Memory, Index: -1},
+	}, 10)
+	res, err := BasicPBiCGSTAB(a, m, b, Options{
+		Options:            solver.Options{Tol: 1e-10, MaxIter: 10000},
+		DetectInterval:     1000,
+		CheckpointInterval: 8,
+		EagerDetection:     true,
+		Injector:           inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Detections == 0 {
+		t.Fatalf("eager PBiCGSTAB missed the memory error: %+v", res.Stats)
+	}
+	if tr := TrueResidual(a, b, res.X); tr > 1e-8 {
+		t.Fatalf("true residual %.3e", tr)
+	}
+}
+
+// TestEagerDetectionFaultFreeNoOverheadEvents: no false positives.
+func TestEagerDetectionFaultFreeNoOverheadEvents(t *testing.T) {
+	a, m, b, _ := testSystem(t, 400)
+	res, err := BasicPCG(a, m, b, Options{
+		Options:        solver.Options{Tol: 1e-10},
+		EagerDetection: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Detections != 0 || res.Stats.Rollbacks != 0 {
+		t.Fatalf("eager fault-free run had FT events: %+v", res.Stats)
+	}
+}

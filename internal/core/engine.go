@@ -1,0 +1,425 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"newsum/internal/checksum"
+	"newsum/internal/fault"
+	"newsum/internal/precond"
+	"newsum/internal/sparse"
+	"newsum/internal/vec"
+)
+
+// tracked pairs a vector with its carried checksum slots (one per weight),
+// the "separated" encoding of Fig. 2(d): the data is exactly what the
+// unprotected solver holds, the checksums ride alongside.
+type tracked struct {
+	name string
+	data []float64
+	s    []float64
+	// eta[k] is the running first-order round-off bound of s[k], carried
+	// through every update so verification can tell accumulated floating-
+	// point noise from genuine corruption at any n and d (see
+	// checksum.ConsistentBound).
+	eta []float64
+}
+
+// engine bundles the encoded matrices, weight set, tolerance, injector and
+// statistics shared by the instrumented operations of a protected solver.
+type engine struct {
+	n       int
+	a       *sparse.CSR
+	weights []checksum.Weight
+	encA    *checksum.Matrix
+	stages  []precond.Stage
+	encStg  []*checksum.Matrix
+	tol     checksum.Tol
+	inj     *fault.Injector
+	stats   *Stats
+
+	// eager enables per-operation output verification (the paper's eager
+	// detection mode); flagged latches a failed eager check until the
+	// solver consumes it via takeFlag and rolls back.
+	eager   bool
+	flagged bool
+
+	// encDiag, when non-nil, holds the plain c_kᵀA rows for the Linear and
+	// Harmonic weights, used by the lazy two-level diagnosis: δ2 and δ3
+	// are computed from these rows on demand instead of being carried
+	// through every operation (see Options.EagerTriple).
+	encDiag *checksum.Traditional
+
+	// scratch ping-pong buffers for multi-stage preconditioner
+	// applications, plus matching checksum and round-off-bound slots.
+	scratch    [2][]float64
+	scratchS   [2][]float64
+	scratchEta [2][]float64
+}
+
+// initLazyDiag prepares the on-demand diagnosis rows for the lazy two-level
+// scheme.
+func (e *engine) initLazyDiag() {
+	e.encDiag = checksum.EncodeTraditional(e.a, []checksum.Weight{checksum.Linear, checksum.Harmonic})
+}
+
+// newEngine encodes A and every preconditioner stage once (setup cost, like
+// the paper's offline encoding pass) and prepares scratch storage.
+func newEngine(a *sparse.CSR, m precond.Preconditioner, weights []checksum.Weight, opts *Options, stats *Stats) *engine {
+	d := opts.DScalar
+	if d == 0 {
+		if opts.UseLemmaD {
+			d = checksum.LemmaD(a, weights)
+		} else {
+			d = checksum.PracticalD(a)
+		}
+	}
+	e := &engine{
+		n:       a.Rows,
+		a:       a,
+		weights: weights,
+		encA:    checksum.EncodeMatrix(a, weights, d),
+		tol:     checksum.Tol{Theta: opts.Theta},
+		inj:     opts.Injector,
+		stats:   stats,
+		eager:   opts.EagerDetection,
+	}
+	if m != nil {
+		e.stages = m.Stages()
+		e.encStg = make([]*checksum.Matrix, len(e.stages))
+		for i, st := range e.stages {
+			e.encStg[i] = checksum.EncodeMatrix(st.M, weights, d)
+		}
+	}
+	for i := range e.scratch {
+		e.scratch[i] = make([]float64, e.n)
+		e.scratchS[i] = make([]float64, len(weights))
+		e.scratchEta[i] = make([]float64, len(weights))
+	}
+	return e
+}
+
+// newTracked allocates a tracked vector with zeroed data and checksums
+// (consistent: cᵀ0 = 0).
+func (e *engine) newTracked(name string) *tracked {
+	return &tracked{
+		name: name,
+		data: make([]float64, e.n),
+		s:    make([]float64, len(e.weights)),
+		eta:  make([]float64, len(e.weights)),
+	}
+}
+
+// wrap adopts an existing data slice as a tracked vector with freshly
+// computed checksums and round-off bounds (used for the right-hand side b).
+func (e *engine) wrap(name string, data []float64) *tracked {
+	v := &tracked{
+		name: name,
+		data: data,
+		s:    make([]float64, len(e.weights)),
+		eta:  make([]float64, len(e.weights)),
+	}
+	e.recompute(v)
+	return v
+}
+
+// recompute refreshes v's checksums from its data, used at initialization
+// and after recovery reconstructs a vector.
+func (e *engine) recompute(v *tracked) {
+	for k := range e.weights {
+		sum, absSum := e.sums(v, k)
+		v.s[k] = sum
+		v.eta[k] = float64(e.n) * checksum.Eps * absSum
+	}
+}
+
+// sums returns cᵀv and Σ|c_i·v_i| for weight k in one pass.
+func (e *engine) sums(v *tracked, k int) (sum, absSum float64) {
+	w := e.weights[k]
+	for i, val := range v.data {
+		t := w.At(i) * val
+		sum += t
+		absSum += math.Abs(t)
+	}
+	return sum, absSum
+}
+
+// verify checks v's first checksum relationship — the outer-level
+// verification of Algorithm 1 line 6 (one weighted sum, O(n)).
+//
+// On success the carried checksum is refreshed to the freshly measured sum
+// and its round-off bound reset. The refresh costs nothing (the sum is in
+// hand) and keeps the running η bound from compounding across verification
+// windows: without it, the d-amplification cycle (×d at each MVM update,
+// ÷d at each PCO) grows η by roughly (1+α) per iteration until it masks
+// genuine errors.
+func (e *engine) verify(v *tracked) bool {
+	e.stats.Verifications++
+	sum, absSum := e.sums(v, 0)
+	ok := e.tol.ConsistentBound(sum-v.s[0], e.n, absSum, v.eta[0])
+	if !ok {
+		e.stats.Detections++
+		return false
+	}
+	v.s[0] = sum
+	v.eta[0] = float64(e.n) * checksum.Eps * absSum
+	return true
+}
+
+// mvm computes dst := A·src with full fault instrumentation and the Eq. (2)
+// checksum update. Memory faults strike src persistently before use; cache
+// faults corrupt the value the multiplication consumes but not the stored
+// vector; arithmetic faults strike the output.
+func (e *engine) mvm(iter int, dst, src *tracked) {
+	e.inj.InjectMemory(iter, fault.SiteMVM, src.data)
+	if restore := e.inj.CacheWindow(iter, fault.SiteMVM, src.data); restore != nil {
+		// Model the paper's cache-eviction scenario (§2): the corrupted
+		// cached value is consumed by a subset of rows (here the even
+		// ones), then the line is evicted and the remaining rows reload
+		// the correct value from memory. Only a row subset A_e sees the
+		// error, which is what Lemma 2 case 3 analyses — and it defeats
+		// structural cancellations such as the zero column sums of graph
+		// Laplacians, which would hide an error consumed by every row.
+		e.a.MulVecStride(dst.data, src.data, 0, 2)
+		restore()
+		e.a.MulVecStride(dst.data, src.data, 1, 2)
+	} else {
+		e.a.MulVec(dst.data, src.data)
+	}
+	e.inj.InjectOutput(iter, fault.SiteMVM, dst.data)
+	// The update runs after the operation (and after any fault), reading
+	// src from memory — the ordering Lemma 2's proof analyses.
+	e.encA.UpdateMVMBound(dst.s, dst.eta, src.data, src.s, src.eta)
+	e.stats.ChecksumUpdates++
+	e.eagerCheck(dst)
+}
+
+// pco computes dst := M⁻¹·src stage by stage, carrying checksums through
+// each stage with Eq. (4) (solves) or Eq. (2) (multiplies).
+func (e *engine) pco(iter int, dst, src *tracked) error {
+	e.inj.InjectMemory(iter, fault.SitePCO, src.data)
+	// A cache/register fault makes the whole solve consume a transiently
+	// corrupted input; the stored vector (and its carried checksum) stay
+	// clean, so the output's checksum relationship breaks by −cᵀe/d and
+	// the inconsistency propagates to the verified vectors.
+	restoreCache := e.inj.CacheWindow(iter, fault.SitePCO, src.data)
+	defer func() {
+		if restoreCache != nil {
+			restoreCache()
+		}
+	}()
+	if len(e.stages) == 0 { // identity preconditioner
+		copy(dst.data, src.data)
+		copy(dst.s, src.s)
+		copy(dst.eta, src.eta)
+		e.inj.InjectOutput(iter, fault.SitePCO, dst.data)
+		return nil
+	}
+	in, inS, inEta := src.data, src.s, src.eta
+	for k, st := range e.stages {
+		out, outS, outEta := e.scratch[k%2], e.scratchS[k%2], e.scratchEta[k%2]
+		if err := st.Apply(out, in); err != nil {
+			return fmt.Errorf("core: PCO stage %d: %w", k, err)
+		}
+		switch st.Op {
+		case precond.StageSolve:
+			e.encStg[k].UpdatePCOBound(outS, outEta, out, inS, inEta)
+		case precond.StageMul:
+			e.encStg[k].UpdateMVMBound(outS, outEta, in, inS, inEta)
+		}
+		e.stats.ChecksumUpdates++
+		in, inS, inEta = out, outS, outEta
+	}
+	copy(dst.data, in)
+	copy(dst.s, inS)
+	copy(dst.eta, inEta)
+	e.inj.InjectOutput(iter, fault.SitePCO, dst.data)
+	e.eagerCheck(dst)
+	return nil
+}
+
+// axpy computes y := y + alpha·x with the Eq. (3) checksum update. A cache
+// fault corrupts the value of x the update consumes while memory keeps the
+// clean copy; the checksum update (from x.s) stays clean, so y becomes
+// inconsistent and detectable.
+func (e *engine) axpy(iter int, y *tracked, alpha float64, x *tracked) {
+	e.inj.InjectMemory(iter, fault.SiteVLO, x.data)
+	restore := e.inj.CacheWindow(iter, fault.SiteVLO, x.data)
+	vec.Axpy(y.data, alpha, x.data)
+	if restore != nil {
+		restore()
+	}
+	checksum.UpdateVLOAxpyBound(y.s, y.eta, alpha, x.s, x.eta)
+	e.stats.ChecksumUpdates++
+	e.inj.InjectOutput(iter, fault.SiteVLO, y.data)
+	e.eagerCheck(y)
+}
+
+// xpby computes dst := x + beta·y (dst may alias y) with checksum update.
+func (e *engine) xpby(iter int, dst, x *tracked, beta float64, y *tracked) {
+	vec.Xpby(dst.data, x.data, beta, y.data)
+	checksum.UpdateVLOAxpbyBound(dst.s, dst.eta, 1, x.s, x.eta, beta, y.s, y.eta)
+	e.stats.ChecksumUpdates++
+	e.inj.InjectOutput(iter, fault.SiteVLO, dst.data)
+	e.eagerCheck(dst)
+}
+
+// axpbyInto computes dst := alpha·x + beta·y with checksum update.
+func (e *engine) axpbyInto(iter int, dst *tracked, alpha float64, x *tracked, beta float64, y *tracked) {
+	vec.Axpby(dst.data, alpha, x.data, beta, y.data)
+	checksum.UpdateVLOAxpbyBound(dst.s, dst.eta, alpha, x.s, x.eta, beta, y.s, y.eta)
+	e.stats.ChecksumUpdates++
+	e.inj.InjectOutput(iter, fault.SiteVLO, dst.data)
+	e.eagerCheck(dst)
+}
+
+// eagerCheck verifies an operation's output immediately when eager
+// detection is enabled, latching failures for the solver's rollback logic.
+func (e *engine) eagerCheck(dst *tracked) {
+	if !e.eager || e.flagged {
+		return
+	}
+	if !e.verify(dst) {
+		e.flagged = true
+	}
+}
+
+// takeFlag reports and clears the latched eager-detection flag.
+func (e *engine) takeFlag() bool {
+	f := e.flagged
+	e.flagged = false
+	return f
+}
+
+// scaleInto computes dst := alpha·src with the Eq. (3) scaling update.
+func (e *engine) scaleInto(iter int, dst *tracked, alpha float64, src *tracked) {
+	vec.Scale(dst.data, alpha, src.data)
+	checksum.UpdateVLOScale(dst.s, alpha, src.s)
+	for k := range dst.eta {
+		dst.eta[k] = math.Abs(alpha)*src.eta[k] + 2*checksum.Eps*math.Abs(dst.s[k])
+	}
+	e.stats.ChecksumUpdates++
+	e.inj.InjectOutput(iter, fault.SiteVLO, dst.data)
+	e.eagerCheck(dst)
+}
+
+// copyTracked copies src into dst, data and checksums.
+func copyTracked(dst, src *tracked) {
+	copy(dst.data, src.data)
+	copy(dst.s, src.s)
+	copy(dst.eta, src.eta)
+}
+
+// innerCheck runs the two-level scheme's inner-level protection on an MVM
+// output (Algorithm 2 lines 16–27): the cheap δ1 probe, then — only on
+// inconsistency — the full triple-checksum diagnosis. It returns the
+// diagnosis; single errors are corrected in place (data and the caller's
+// stored checksums already agree after correction).
+//
+// Guard against fake corrections from upstream: an inconsistency that was
+// carried IN by the input vector (e.g. a corrupted preconditioner solve a
+// few operations earlier) produces deltas proportional to c_k(j) — exactly
+// the signature of a single output error at position j — but "correcting"
+// the output would corrupt a healthy element and launder the inconsistency
+// into checksum-consistent garbage. A single-error diagnosis is therefore
+// trusted only if the input vector verifies clean (one extra O(n) check,
+// paid only when an error was already detected); otherwise the event is
+// escalated to MultipleErrors and handled by rollback, which repairs the
+// input too.
+func (e *engine) innerCheck(q, src *tracked) checksum.TripleDiagnosis {
+	if e.encDiag != nil {
+		return e.innerCheckLazy(q, src)
+	}
+	return e.innerCheckEager(q, src)
+}
+
+// innerCheckLazy is the default two-level inner check: the δ1 probe against
+// the carried c1 checksum, then — only on inconsistency — on-demand
+// evaluation of the locating deltas δ2, δ3 straight from the encoded
+// diagnosis rows: exp_k = row_k·p + d·c_kᵀp, which equals c_kᵀA·p exactly,
+// so δ_k = c_kᵀq − c_kᵀA·p is the weighted sum of the output's data error.
+// The input p must itself verify clean for the single-error signature to be
+// trustworthy (same guard as the eager path).
+func (e *engine) innerCheckLazy(q, src *tracked) checksum.TripleDiagnosis {
+	e.stats.Verifications++
+	sum1, abs1 := e.sums(q, 0)
+	d1 := sum1 - q.s[0]
+	if e.tol.ConsistentBound(d1, e.n, abs1, q.eta[0]) {
+		q.s[0] = sum1
+		q.eta[0] = float64(e.n) * checksum.Eps * abs1
+		return checksum.TripleDiagnosis{Kind: checksum.NoError}
+	}
+	e.stats.Detections++
+	// Input purity guard.
+	e.stats.Verifications++
+	srcSum, srcAbs := e.sums(src, 0)
+	if e.tol.InconsistentBound(srcSum-src.s[0], e.n, srcAbs, src.eta[0]) {
+		return checksum.TripleDiagnosis{Kind: checksum.MultipleErrors}
+	}
+	deltas := []float64{d1, 0, 0}
+	absSums := []float64{abs1, 0, 0}
+	for k, w := range e.encDiag.Weights {
+		row := e.encDiag.Rows[k]
+		var exp float64
+		for i, v := range src.data {
+			exp += row[i] * v
+		}
+		var sum, abs float64
+		for i, v := range q.data {
+			t := w.At(i) * v
+			sum += t
+			abs += math.Abs(t)
+		}
+		deltas[k+1] = sum - exp
+		absSums[k+1] = abs
+		e.stats.Verifications += 2
+	}
+	diag := checksum.Diagnose(deltas, e.n, absSums, e.tol)
+	if diag.Kind == checksum.SingleError {
+		checksum.CorrectSingle(q.data, diag)
+		e.stats.Corrections++
+	}
+	return diag
+}
+
+func (e *engine) innerCheckEager(q, src *tracked) checksum.TripleDiagnosis {
+	e.stats.Verifications++
+	sum1, abs1 := e.sums(q, 0)
+	d1 := sum1 - q.s[0]
+	if e.tol.ConsistentBound(d1, e.n, abs1, q.eta[0]) {
+		// Refresh the probed checksum (see verify) so η stays anchored.
+		q.s[0] = sum1
+		q.eta[0] = float64(e.n) * checksum.Eps * abs1
+		return checksum.TripleDiagnosis{Kind: checksum.NoError}
+	}
+	e.stats.Detections++
+	sum2, abs2 := e.sums(q, 1)
+	sum3, abs3 := e.sums(q, 2)
+	e.stats.Verifications += 2
+	diag := checksum.Diagnose(
+		[]float64{d1, sum2 - q.s[1], sum3 - q.s[2]},
+		e.n,
+		[]float64{abs1, abs2, abs3},
+		e.tol,
+	)
+	if diag.Kind == checksum.SingleError {
+		if src != nil {
+			e.stats.Verifications++
+			srcSum, srcAbs := e.sums(src, 0)
+			if e.tol.InconsistentBound(srcSum-src.s[0], e.n, srcAbs, src.eta[0]) {
+				return checksum.TripleDiagnosis{Kind: checksum.MultipleErrors}
+			}
+		}
+		checksum.CorrectSingle(q.data, diag)
+		e.stats.Corrections++
+	}
+	return diag
+}
+
+// injectedCount snapshots how many faults have fired so far.
+func (e *engine) injectedCount() int {
+	if e.inj == nil {
+		return 0
+	}
+	return len(e.inj.Injected)
+}

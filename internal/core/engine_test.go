@@ -1,0 +1,235 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"newsum/internal/checksum"
+	"newsum/internal/precond"
+	"newsum/internal/sparse"
+)
+
+func newTestEngine(t *testing.T, weights []checksum.Weight) (*engine, *Stats) {
+	t.Helper()
+	a := sparse.Laplacian2D(8, 8)
+	m, err := precond.BlockJacobiILU0(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	opts := Options{}
+	opts.normalize()
+	return newEngine(a, m, weights, &opts, &stats), &stats
+}
+
+func fillTracked(v *tracked, f func(i int) float64) {
+	for i := range v.data {
+		v.data[i] = f(i)
+	}
+}
+
+func TestEngineWrapAndRecompute(t *testing.T) {
+	e, _ := newTestEngine(t, checksum.Single)
+	data := make([]float64, e.n)
+	for i := range data {
+		data[i] = float64(i % 5)
+	}
+	v := e.wrap("v", data)
+	sum, _ := e.sums(v, 0)
+	if math.Abs(v.s[0]-sum) > 1e-12 {
+		t.Fatalf("wrap checksum %v vs %v", v.s[0], sum)
+	}
+	if v.eta[0] <= 0 {
+		t.Fatalf("wrap must set a positive round-off bound")
+	}
+	if !e.verify(v) {
+		t.Fatalf("freshly wrapped vector must verify")
+	}
+}
+
+func TestEngineMVMUpdateMatchesDirect(t *testing.T) {
+	e, stats := newTestEngine(t, checksum.Single)
+	src := e.newTracked("src")
+	fillTracked(src, func(i int) float64 { return math.Sin(float64(i)) })
+	e.recompute(src)
+	dst := e.newTracked("dst")
+	e.mvm(0, dst, src)
+	// dst's carried checksum must match the directly computed cᵀ(A·src).
+	sum, absSum := e.sums(dst, 0)
+	if e.tol.InconsistentBound(sum-dst.s[0], e.n, absSum, dst.eta[0]) {
+		t.Fatalf("fault-free MVM left an inconsistency: %v", sum-dst.s[0])
+	}
+	if stats.ChecksumUpdates == 0 {
+		t.Fatalf("update not counted")
+	}
+}
+
+func TestEnginePCOPreservesConsistency(t *testing.T) {
+	e, _ := newTestEngine(t, checksum.Single)
+	src := e.newTracked("src")
+	fillTracked(src, func(i int) float64 { return 1 / float64(i+1) })
+	e.recompute(src)
+	dst := e.newTracked("dst")
+	if err := e.pco(0, dst, src); err != nil {
+		t.Fatal(err)
+	}
+	if !e.verify(dst) {
+		t.Fatalf("fault-free PCO output inconsistent")
+	}
+}
+
+func TestEngineVLOChain(t *testing.T) {
+	e, _ := newTestEngine(t, checksum.Single)
+	x := e.newTracked("x")
+	y := e.newTracked("y")
+	z := e.newTracked("z")
+	fillTracked(x, func(i int) float64 { return float64(i % 3) })
+	fillTracked(y, func(i int) float64 { return float64(i % 7) })
+	e.recompute(x)
+	e.recompute(y)
+	e.axpy(0, y, 2.5, x)
+	e.xpby(0, z, x, -0.5, y)
+	e.axpbyInto(0, z, 1.5, z, 0.25, x)
+	e.scaleInto(0, z, 3, z)
+	for _, v := range []*tracked{x, y, z} {
+		if !e.verify(v) {
+			t.Fatalf("%s inconsistent after VLO chain", v.name)
+		}
+	}
+}
+
+func TestEngineVerifyRefreshResetsEta(t *testing.T) {
+	e, _ := newTestEngine(t, checksum.Single)
+	v := e.newTracked("v")
+	fillTracked(v, func(i int) float64 { return float64(i) })
+	e.recompute(v)
+	v.eta[0] = 1e10 // simulate accumulated bound growth
+	if !e.verify(v) {
+		t.Fatalf("consistent vector failed verification")
+	}
+	if v.eta[0] >= 1e10 {
+		t.Fatalf("verify must refresh the round-off bound, still %v", v.eta[0])
+	}
+}
+
+func TestEngineVerifyDetectsCorruption(t *testing.T) {
+	e, stats := newTestEngine(t, checksum.Single)
+	v := e.newTracked("v")
+	fillTracked(v, func(i int) float64 { return float64(i) })
+	e.recompute(v)
+	v.data[5] += 1e3
+	if e.verify(v) {
+		t.Fatalf("corruption passed verification")
+	}
+	if stats.Detections == 0 {
+		t.Fatalf("detection not counted")
+	}
+}
+
+func TestInnerCheckLazyMatchesEagerOnSingleError(t *testing.T) {
+	for _, eager := range []bool{false, true} {
+		weights := checksum.Single
+		if eager {
+			weights = checksum.Triple
+		}
+		e, _ := newTestEngine(t, weights)
+		if !eager {
+			e.initLazyDiag()
+		}
+		src := e.newTracked("src")
+		fillTracked(src, func(i int) float64 { return math.Cos(float64(i)) })
+		e.recompute(src)
+		q := e.newTracked("q")
+		e.mvm(0, q, src)
+		const pos, mag = 17, 512.0
+		q.data[pos] += mag
+		diag := e.innerCheck(q, src)
+		if diag.Kind != checksum.SingleError {
+			t.Fatalf("eager=%v: diagnosis %v", eager, diag.Kind)
+		}
+		if diag.Pos != pos {
+			t.Fatalf("eager=%v: located %d, want %d", eager, diag.Pos, pos)
+		}
+		// CorrectSingle already applied inside innerCheck: q is clean.
+		if !e.verify(q) {
+			t.Fatalf("eager=%v: correction did not restore consistency", eager)
+		}
+	}
+}
+
+func TestInnerCheckEscalatesOnDirtyInput(t *testing.T) {
+	for _, eager := range []bool{false, true} {
+		weights := checksum.Single
+		if eager {
+			weights = checksum.Triple
+		}
+		e, _ := newTestEngine(t, weights)
+		if !eager {
+			e.initLazyDiag()
+		}
+		src := e.newTracked("src")
+		fillTracked(src, func(i int) float64 { return 1 })
+		e.recompute(src)
+		src.data[9] += 777 // corrupt AFTER the checksum capture: dirty input
+		q := e.newTracked("q")
+		e.mvm(0, q, src)
+		diag := e.innerCheck(q, src)
+		if diag.Kind != checksum.MultipleErrors {
+			t.Fatalf("eager=%v: dirty input diagnosed as %v (fake-correction hazard)", eager, diag.Kind)
+		}
+	}
+}
+
+func TestInnerCheckMultipleOutputErrors(t *testing.T) {
+	e, _ := newTestEngine(t, checksum.Single)
+	e.initLazyDiag()
+	src := e.newTracked("src")
+	fillTracked(src, func(i int) float64 { return float64(i%4) + 1 })
+	e.recompute(src)
+	q := e.newTracked("q")
+	e.mvm(0, q, src)
+	q.data[3] += 100
+	q.data[40] -= 55
+	if diag := e.innerCheck(q, src); diag.Kind != checksum.MultipleErrors {
+		t.Fatalf("two output errors diagnosed as %v", diag.Kind)
+	}
+}
+
+func TestEngineLemmaDOption(t *testing.T) {
+	a := sparse.Laplacian2D(8, 8)
+	m, err := precond.BlockJacobiILU0(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	opts := Options{UseLemmaD: true}
+	opts.normalize()
+	e := newEngine(a, m, checksum.Single, &opts, &stats)
+	if e.encA.D <= 64 {
+		t.Fatalf("LemmaD should exceed the practical cap: %v", e.encA.D)
+	}
+	// Even with the huge d, a fault-free chain stays verifiable thanks to
+	// the η bounds.
+	src := e.newTracked("src")
+	fillTracked(src, func(i int) float64 { return math.Sin(float64(i)) })
+	e.recompute(src)
+	dst := e.newTracked("dst")
+	for k := 0; k < 20; k++ {
+		e.mvm(0, dst, src)
+		e.axpy(0, src, 0.01, dst)
+		if !e.verify(src) {
+			t.Fatalf("η bounds failed under LemmaD at step %d", k)
+		}
+	}
+}
+
+func TestEngineDScalarOverride(t *testing.T) {
+	a := sparse.Laplacian2D(4, 4)
+	var stats Stats
+	opts := Options{DScalar: 8}
+	opts.normalize()
+	e := newEngine(a, nil, checksum.Single, &opts, &stats)
+	if e.encA.D != 8 {
+		t.Fatalf("DScalar override ignored: %v", e.encA.D)
+	}
+}

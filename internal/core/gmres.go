@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"newsum/internal/checksum"
+	"newsum/internal/precond"
+	"newsum/internal/sparse"
+	"newsum/internal/vec"
+)
+
+// BasicGMRES solves A·x = b with restarted, right-preconditioned GMRES(m)
+// under basic online ABFT protection — the paper's §5.3 recipe applied to a
+// "variation of GMRES" from its §1 applicability list.
+//
+// Every Arnoldi step is one PCO (ẑ = M⁻¹vₖ), one MVM (w = A·ẑ) and a
+// Gram-Schmidt sequence of VLOs, all carrying checksums. Detection verifies
+// the freshly orthogonalized basis vector every DetectInterval steps; the
+// Krylov cycle structure supplies natural checkpoints — the solution x
+// changes only at restarts, so recovery from any error inside a cycle is
+// simply discarding the cycle and restarting from the verified x (the
+// checkpointed state is {x} alone).
+func BasicGMRES(a *sparse.CSR, m precond.Preconditioner, b []float64, restart int, opts Options) (Result, error) {
+	var res Result
+	if err := validateSystem(a, b); err != nil {
+		return res, err
+	}
+	opts.normalize()
+	n := a.Rows
+	if restart < 1 {
+		restart = 30
+	}
+	if restart > n {
+		restart = n
+	}
+	e := newEngine(a, m, checksum.Single, &opts, &res.Stats)
+
+	x := e.newTracked("x")
+	if opts.X0 != nil {
+		copy(x.data, opts.X0)
+		e.recompute(x)
+	}
+	bT := e.wrap("b", b)
+
+	normB := vec.Norm2(b)
+	if normB == 0 {
+		normB = 1
+	}
+	tolRes := opts.Tol
+	if tolRes <= 0 {
+		tolRes = 1e-8
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+
+	// Arnoldi storage: tracked basis vectors so checksums ride along.
+	v := make([]*tracked, restart+1)
+	for i := range v {
+		v[i] = e.newTracked(fmt.Sprintf("v%d", i))
+	}
+	h := make([][]float64, restart+1)
+	for i := range h {
+		h[i] = make([]float64, restart)
+	}
+	cs := make([]float64, restart)
+	sn := make([]float64, restart)
+	g := make([]float64, restart+1)
+	w := e.newTracked("w")
+	zhat := e.newTracked("zhat")
+	xSave := e.newTracked("xsave")
+
+	res.X = x.data
+	var relres float64
+	total := 0
+	d := opts.DetectInterval
+
+	for total < maxIter {
+		// Cycle start: x is the only live state. Verify it (it was either
+		// freshly verified last cycle or is the initial guess), snapshot
+		// it, and build the residual.
+		if !e.verify(x) {
+			// x corrupted between cycles (e.g. a memory fault): restore
+			// the previous snapshot.
+			res.Stats.Rollbacks++
+			if res.Stats.Rollbacks > opts.MaxRollbacks {
+				res.Residual = relres
+				res.Stats.InjectedErrors = e.injectedCount()
+				return res, rollbackStormErr("GMRES", Basic)
+			}
+			copyTracked(x, xSave)
+		}
+		copyTracked(xSave, x)
+		res.Stats.Checkpoints++
+
+		a.MulVec(w.data, x.data)
+		vec.Sub(w.data, bT.data, w.data)
+		e.recompute(w)
+		beta := vec.Norm2(w.data)
+		relres = beta / normB
+		if relres <= tolRes {
+			res.Converged = true
+			break
+		}
+		e.scaleInto(total, v[0], 1/beta, w)
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = beta
+
+		k := 0
+		cycleBad := false
+		for ; k < restart && total < maxIter; k++ {
+			total++
+			if err := e.pco(total-1, zhat, v[k]); err != nil {
+				return res, err
+			}
+			e.mvm(total-1, w, zhat)
+			// Modified Gram–Schmidt: dots are unprotected scalars (§3),
+			// the axpys carry checksums.
+			for i := 0; i <= k; i++ {
+				h[i][k] = vec.Dot(w.data, v[i].data)
+				e.axpy(total-1, w, -h[i][k], v[i])
+			}
+			h[k+1][k] = vec.Norm2(w.data)
+			if h[k+1][k] > 0 {
+				e.scaleInto(total-1, v[k+1], 1/h[k+1][k], w)
+			}
+
+			// Lazy detection on the newly produced basis vector: any error
+			// in the PCO, MVM or orthogonalization VLOs of the last d
+			// steps has propagated into it.
+			if total%d == 0 || h[k+1][k] == 0 {
+				if !e.verify(v[k+1]) {
+					cycleBad = true
+					k++
+					break
+				}
+			}
+
+			for i := 0; i < k; i++ {
+				t := cs[i]*h[i][k] + sn[i]*h[i+1][k]
+				h[i+1][k] = -sn[i]*h[i][k] + cs[i]*h[i+1][k]
+				h[i][k] = t
+			}
+			denom := math.Hypot(h[k][k], h[k+1][k])
+			if denom == 0 {
+				res.Residual = relres
+				return res, breakdownErr("GMRES", Basic, total, "Hessenberg breakdown")
+			}
+			cs[k] = h[k][k] / denom
+			sn[k] = h[k+1][k] / denom
+			h[k][k] = denom
+			h[k+1][k] = 0
+			g[k+1] = -sn[k] * g[k]
+			g[k] *= cs[k]
+
+			res.Iterations = total
+			relres = math.Abs(g[k+1]) / normB
+			if opts.RecordResiduals {
+				res.History = append(res.History, relres)
+			}
+			if relres <= tolRes {
+				k++
+				break
+			}
+		}
+
+		if cycleBad {
+			// Recovery: discard the Krylov cycle, restore the snapshot and
+			// restart. No other state survives a cycle boundary.
+			res.Stats.Rollbacks++
+			res.Stats.WastedIterations += k
+			if res.Stats.Rollbacks > opts.MaxRollbacks {
+				res.Residual = relres
+				res.Stats.InjectedErrors = e.injectedCount()
+				return res, rollbackStormErr("GMRES", Basic)
+			}
+			copyTracked(x, xSave)
+			continue
+		}
+
+		// x += M⁻¹·(V·y): triangular solve for y, then tracked updates.
+		y := make([]float64, k)
+		for i := k - 1; i >= 0; i-- {
+			s := g[i]
+			for j := i + 1; j < k; j++ {
+				s -= h[i][j] * y[j]
+			}
+			y[i] = s / h[i][i]
+		}
+		vec.Zero(w.data)
+		e.recompute(w)
+		for j := 0; j < k; j++ {
+			e.axpy(total-1, w, y[j], v[j])
+		}
+		if err := e.pco(total-1, zhat, w); err != nil {
+			return res, err
+		}
+		e.axpy(total-1, x, 1, zhat)
+
+		// Verify the updated solution; a corrupted update discards the
+		// cycle like any other error.
+		if !e.verify(x) {
+			res.Stats.Rollbacks++
+			res.Stats.WastedIterations += k
+			if res.Stats.Rollbacks > opts.MaxRollbacks {
+				res.Residual = relres
+				res.Stats.InjectedErrors = e.injectedCount()
+				return res, rollbackStormErr("GMRES", Basic)
+			}
+			copyTracked(x, xSave)
+			continue
+		}
+
+		if relres <= tolRes {
+			// Confirm with the true residual (restart drift).
+			a.MulVec(w.data, x.data)
+			vec.Sub(w.data, bT.data, w.data)
+			relres = vec.Norm2(w.data) / normB
+			if relres <= tolRes*10 {
+				res.Converged = true
+				break
+			}
+		}
+	}
+
+	res.Residual = relres
+	res.Stats.InjectedErrors = e.injectedCount()
+	if !res.Converged {
+		return notConverged("ABFT GMRES", res, relres)
+	}
+	return res, nil
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"newsum/internal/fault"
+	"newsum/internal/precond"
+	"newsum/internal/sparse"
+	"newsum/internal/vec"
+)
+
+// UnprotectedPBiCGSTAB runs plain preconditioned BiCGSTAB with fault
+// injection but no detection or recovery — the control arm and the
+// substrate of OfflineResidualPBiCGSTAB.
+func UnprotectedPBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options) (Result, error) {
+	var res Result
+	if err := validateSystem(a, b); err != nil {
+		return res, err
+	}
+	opts.normalize()
+	inj := opts.Injector
+	n := a.Rows
+
+	x, err := cloneStart(n, opts.X0)
+	if err != nil {
+		return res, err
+	}
+	r := make([]float64, n)
+	p := make([]float64, n)
+	v := make([]float64, n)
+	s := make([]float64, n)
+	t := make([]float64, n)
+	phat := make([]float64, n)
+	shat := make([]float64, n)
+
+	a.MulVec(r, x)
+	vec.Sub(r, b, r)
+	rhat := vec.Clone(r)
+	normB := vec.Norm2(b)
+	if normB == 0 {
+		normB = 1
+	}
+	tolRes := opts.Tol
+	if tolRes <= 0 {
+		tolRes = 1e-8
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+
+	res.X = x
+	relres := vec.Norm2(r) / normB
+	if relres <= tolRes {
+		res.Converged = true
+		res.Residual = relres
+		return res, nil
+	}
+	rawMVM := func(iter int, dst, src []float64) {
+		inj.InjectMemory(iter, fault.SiteMVM, src)
+		if restore := inj.CacheWindow(iter, fault.SiteMVM, src); restore != nil {
+			a.MulVecStride(dst, src, 0, 2)
+			restore()
+			a.MulVecStride(dst, src, 1, 2)
+		} else {
+			a.MulVec(dst, src)
+		}
+		inj.InjectOutput(iter, fault.SiteMVM, dst)
+	}
+
+	rhoPrev, alpha, omega := 1.0, 1.0, 1.0
+	for i := 0; i < maxIter; i++ {
+		rho := vec.Dot(rhat, r)
+		if rho == 0 {
+			res.Residual = relres
+			return res, breakdownErr("PBiCGSTAB", Unprotected, i, "ρ = 0")
+		}
+		if i == 0 {
+			copy(p, r)
+		} else {
+			beta := (rho / rhoPrev) * (alpha / omega)
+			vec.Axpy(p, -omega, v)
+			inj.InjectOutput(i, fault.SiteVLO, p)
+			vec.Xpby(p, r, beta, p)
+		}
+		if err := applyCleanInj(m, inj, i, phat, p); err != nil {
+			return res, err
+		}
+		rawMVM(i, v, phat)
+		rhatV := vec.Dot(rhat, v)
+		if rhatV == 0 {
+			res.Residual = relres
+			return res, breakdownErr("PBiCGSTAB", Unprotected, i, "r̂ᵀv = 0")
+		}
+		alpha = rho / rhatV
+		vec.Axpby(s, 1, r, -alpha, v)
+		inj.InjectOutput(i, fault.SiteVLO, s)
+		res.Iterations = i + 1
+		if rel := vec.Norm2(s) / normB; rel <= tolRes {
+			vec.Axpy(x, alpha, phat)
+			relres = rel
+			if opts.RecordResiduals {
+				res.History = append(res.History, relres)
+			}
+			res.Converged = true
+			break
+		}
+		if err := applyCleanInj(m, inj, i, shat, s); err != nil {
+			return res, err
+		}
+		rawMVM(i, t, shat)
+		tt := vec.Dot(t, t)
+		if tt == 0 {
+			res.Residual = relres
+			return res, breakdownErr("PBiCGSTAB", Unprotected, i, "tᵀt = 0")
+		}
+		omega = vec.Dot(t, s) / tt
+		if omega == 0 {
+			res.Residual = relres
+			return res, breakdownErr("PBiCGSTAB", Unprotected, i, "ω = 0")
+		}
+		vec.Axpy(x, alpha, phat)
+		vec.Axpy(x, omega, shat)
+		vec.Axpby(r, 1, s, -omega, t)
+		inj.InjectOutput(i, fault.SiteVLO, r)
+		relres = vec.Norm2(r) / normB
+		if opts.RecordResiduals {
+			res.History = append(res.History, relres)
+		}
+		if relres <= tolRes {
+			res.Converged = true
+			break
+		}
+		rhoPrev = rho
+	}
+	res.Residual = relres
+	res.Stats.InjectedErrors = injCount(inj)
+	if !res.Converged {
+		return notConverged("unprotected PBiCGSTAB", res, relres)
+	}
+	return res, nil
+}
+
+// OfflineResidualPBiCGSTAB is the offline-residual scheme applied to
+// PBiCGSTAB: verify the true residual at the end, recompute from scratch on
+// failure.
+func OfflineResidualPBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options) (Result, error) {
+	opts.normalize()
+	tolRes := opts.Tol
+	if tolRes <= 0 {
+		tolRes = 1e-8
+	}
+	res, err := UnprotectedPBiCGSTAB(a, m, b, opts)
+	res.Stats.Verifications++
+	res.Stats.RecoveryMVMs++
+	if err == nil && TrueResidual(a, b, res.X) <= 10*tolRes {
+		return res, nil
+	}
+	res.Stats.Detections++
+	first := res.Stats
+	wasted := res.Iterations
+	res2, err2 := UnprotectedPBiCGSTAB(a, m, b, opts)
+	res2.Stats.Verifications += first.Verifications + 1
+	res2.Stats.Detections += first.Detections
+	res2.Stats.RecoveryMVMs += first.RecoveryMVMs + 1
+	res2.Stats.WastedIterations = wasted
+	res2.Stats.InjectedErrors = injCount(opts.Injector)
+	if err2 == nil && TrueResidual(a, b, res2.X) > 10*tolRes {
+		return notConverged("offline-residual PBiCGSTAB (rerun still corrupted)", res2, res2.Residual)
+	}
+	return res2, err2
+}

@@ -1,0 +1,424 @@
+package core
+
+import (
+	"math"
+
+	"newsum/internal/checksum"
+	"newsum/internal/fault"
+	"newsum/internal/precond"
+	"newsum/internal/sparse"
+	"newsum/internal/vec"
+)
+
+// omv bundles the state of the online-MV baseline (§2, §6.2): the
+// Sloan-style scheme built on the traditional Huang–Abraham checksum. Every
+// MVM is verified against the encoded (cᵀA)·x and repaired by binary-search
+// localization plus partial recomputation; VLOs and PCOs — which the
+// traditional encoding cannot cover — are protected by duplicated execution
+// with majority-vote repair (the TMR stand-in of §6.2). The scheme has no
+// checkpoints and, critically, cannot detect corruption of an MVM's input
+// vector: memory and cache errors in x slip through (Table 3).
+type omv struct {
+	n     int
+	a     *sparse.CSR
+	m     precond.Preconditioner
+	tA    *checksum.Traditional
+	tol   checksum.Tol
+	inj   *fault.Injector
+	stats *Stats
+
+	expected []float64
+	dup1     []float64
+	dup2     []float64
+}
+
+func newOMV(a *sparse.CSR, m precond.Preconditioner, opts *Options, stats *Stats) *omv {
+	return &omv{
+		n:        a.Rows,
+		a:        a,
+		m:        m,
+		tA:       checksum.EncodeTraditional(a, checksum.Single),
+		tol:      checksum.Tol{Theta: opts.Theta},
+		inj:      opts.Injector,
+		stats:    stats,
+		expected: make([]float64, 1),
+		dup1:     make([]float64, a.Rows),
+		dup2:     make([]float64, a.Rows),
+	}
+}
+
+// voteMemory models the baseline's TMR-replicated vector storage: a memory
+// bit flip lands in one replica and is outvoted when the vector is next
+// consumed, so it is detected and corrected (Table 3 grants online MV
+// memory-flip coverage) at the cost of replica comparison. Cache/register
+// corruption inside the MVM window is NOT routed through here — that is the
+// coverage hole of the traditional encoding.
+func (o *omv) voteMemory(iter int, site fault.Site, v []float64) {
+	if o.inj == nil {
+		return
+	}
+	copy(o.dup2, v)
+	before := len(o.inj.Injected)
+	o.inj.InjectMemory(iter, site, v)
+	if len(o.inj.Injected) > before {
+		copy(v, o.dup2)
+		o.stats.Detections++
+		o.stats.Corrections++
+	}
+	o.stats.Verifications++
+}
+
+// mvm computes q := A·p with traditional-checksum verification. The encoded
+// checksum (cᵀA)·p is computed inside the cache-fault window, exactly the
+// insidious case of §2: if a cached value of p is corrupted, both the
+// product and the checksum consume it, the relationship verifies, and the
+// error escapes.
+func (o *omv) mvm(iter int, q, p []float64) {
+	o.voteMemory(iter, fault.SiteMVM, p)
+	restore := o.inj.CacheWindow(iter, fault.SiteMVM, p)
+	o.a.MulVec(q, p)
+	o.tA.ExpectedMVM(o.expected, p)
+	if restore != nil {
+		restore()
+	}
+	o.inj.InjectOutput(iter, fault.SiteMVM, q)
+
+	o.stats.ChecksumUpdates++ // the (cᵀA)·p dot
+	o.stats.Verifications++
+	sum, absSum := sumAbs(q)
+	if o.tol.ConsistentAbs(sum-o.expected[0], o.n, absSum) {
+		return
+	}
+	o.stats.Detections++
+	o.locateRepair(q, p, 0, o.n)
+}
+
+func sumAbs(v []float64) (sum, absSum float64) {
+	for _, x := range v {
+		sum += x
+		absSum += math.Abs(x)
+	}
+	return sum, absSum
+}
+
+// locateRepair is Sloan's binary-search localization: recompute the segment
+// checksum of [lo, hi) from A and p, recurse into inconsistent halves, and
+// recompute the offending rows when segments narrow to single elements.
+func (o *omv) locateRepair(q, p []float64, lo, hi int) {
+	if hi <= lo {
+		return
+	}
+	segExp := checksum.SegmentChecksum(o.a, checksum.Ones, p, lo, hi)
+	o.stats.PartialRecomputeNNZ += o.a.RowPtr[hi] - o.a.RowPtr[lo]
+	var segSum, segAbs float64
+	for i := lo; i < hi; i++ {
+		segSum += q[i]
+		segAbs += math.Abs(q[i])
+	}
+	if o.tol.ConsistentAbs(segSum-segExp, hi-lo, segAbs) {
+		return
+	}
+	if hi-lo == 1 {
+		// Recompute the single inconsistent element from its row.
+		cols, vals := o.a.RowView(lo)
+		var s float64
+		for k, j := range cols {
+			s += vals[k] * p[j]
+		}
+		q[lo] = s
+		o.stats.Corrections++
+		return
+	}
+	mid := lo + (hi-lo)/2
+	o.locateRepair(q, p, lo, mid)
+	o.locateRepair(q, p, mid, hi)
+}
+
+// dupCompare runs op twice (into dst and o.dup1), injects faults into the
+// first execution, and majority-votes with a third execution on mismatch —
+// the duplicated-execution protection the baseline needs for operations the
+// traditional checksum cannot encode.
+func (o *omv) dupCompare(iter int, site fault.Site, dst []float64, op func(out []float64)) {
+	op(dst)
+	o.inj.InjectOutput(iter, site, dst)
+	op(o.dup1)
+	o.stats.Verifications++
+	if vec.Equal(dst, o.dup1, 0) {
+		return
+	}
+	o.stats.Detections++
+	op(o.dup2)
+	// Majority vote element-wise between the three copies.
+	for i := range dst {
+		if dst[i] != o.dup1[i] {
+			if o.dup1[i] == o.dup2[i] {
+				dst[i] = o.dup1[i]
+			}
+			// else dst stays (dst == dup2 or all differ; keep first).
+		}
+	}
+	o.stats.Corrections++
+}
+
+// pco computes z := M⁻¹·r with duplicated execution. Memory faults on r
+// strike before both executions and therefore escape.
+func (o *omv) pco(iter int, z, r []float64) error {
+	o.voteMemory(iter, fault.SitePCO, r)
+	// A cached corrupted input feeds both duplicated executions — they
+	// agree, so the error escapes (the coverage hole in Table 3's
+	// cache/register row for this baseline).
+	restore := o.inj.CacheWindow(iter, fault.SitePCO, r)
+	var applyErr error
+	o.dupCompare(iter, fault.SitePCO, z, func(out []float64) {
+		if err := applyClean(o.m, out, r); err != nil && applyErr == nil {
+			applyErr = err
+		}
+	})
+	if restore != nil {
+		restore()
+	}
+	return applyErr
+}
+
+// axpy computes y := y + alpha·x with duplicated execution.
+func (o *omv) axpy(iter int, y []float64, alpha float64, x []float64) {
+	o.voteMemory(iter, fault.SiteVLO, x)
+	y0 := vec.Clone(y)
+	o.dupCompare(iter, fault.SiteVLO, y, func(out []float64) {
+		vec.Axpby(out, 1, y0, alpha, x)
+	})
+}
+
+// xpby computes dst := x + beta·y with duplicated execution; dst may alias y.
+func (o *omv) xpby(iter int, dst, x []float64, beta float64, y []float64) {
+	y0 := y
+	if &dst[0] == &y[0] {
+		y0 = vec.Clone(y)
+	}
+	o.dupCompare(iter, fault.SiteVLO, dst, func(out []float64) {
+		vec.Xpby(out, x, beta, y0)
+	})
+}
+
+// axpbyInto computes dst := alpha·x + beta·y with duplicated execution.
+func (o *omv) axpbyInto(iter int, dst []float64, alpha float64, x []float64, beta float64, y []float64) {
+	o.dupCompare(iter, fault.SiteVLO, dst, func(out []float64) {
+		vec.Axpby(out, alpha, x, beta, y)
+	})
+}
+
+// OnlineMVPCG solves A·x = b with PCG protected by the online-MV baseline.
+func OnlineMVPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options) (Result, error) {
+	var res Result
+	if err := validateSystem(a, b); err != nil {
+		return res, err
+	}
+	opts.normalize()
+	o := newOMV(a, m, &opts, &res.Stats)
+	n := o.n
+
+	x, err := cloneStart(n, opts.X0)
+	if err != nil {
+		return res, err
+	}
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	q := make([]float64, n)
+
+	a.MulVec(r, x)
+	vec.Sub(r, b, r)
+	normB := vec.Norm2(b)
+	if normB == 0 {
+		normB = 1
+	}
+	tolRes := opts.Tol
+	if tolRes <= 0 {
+		tolRes = 1e-8
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+
+	res.X = x
+	relres := vec.Norm2(r) / normB
+	if relres <= tolRes {
+		res.Converged = true
+		res.Residual = relres
+		return res, nil
+	}
+	if err := o.pco(-1, z, r); err != nil {
+		return res, err
+	}
+	copy(p, z)
+	rho := vec.Dot(r, z)
+
+	for i := 0; i < maxIter; i++ {
+		o.mvm(i, q, p)
+		pq := vec.Dot(p, q)
+		if pq == 0 {
+			res.Residual = relres
+			return res, breakdownErr("PCG", OnlineMV, i, "pᵀAp = 0")
+		}
+		alpha := rho / pq
+		o.axpy(i, x, alpha, p)
+		o.axpy(i, r, -alpha, q)
+		res.Iterations = i + 1
+		relres = vec.Norm2(r) / normB
+		if opts.RecordResiduals {
+			res.History = append(res.History, relres)
+		}
+		if relres <= tolRes {
+			res.Converged = true
+			break
+		}
+		if err := o.pco(i, z, r); err != nil {
+			return res, err
+		}
+		rhoNew := vec.Dot(r, z)
+		beta := rhoNew / rho
+		o.xpby(i, p, z, beta, p)
+		rho = rhoNew
+	}
+	res.Residual = relres
+	res.Stats.InjectedErrors = injCount(opts.Injector)
+	if !res.Converged {
+		return notConverged("online-MV PCG", res, relres)
+	}
+	return res, nil
+}
+
+// OnlineMVPBiCGSTAB solves A·x = b with PBiCGSTAB protected by the
+// online-MV baseline.
+func OnlineMVPBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options) (Result, error) {
+	var res Result
+	if err := validateSystem(a, b); err != nil {
+		return res, err
+	}
+	opts.normalize()
+	o := newOMV(a, m, &opts, &res.Stats)
+	n := o.n
+
+	x, err := cloneStart(n, opts.X0)
+	if err != nil {
+		return res, err
+	}
+	r := make([]float64, n)
+	p := make([]float64, n)
+	v := make([]float64, n)
+	s := make([]float64, n)
+	t := make([]float64, n)
+	phat := make([]float64, n)
+	shat := make([]float64, n)
+
+	a.MulVec(r, x)
+	vec.Sub(r, b, r)
+	rhat := vec.Clone(r)
+	normB := vec.Norm2(b)
+	if normB == 0 {
+		normB = 1
+	}
+	tolRes := opts.Tol
+	if tolRes <= 0 {
+		tolRes = 1e-8
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+
+	res.X = x
+	relres := vec.Norm2(r) / normB
+	if relres <= tolRes {
+		res.Converged = true
+		res.Residual = relres
+		return res, nil
+	}
+	rhoPrev, alpha, omega := 1.0, 1.0, 1.0
+	for i := 0; i < maxIter; i++ {
+		rho := vec.Dot(rhat, r)
+		if rho == 0 {
+			res.Residual = relres
+			return res, breakdownErr("PBiCGSTAB", OnlineMV, i, "ρ = 0")
+		}
+		if i == 0 {
+			copy(p, r)
+		} else {
+			beta := (rho / rhoPrev) * (alpha / omega)
+			o.axpy(i, p, -omega, v)
+			o.xpby(i, p, r, beta, p)
+		}
+		if err := o.pco(i, phat, p); err != nil {
+			return res, err
+		}
+		o.mvm(i, v, phat)
+		rhatV := vec.Dot(rhat, v)
+		if rhatV == 0 {
+			res.Residual = relres
+			return res, breakdownErr("PBiCGSTAB", OnlineMV, i, "r̂ᵀv = 0")
+		}
+		alpha = rho / rhatV
+		o.axpbyInto(i, s, 1, r, -alpha, v)
+		res.Iterations = i + 1
+		if rel := vec.Norm2(s) / normB; rel <= tolRes {
+			o.axpy(i, x, alpha, phat)
+			relres = rel
+			if opts.RecordResiduals {
+				res.History = append(res.History, relres)
+			}
+			res.Converged = true
+			break
+		}
+		if err := o.pco(i, shat, s); err != nil {
+			return res, err
+		}
+		o.mvm(i, t, shat)
+		tt := vec.Dot(t, t)
+		if tt == 0 {
+			res.Residual = relres
+			return res, breakdownErr("PBiCGSTAB", OnlineMV, i, "tᵀt = 0")
+		}
+		omega = vec.Dot(t, s) / tt
+		if omega == 0 {
+			res.Residual = relres
+			return res, breakdownErr("PBiCGSTAB", OnlineMV, i, "ω = 0")
+		}
+		o.axpy(i, x, alpha, phat)
+		o.axpy(i, x, omega, shat)
+		o.axpbyInto(i, r, 1, s, -omega, t)
+		relres = vec.Norm2(r) / normB
+		if opts.RecordResiduals {
+			res.History = append(res.History, relres)
+		}
+		if relres <= tolRes {
+			res.Converged = true
+			break
+		}
+		rhoPrev = rho
+	}
+	res.Residual = relres
+	res.Stats.InjectedErrors = injCount(opts.Injector)
+	if !res.Converged {
+		return notConverged("online-MV PBiCGSTAB", res, relres)
+	}
+	return res, nil
+}
+
+func cloneStart(n int, x0 []float64) ([]float64, error) {
+	x := make([]float64, n)
+	if x0 != nil {
+		if len(x0) != n {
+			return nil, breakdownErr("solve", Unprotected, 0, "initial guess length mismatch")
+		}
+		copy(x, x0)
+	}
+	return x, nil
+}
+
+func injCount(inj *fault.Injector) int {
+	if inj == nil {
+		return 0
+	}
+	return len(inj.Injected)
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"newsum/internal/checkpoint"
+	"newsum/internal/fault"
+	"newsum/internal/precond"
+	"newsum/internal/sparse"
+	"newsum/internal/vec"
+)
+
+// OrthoPCG solves the SPD system A·x = b with PCG protected by the
+// Chen-style online-orthogonality baseline (§2, [6]): every DetectInterval
+// iterations it checks the residual relationship r = b − A·x (one full MVM
+// plus vector comparison) and rolls back to a checkpoint when the
+// relationship is broken.
+//
+// The scheme's limitations, reproduced faithfully:
+//   - detection costs a full MVM, so checking must be infrequent, raising
+//     rollback losses;
+//   - it applies only to solvers whose vectors satisfy such relationships —
+//     there is no OrthoJacobi or OrthoChebyshev, and BiCGSTAB's lack of
+//     orthogonality structure is why §6.3 exercises it;
+//   - errors that do not propagate into the checked vectors escape.
+func OrthoPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options) (Result, error) {
+	var res Result
+	if err := validateSystem(a, b); err != nil {
+		return res, err
+	}
+	opts.normalize()
+	inj := opts.Injector
+	n := a.Rows
+
+	x, err := cloneStart(n, opts.X0)
+	if err != nil {
+		return res, err
+	}
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	q := make([]float64, n)
+	trueR := make([]float64, n)
+
+	a.MulVec(r, x)
+	vec.Sub(r, b, r)
+	normB := vec.Norm2(b)
+	if normB == 0 {
+		normB = 1
+	}
+	tolRes := opts.Tol
+	if tolRes <= 0 {
+		tolRes = 1e-8
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+	// The residual-relationship tolerance: the gap ‖(b−Ax) − r‖/‖b‖ grows
+	// only with round-off for a healthy run, while an injected error makes
+	// it jump by orders of magnitude.
+	const residGapTol = 1e-8
+
+	res.X = x
+	relres := vec.Norm2(r) / normB
+	if relres <= tolRes {
+		res.Converged = true
+		res.Residual = relres
+		return res, nil
+	}
+	if err := applyCleanInj(m, inj, -1, z, r); err != nil {
+		return res, err
+	}
+	copy(p, z)
+	rho := vec.Dot(r, z)
+
+	var store checkpoint.Store
+	d, cd := opts.DetectInterval, opts.CheckpointInterval
+
+	save := func(iter int) {
+		store.Save(iter,
+			map[string][]float64{"x": x, "p": p, "r": r},
+			map[string]float64{"rho": rho}, nil)
+		res.Stats.Checkpoints++
+	}
+	rollback := func(iter int) (int, bool) {
+		res.Stats.Rollbacks++
+		if res.Stats.Rollbacks > opts.MaxRollbacks {
+			return iter, false
+		}
+		scal := map[string]float64{}
+		snapIter, err := store.Restore(
+			map[string][]float64{"x": x, "p": p, "r": r}, scal, nil)
+		if err != nil {
+			return iter, false
+		}
+		rho = scal["rho"]
+		res.Stats.WastedIterations += iter - snapIter
+		return snapIter, true
+	}
+
+	i := 0
+	for i < maxIter {
+		if i > 0 && i%d == 0 {
+			// Residual-relationship check: one full MVM.
+			a.MulVec(trueR, x)
+			vec.Sub(trueR, b, trueR)
+			vec.Sub(trueR, trueR, r)
+			res.Stats.Verifications++
+			res.Stats.RecoveryMVMs++
+			if vec.Norm2(trueR)/normB > residGapTol {
+				res.Stats.Detections++
+				var ok bool
+				if i, ok = rollback(i); !ok {
+					res.Residual = relres
+					res.Stats.InjectedErrors = injCount(inj)
+					return res, rollbackStormErr("PCG", Orthogonality)
+				}
+				continue
+			}
+		}
+		if i%cd == 0 {
+			save(i)
+		}
+
+		inj.InjectMemory(i, fault.SiteMVM, p)
+		if restore := inj.CacheWindow(i, fault.SiteMVM, p); restore != nil {
+			a.MulVecStride(q, p, 0, 2)
+			restore()
+			a.MulVecStride(q, p, 1, 2)
+		} else {
+			a.MulVec(q, p)
+		}
+		inj.InjectOutput(i, fault.SiteMVM, q)
+
+		pq := vec.Dot(p, q)
+		if pq == 0 {
+			res.Residual = relres
+			return res, breakdownErr("PCG", Orthogonality, i, "pᵀAp = 0")
+		}
+		alpha := rho / pq
+		vec.Axpy(x, alpha, p)
+		inj.InjectOutput(i, fault.SiteVLO, x)
+		vec.Axpy(r, -alpha, q)
+		inj.InjectOutput(i, fault.SiteVLO, r)
+		i++
+		res.Iterations = i
+
+		relres = vec.Norm2(r) / normB
+		if opts.RecordResiduals {
+			res.History = append(res.History, relres)
+		}
+		if relres <= tolRes {
+			// Final residual-relationship check before accepting.
+			a.MulVec(trueR, x)
+			vec.Sub(trueR, b, trueR)
+			vec.Sub(trueR, trueR, r)
+			res.Stats.RecoveryMVMs++
+			if vec.Norm2(trueR)/normB > residGapTol {
+				res.Stats.Detections++
+				var ok bool
+				if i, ok = rollback(i); !ok {
+					res.Residual = relres
+					res.Stats.InjectedErrors = injCount(inj)
+					return res, rollbackStormErr("PCG", Orthogonality)
+				}
+				continue
+			}
+			res.Converged = true
+			break
+		}
+		if err := applyCleanInj(m, inj, i-1, z, r); err != nil {
+			return res, err
+		}
+		rhoNew := vec.Dot(r, z)
+		beta := rhoNew / rho
+		vec.Xpby(p, z, beta, p)
+		inj.InjectOutput(i-1, fault.SiteVLO, p)
+		rho = rhoNew
+	}
+
+	res.Residual = relres
+	res.Stats.InjectedErrors = injCount(inj)
+	if !res.Converged {
+		return notConverged("orthogonality PCG", res, relres)
+	}
+	return res, nil
+}
+
+// applyCleanInj applies a preconditioner with fault injection on input and
+// output but no checksum protection. A cache fault corrupts the solve's
+// input transiently: z comes out wrong, r stays clean, and — since the
+// residual relationship r = b − A·x is untouched — the orthogonality
+// baseline has nothing to detect (Table 3's cache/register "No").
+func applyCleanInj(m precond.Preconditioner, inj *fault.Injector, iter int, z, r []float64) error {
+	inj.InjectMemory(iter, fault.SitePCO, r)
+	restore := inj.CacheWindow(iter, fault.SitePCO, r)
+	if err := applyClean(m, z, r); err != nil {
+		if restore != nil {
+			restore()
+		}
+		return err
+	}
+	if restore != nil {
+		restore()
+	}
+	inj.InjectOutput(iter, fault.SitePCO, z)
+	return nil
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"newsum/internal/checkpoint"
+	"newsum/internal/checksum"
+	"newsum/internal/precond"
+	"newsum/internal/sparse"
+	"newsum/internal/vec"
+)
+
+// BasicPCG solves the SPD system A·x = b with the paper's basic online ABFT
+// preconditioned conjugate gradient (Algorithm 1, Fig. 3): single-checksum
+// updates after every vector-generating operation, lazy verification of the
+// x and r relationships every DetectInterval iterations, and checkpointing
+// of only the p and x vectors every CheckpointInterval iterations.
+func BasicPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options) (Result, error) {
+	return abftPCG(a, m, b, opts, Basic)
+}
+
+// TwoLevelPCG solves A·x = b with the paper's two-level online ABFT PCG
+// (Algorithm 2, Fig. 4): triple-checksum inner-level protection after every
+// MVM — correcting single errors immediately and rolling back on multiple
+// errors — combined with the Basic outer level.
+func TwoLevelPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options) (Result, error) {
+	return abftPCG(a, m, b, opts, TwoLevel)
+}
+
+func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options, scheme Scheme) (Result, error) {
+	var res Result
+	if err := validateSystem(a, b); err != nil {
+		return res, err
+	}
+	opts.normalize()
+	weights := checksum.Single
+	if scheme == TwoLevel && opts.EagerTriple {
+		weights = checksum.Triple
+	}
+	e := newEngine(a, m, weights, &opts, &res.Stats)
+	if scheme == TwoLevel && !opts.EagerTriple {
+		e.initLazyDiag()
+	}
+	n := e.n
+
+	x := e.newTracked("x")
+	if opts.X0 != nil {
+		copy(x.data, opts.X0)
+		e.recompute(x)
+	}
+	r := e.newTracked("r")
+	z := e.newTracked("z")
+	p := e.newTracked("p")
+	q := e.newTracked("q")
+	bT := e.wrap("b", b)
+
+	// r = b − A·x0 via instrumented ops would charge a fault to setup;
+	// initialization is performed cleanly (the paper injects errors only
+	// into the iteration loop).
+	a.MulVec(r.data, x.data)
+	vec.Sub(r.data, bT.data, r.data)
+	e.recompute(r)
+
+	normB := vec.Norm2(b)
+	if normB == 0 {
+		normB = 1
+	}
+	tolRes := opts.Tol
+	if tolRes <= 0 {
+		tolRes = 1e-8
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+
+	res.X = x.data
+	relres := vec.Norm2(r.data) / normB
+	if relres <= tolRes {
+		res.Converged = true
+		res.Residual = relres
+		return res, nil
+	}
+
+	if err := e.pco(-1, z, r); err != nil {
+		return res, err
+	}
+	copyTracked(p, z)
+	rho := vec.Dot(r.data, z.data)
+
+	var store checkpoint.Store
+	d, cd := opts.DetectInterval, opts.CheckpointInterval
+
+	saveCheckpoint := func(iter int) {
+		opts.Trace.add(iter, EvCheckpoint, "snapshot {p, x}")
+		store.Save(iter,
+			map[string][]float64{"p": p.data, "x": x.data},
+			map[string]float64{"rho": rho},
+			map[string][]float64{"p": p.s, "x": x.s, "p.eta": p.eta, "x.eta": x.eta},
+		)
+		res.Stats.Checkpoints++
+	}
+	// rollback restores p, x (and their checksums) and rho, then
+	// reconstructs r = b − A·x and its checksums — the recovery of
+	// Algorithm 1 line 9 (one MVM plus checksum recomputation).
+	rollback := func(iter int) (int, bool) {
+		res.Stats.Rollbacks++
+		if res.Stats.Rollbacks > opts.MaxRollbacks {
+			return iter, false
+		}
+		scal := map[string]float64{}
+		snapIter, err := store.Restore(
+			map[string][]float64{"p": p.data, "x": x.data},
+			scal,
+			map[string][]float64{"p": p.s, "x": x.s, "p.eta": p.eta, "x.eta": x.eta},
+		)
+		if err != nil {
+			return iter, false
+		}
+		rho = scal["rho"]
+		a.MulVec(r.data, x.data)
+		vec.Sub(r.data, bT.data, r.data)
+		e.recompute(r)
+		res.Stats.RecoveryMVMs++
+		res.Stats.WastedIterations += iter - snapIter
+		opts.Trace.add(iter, EvRollback, "restored iteration %d, recomputed r", snapIter)
+		return snapIter, true
+	}
+
+	i := 0
+	for i < maxIter {
+		// Outer-level detection every d iterations (Algorithm 1 lines
+		// 5–6): verify only checksum(x) = cᵀx and checksum(r) = cᵀr —
+		// every other vector's error propagates into x or r (Table 2).
+		if i > 0 && i%d == 0 {
+			if !e.verify(x) || !e.verify(r) {
+				opts.Trace.add(i, EvDetection, "outer-level: checksum(x)/checksum(r) mismatch")
+				var ok bool
+				if i, ok = rollback(i); !ok {
+					res.Residual = relres
+					res.Stats.InjectedErrors = e.injectedCount()
+					return res, rollbackStormErr("PCG", scheme)
+				}
+				continue
+			}
+		}
+		// Checkpoint every cd iterations; cd is a multiple of d, so x and
+		// r have just been verified clean. p is verified here (one O(n)
+		// sum per cd) — snapshotting a corrupted search direction would
+		// make every future rollback futile.
+		if i%cd == 0 {
+			if i > 0 && !e.verify(p) {
+				var ok bool
+				if i, ok = rollback(i); !ok {
+					res.Residual = relres
+					res.Stats.InjectedErrors = e.injectedCount()
+					return res, rollbackStormErr("PCG", scheme)
+				}
+				continue
+			}
+			saveCheckpoint(i)
+		}
+
+		e.mvm(i, q, p)
+		// Inner-level protection (two-level scheme only, Algorithm 2
+		// lines 16–27): one-checksum probe, triple-checksum diagnosis,
+		// immediate correction of single errors, immediate rollback on
+		// multiple errors.
+		if scheme == TwoLevel {
+			diag := e.innerCheck(q, p)
+			switch diag.Kind {
+			case checksum.SingleError:
+				opts.Trace.add(i, EvCorrection, "inner-level: q[%d] -= %.6g", diag.Pos, diag.Magnitude)
+			case checksum.MultipleErrors:
+				opts.Trace.add(i, EvDetection, "inner-level: multiple errors in MVM output")
+			}
+			if diag.Kind == checksum.MultipleErrors {
+				var ok bool
+				if i, ok = rollback(i); !ok {
+					res.Residual = relres
+					res.Stats.InjectedErrors = e.injectedCount()
+					return res, rollbackStormErr("PCG", scheme)
+				}
+				continue
+			}
+		}
+
+		// Eager detection (if enabled) flags corrupted outputs the moment
+		// they are produced; recovery is the same rollback.
+		if e.takeFlag() {
+			var ok bool
+			if i, ok = rollback(i); !ok {
+				res.Residual = relres
+				res.Stats.InjectedErrors = e.injectedCount()
+				return res, rollbackStormErr("PCG", scheme)
+			}
+			continue
+		}
+
+		pq := vec.Dot(p.data, q.data)
+		if pq == 0 {
+			res.Residual = relres
+			return res, breakdownErr("PCG", scheme, i, "pᵀAp = 0")
+		}
+		alpha := rho / pq
+		e.axpy(i, x, alpha, p)
+		e.axpy(i, r, -alpha, q)
+		if e.takeFlag() {
+			var ok bool
+			if i, ok = rollback(i); !ok {
+				res.Residual = relres
+				res.Stats.InjectedErrors = e.injectedCount()
+				return res, rollbackStormErr("PCG", scheme)
+			}
+			continue
+		}
+		i++
+		res.Iterations = i
+
+		relres = vec.Norm2(r.data) / normB
+		if opts.RecordResiduals {
+			res.History = append(res.History, relres)
+		}
+		if relres <= tolRes {
+			// Verify before declaring victory so a corrupted small
+			// residual cannot smuggle out a wrong solution.
+			if e.verify(x) && e.verify(r) {
+				res.Converged = true
+				break
+			}
+			var ok bool
+			if i, ok = rollback(i); !ok {
+				res.Residual = relres
+				res.Stats.InjectedErrors = e.injectedCount()
+				return res, rollbackStormErr("PCG", scheme)
+			}
+			continue
+		}
+
+		if err := e.pco(i-1, z, r); err != nil {
+			return res, err
+		}
+		rhoNew := vec.Dot(r.data, z.data)
+		beta := rhoNew / rho
+		e.xpby(i-1, p, z, beta, p)
+		rho = rhoNew
+		if e.takeFlag() {
+			var ok bool
+			if i, ok = rollback(i); !ok {
+				res.Residual = relres
+				res.Stats.InjectedErrors = e.injectedCount()
+				return res, rollbackStormErr("PCG", scheme)
+			}
+			continue
+		}
+	}
+
+	res.Residual = relres
+	res.Stats.InjectedErrors = e.injectedCount()
+	if !res.Converged {
+		return notConverged("ABFT PCG", res, relres)
+	}
+	return res, nil
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"newsum/internal/fault"
+	"newsum/internal/precond"
+	"newsum/internal/solver"
+	"newsum/internal/sparse"
+	"newsum/internal/vec"
+)
+
+func testSystem(t *testing.T, n int) (*sparse.CSR, precond.Preconditioner, []float64, []float64) {
+	t.Helper()
+	side := int(math.Sqrt(float64(n)))
+	a := sparse.Laplacian2D(side, side)
+	m, err := precond.BlockJacobiILU0(a, 4)
+	if err != nil {
+		t.Fatalf("preconditioner: %v", err)
+	}
+	xTrue := make([]float64, a.Rows)
+	for i := range xTrue {
+		xTrue[i] = math.Sin(float64(i + 1))
+	}
+	b := make([]float64, a.Rows)
+	a.MulVec(b, xTrue)
+	return a, m, b, xTrue
+}
+
+func checkSolution(t *testing.T, a *sparse.CSR, b, x []float64, tol float64) {
+	t.Helper()
+	r := make([]float64, len(b))
+	a.MulVec(r, x)
+	vec.Sub(r, b, r)
+	rel := vec.Norm2(r) / vec.Norm2(b)
+	if rel > tol {
+		t.Fatalf("true residual %.3e exceeds %.3e", rel, tol)
+	}
+}
+
+func TestBasicPCGFaultFreeMatchesUnprotected(t *testing.T) {
+	a, m, b, _ := testSystem(t, 400)
+	plain, err := solver.PCG(a, m, b, solver.Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("plain PCG: %v", err)
+	}
+	prot, err := BasicPCG(a, m, b, Options{Options: solver.Options{Tol: 1e-10}})
+	if err != nil {
+		t.Fatalf("basic PCG: %v", err)
+	}
+	if prot.Iterations != plain.Iterations {
+		t.Errorf("iterations: protected %d, plain %d", prot.Iterations, plain.Iterations)
+	}
+	if !vec.Equal(prot.X, plain.X, 1e-12) {
+		t.Errorf("protected solution differs from plain")
+	}
+	if prot.Stats.Rollbacks != 0 || prot.Stats.Detections != 0 {
+		t.Errorf("fault-free run had rollbacks=%d detections=%d", prot.Stats.Rollbacks, prot.Stats.Detections)
+	}
+	checkSolution(t, a, b, prot.X, 1e-9)
+}
+
+func TestBasicPCGRecoversFromMVMError(t *testing.T) {
+	a, m, b, _ := testSystem(t, 400)
+	inj := fault.NewInjector([]fault.Event{
+		{Iteration: 7, Site: fault.SiteMVM, Kind: fault.Arithmetic, Index: 13},
+	}, 1)
+	res, err := BasicPCG(a, m, b, Options{
+		Options:            solver.Options{Tol: 1e-10},
+		DetectInterval:     2,
+		CheckpointInterval: 6,
+		Injector:           inj,
+	})
+	if err != nil {
+		t.Fatalf("basic PCG with fault: %v", err)
+	}
+	if res.Stats.Detections == 0 {
+		t.Errorf("error was not detected")
+	}
+	if res.Stats.Rollbacks == 0 {
+		t.Errorf("no rollback performed")
+	}
+	if len(inj.Injected) != 1 {
+		t.Errorf("expected 1 injection, got %d", len(inj.Injected))
+	}
+	checkSolution(t, a, b, res.X, 1e-9)
+}
+
+func TestTwoLevelPCGCorrectsSingleMVMError(t *testing.T) {
+	a, m, b, _ := testSystem(t, 400)
+	inj := fault.NewInjector([]fault.Event{
+		{Iteration: 5, Site: fault.SiteMVM, Kind: fault.Arithmetic, Index: 99},
+	}, 1)
+	res, err := TwoLevelPCG(a, m, b, Options{
+		Options:  solver.Options{Tol: 1e-10},
+		Injector: inj,
+	})
+	if err != nil {
+		t.Fatalf("two-level PCG with fault: %v", err)
+	}
+	if res.Stats.Corrections != 1 {
+		t.Errorf("expected 1 inner-level correction, got %d", res.Stats.Corrections)
+	}
+	if res.Stats.Rollbacks != 0 {
+		t.Errorf("single error should not trigger rollback, got %d", res.Stats.Rollbacks)
+	}
+	checkSolution(t, a, b, res.X, 1e-9)
+}
+
+func TestTwoLevelPCGRollsBackOnMultipleErrors(t *testing.T) {
+	a, m, b, _ := testSystem(t, 400)
+	inj := fault.NewInjector([]fault.Event{
+		{Iteration: 5, Site: fault.SiteMVM, Kind: fault.Arithmetic, Index: -1, Count: 3},
+	}, 2)
+	res, err := TwoLevelPCG(a, m, b, Options{
+		Options:  solver.Options{Tol: 1e-10},
+		Injector: inj,
+	})
+	if err != nil {
+		t.Fatalf("two-level PCG with multi-fault: %v", err)
+	}
+	if res.Stats.Rollbacks == 0 {
+		t.Errorf("multiple errors should trigger rollback")
+	}
+	checkSolution(t, a, b, res.X, 1e-9)
+}
+
+func TestBasicPCGDetectsCacheError(t *testing.T) {
+	a, m, b, _ := testSystem(t, 400)
+	inj := fault.NewInjector([]fault.Event{
+		{Iteration: 4, Site: fault.SiteMVM, Kind: fault.CacheRegister, Index: 50},
+	}, 3)
+	res, err := BasicPCG(a, m, b, Options{
+		Options:  solver.Options{Tol: 1e-10},
+		Injector: inj,
+	})
+	if err != nil {
+		t.Fatalf("basic PCG with cache fault: %v", err)
+	}
+	if res.Stats.Detections == 0 {
+		t.Errorf("cache error escaped detection")
+	}
+	checkSolution(t, a, b, res.X, 1e-9)
+}
+
+func TestBasicPCGRollbackStorm(t *testing.T) {
+	a, m, b, _ := testSystem(t, 100)
+	// Refiring errors every iteration: the basic scheme cannot make
+	// progress (Table 4, Scenario 3 → ∞).
+	events := fault.Scenario3(10000)
+	inj := fault.NewInjector(events, 4)
+	inj.Refire = true
+	_, err := BasicPCG(a, m, b, Options{
+		Options:            solver.Options{Tol: 1e-10},
+		DetectInterval:     1,
+		CheckpointInterval: 1,
+		MaxRollbacks:       50,
+		Injector:           inj,
+	})
+	if err == nil {
+		t.Fatalf("expected rollback storm, got success")
+	}
+}

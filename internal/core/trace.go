@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// EventKind classifies a fault-tolerance event in a run trace.
+type EventKind int
+
+const (
+	// EvDetection: a verification flagged an inconsistency.
+	EvDetection EventKind = iota
+	// EvCorrection: the inner level corrected a single error in place.
+	EvCorrection
+	// EvRollback: state was restored from a checkpoint.
+	EvRollback
+	// EvCheckpoint: a snapshot was taken.
+	EvCheckpoint
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvDetection:
+		return "detection"
+	case EvCorrection:
+		return "correction"
+	case EvRollback:
+		return "rollback"
+	case EvCheckpoint:
+		return "checkpoint"
+	default:
+		return "unknown-event"
+	}
+}
+
+// TraceEvent is one timeline entry of a protected solve.
+type TraceEvent struct {
+	// Iteration is the solver iteration the event occurred at.
+	Iteration int
+	Kind      EventKind
+	// Detail carries event-specific context: the vector that failed
+	// verification, the corrected position, the rollback target.
+	Detail string
+}
+
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("iter %4d  %-10s %s", e.Iteration, e.Kind, e.Detail)
+}
+
+// Trace is an optional, bounded event log a protected solve appends its
+// fault-tolerance timeline to (attach via Options.Trace). It records only
+// cold-path events — detections, corrections, rollbacks, checkpoints — so
+// it costs nothing on fault-free iterations beyond the checkpoint entries.
+type Trace struct {
+	// Events in occurrence order, capped at Cap (oldest dropped).
+	Events []TraceEvent
+	// Cap bounds the log; 0 means 4096.
+	Cap int
+	// Dropped counts events discarded after the cap was reached.
+	Dropped int
+}
+
+func (t *Trace) cap() int {
+	if t.Cap <= 0 {
+		return 4096
+	}
+	return t.Cap
+}
+
+// add appends an event, enforcing the cap. Nil traces are inert so call
+// sites need no guards.
+func (t *Trace) add(iter int, kind EventKind, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	if len(t.Events) >= t.cap() {
+		t.Dropped++
+		return
+	}
+	t.Events = append(t.Events, TraceEvent{
+		Iteration: iter,
+		Kind:      kind,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}
+
+// Write renders the timeline, one event per line.
+func (t *Trace) Write(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	for _, e := range t.Events {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	if t.Dropped > 0 {
+		if _, err := fmt.Fprintf(w, "(%d further events dropped at cap %d)\n", t.Dropped, t.cap()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count returns the number of recorded events of the given kind.
+func (t *Trace) Count(kind EventKind) int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range t.Events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"newsum/internal/fault"
+	"newsum/internal/solver"
+)
+
+func TestTraceRecordsTimeline(t *testing.T) {
+	a, m, b, _ := testSystem(t, 400)
+	tr := &Trace{}
+	inj := fault.NewInjector([]fault.Event{
+		{Iteration: 7, Site: fault.SiteMVM, Kind: fault.Arithmetic, Index: 3},
+		{Iteration: 15, Site: fault.SiteMVM, Kind: fault.Arithmetic, Index: -1, Count: 2},
+	}, 3)
+	res, err := TwoLevelPCG(a, m, b, Options{
+		Options:  solver.Options{Tol: 1e-10},
+		Injector: inj,
+		Trace:    tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count(EvCorrection) != res.Stats.Corrections {
+		t.Errorf("trace corrections %d vs stats %d", tr.Count(EvCorrection), res.Stats.Corrections)
+	}
+	if tr.Count(EvRollback) != res.Stats.Rollbacks {
+		t.Errorf("trace rollbacks %d vs stats %d", tr.Count(EvRollback), res.Stats.Rollbacks)
+	}
+	if tr.Count(EvCheckpoint) != res.Stats.Checkpoints {
+		t.Errorf("trace checkpoints %d vs stats %d", tr.Count(EvCheckpoint), res.Stats.Checkpoints)
+	}
+	var sb strings.Builder
+	if err := tr.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "correction") || !strings.Contains(out, "rollback") {
+		t.Errorf("rendered trace incomplete:\n%s", out)
+	}
+}
+
+func TestTraceNilIsInert(t *testing.T) {
+	var tr *Trace
+	tr.add(1, EvDetection, "x")
+	if tr.Count(EvDetection) != 0 {
+		t.Fatalf("nil trace counted")
+	}
+	if err := tr.Write(&strings.Builder{}); err != nil {
+		t.Fatalf("nil write: %v", err)
+	}
+}
+
+func TestTraceCap(t *testing.T) {
+	tr := &Trace{Cap: 3}
+	for i := 0; i < 10; i++ {
+		tr.add(i, EvCheckpoint, "c")
+	}
+	if len(tr.Events) != 3 || tr.Dropped != 7 {
+		t.Fatalf("cap enforcement: %d events, %d dropped", len(tr.Events), tr.Dropped)
+	}
+	var sb strings.Builder
+	if err := tr.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "dropped") {
+		t.Fatalf("drop note missing")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		EvDetection: "detection", EvCorrection: "correction",
+		EvRollback: "rollback", EvCheckpoint: "checkpoint",
+		EventKind(9): "unknown-event",
+	} {
+		if k.String() != want {
+			t.Errorf("%d: %q", k, k.String())
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package model
+
+import "math"
+
+// OpCount expresses a per-iteration fault-tolerance overhead as a linear
+// combination of the paper's operation units: matrix-vector products (MVM),
+// preconditioner solves (PCO), vector dot products / O(n) reductions (VDP)
+// and vector linear operations (VLO). Table 4 states the three schemes'
+// overheads in exactly these units.
+type OpCount struct {
+	MVM, PCO, VDP, VLO float64
+	// Infinite marks the non-terminating case (basic scheme, Scenario 3).
+	Infinite bool
+}
+
+// OpTimes holds measured per-operation times used to convert an OpCount
+// into seconds.
+type OpTimes struct {
+	MVM, PCO, VDP, VLO float64
+}
+
+// Seconds converts the op-count overhead to time under the given
+// per-operation costs; infinite overheads convert to +Inf.
+func (o OpCount) Seconds(t OpTimes) float64 {
+	if o.Infinite {
+		return math.Inf(1)
+	}
+	return o.MVM*t.MVM + o.PCO*t.PCO + o.VDP*t.VDP + o.VLO*t.VLO
+}
+
+// Scenario identifies the three §6.2 error-rate regimes.
+type Scenario int
+
+const (
+	// Scenario1: one error in an MVM over the entire execution (low rate).
+	Scenario1 Scenario = iota
+	// Scenario2: one error in an MVM every cd iterations (medium/high).
+	Scenario2
+	// Scenario3: one error in an MVM every iteration (extreme).
+	Scenario3
+)
+
+func (s Scenario) String() string {
+	switch s {
+	case Scenario1:
+		return "scenario 1 (one error total)"
+	case Scenario2:
+		return "scenario 2 (one error per cd)"
+	case Scenario3:
+		return "scenario 3 (one error per iteration)"
+	default:
+		return "unknown scenario"
+	}
+}
+
+// Table4Costs returns the theoretical per-iteration overheads of the three
+// schemes — basic online ABFT (O1), two-level online ABFT (O2) and online
+// MV (O3) — for PCG under the given scenario, exactly as printed in
+// Table 4. d and cd are the detection and checkpoint intervals and c0 =
+// nnz/n is the matrix sparsity.
+func Table4Costs(s Scenario, d, cd int, c0 float64) (o1, o2, o3 OpCount) {
+	df, cdf := float64(d), float64(cd)
+	twoLevel := OpCount{VDP: 2/df + 9, VLO: 2 / cdf}
+	switch s {
+	case Scenario1:
+		o1 = OpCount{VDP: 2/df + 2, VLO: 2 / cdf}
+		o2 = twoLevel
+		o3 = OpCount{PCO: 1, VDP: 2, VLO: 3}
+	case Scenario2:
+		o1 = OpCount{
+			MVM: 0.5,
+			PCO: 0.5,
+			VDP: 2/df + 5,
+			VLO: 6*(1+c0)/cdf + 1.5,
+		}
+		o2 = twoLevel
+		o3 = OpCount{PCO: 1, VDP: 5/cdf + 2, VLO: 3}
+	case Scenario3:
+		o1 = OpCount{Infinite: true}
+		o2 = twoLevel
+		o3 = OpCount{PCO: 1, VDP: 7, VLO: 3}
+	}
+	return o1, o2, o3
+}
+
+// ErrorFreeCosts returns the per-iteration overhead of each scheme when no
+// error occurs, in op units, for PCG. The basic scheme pays its checksum
+// updates (one dense dot each for the MVM and PCO updates, O(1) for VLOs),
+// amortized verification (2 weighted sums every d iterations) and
+// checkpointing (2 vector copies every cd); the two-level scheme triples the
+// update dots and adds the per-MVM probe; online MV pays the Scenario-1
+// Table 4 cost structure even without errors (its checking is per
+// operation).
+func ErrorFreeCosts(d, cd int) (o1, o2, o3 OpCount) {
+	df, cdf := float64(d), float64(cd)
+	o1 = OpCount{VDP: 2 + 2/df, VLO: 2 / cdf}
+	o2 = OpCount{VDP: 6 + 1 + 2/df, VLO: 2 / cdf}
+	o3 = OpCount{PCO: 1, VDP: 2, VLO: 3}
+	return o1, o2, o3
+}
+
+// BiCGSTABScale converts a PCG per-iteration overhead into its PBiCGSTAB
+// analogue by the §6.2 methodology: PBiCGSTAB performs two MVMs, two PCOs
+// and roughly twice the vector traffic per iteration, so every overhead
+// term doubles (the paper makes the same observation qualitatively: "the
+// overhead of checksum updates increases with more involved vectors in
+// PBiCGSTAB").
+func BiCGSTABScale(o OpCount) OpCount {
+	if o.Infinite {
+		return o
+	}
+	return OpCount{
+		MVM: 2 * o.MVM,
+		PCO: 2 * o.PCO,
+		VDP: 2 * o.VDP,
+		VLO: 2 * o.VLO,
+	}
+}
+
+// Ranking returns the scheme order (cheapest first) the Table 4 analysis
+// predicts for the given scenario and operation costs — the paper's three
+// conclusions in §6.2 fall out of this comparison.
+func Ranking(s Scenario, d, cd int, c0 float64, t OpTimes) []string {
+	o1, o2, o3 := Table4Costs(s, d, cd, c0)
+	type entry struct {
+		name string
+		cost float64
+	}
+	es := []entry{
+		{"basic", o1.Seconds(t)},
+		{"two-level", o2.Seconds(t)},
+		{"online-MV", o3.Seconds(t)},
+	}
+	// Insertion sort: three elements.
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && es[j].cost < es[j-1].cost; j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+	names := make([]string, len(es))
+	for i, e := range es {
+		names[i] = e.name
+	}
+	return names
+}

@@ -1,0 +1,197 @@
+// Package par is the parallel execution substrate standing in for the
+// paper's MPI/PETSc runs on 2048 Stampede cores: goroutine "ranks" joined by
+// channel/condition-variable collectives (barrier, all-reduce, all-gather),
+// a row-partitioned distributed sparse matrix, and a distributed ABFT PCG
+// whose checkpoints and checksum state are rank-local — the property §5.1
+// highlights for scalability ("all the checkpoints and checksums are saved
+// locally").
+package par
+
+import (
+	"fmt"
+	"sync"
+)
+
+// team is the shared collective state of one communicator group.
+type team struct {
+	size int
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	gen  int
+	cnt  int
+
+	sum    float64
+	result float64
+
+	vecAcc []float64
+	vecRes []float64
+
+	gather []float64
+}
+
+// Comm is one rank's handle on a communicator of Size() ranks. All
+// collective calls must be made by every rank of the team (they block until
+// the whole team arrives), in the same order on every rank.
+type Comm struct {
+	rank int
+	t    *team
+}
+
+// NewTeam creates a communicator team of the given size and returns one
+// Comm per rank.
+func NewTeam(size int) []*Comm {
+	if size < 1 {
+		panic("par: team size must be >= 1")
+	}
+	t := &team{size: size}
+	t.cond = sync.NewCond(&t.mu)
+	comms := make([]*Comm, size)
+	for r := range comms {
+		comms[r] = &Comm{rank: r, t: t}
+	}
+	return comms
+}
+
+// Rank returns this rank's index in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the team.
+func (c *Comm) Size() int { return c.t.size }
+
+// arrive is the generic phase rendezvous: body runs under the team lock for
+// every arriving rank; the last arrival runs last (also under the lock),
+// advances the generation and wakes the team.
+func (c *Comm) arrive(body func(t *team), last func(t *team)) {
+	t := c.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if body != nil {
+		body(t)
+	}
+	t.cnt++
+	if t.cnt == t.size {
+		if last != nil {
+			last(t)
+		}
+		t.cnt = 0
+		t.gen++
+		t.cond.Broadcast()
+		return
+	}
+	gen := t.gen
+	for gen == t.gen {
+		t.cond.Wait()
+	}
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() {
+	c.arrive(nil, nil)
+}
+
+// AllReduceSum returns the sum of v over all ranks, on every rank. It is
+// the collective behind distributed dot products and global checksums.
+func (c *Comm) AllReduceSum(v float64) float64 {
+	c.arrive(
+		func(t *team) {
+			if t.cnt == 0 {
+				t.sum = 0
+			}
+			t.sum += v
+		},
+		func(t *team) { t.result = t.sum },
+	)
+	// result is stable until the next reducing collective, which this rank
+	// cannot start before every rank has left (each later collective has
+	// its own generation); reading it here is race-free because arrive
+	// released the lock only after result was written.
+	c.t.mu.Lock()
+	r := c.t.result
+	c.t.mu.Unlock()
+	return r
+}
+
+// AllReduceVec element-wise sums the ranks' src slices (all the same
+// length) and stores the total into dst on every rank. dst and src may
+// alias.
+func (c *Comm) AllReduceVec(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("par: length mismatch in AllReduceVec")
+	}
+	c.arrive(
+		func(t *team) {
+			if t.cnt == 0 {
+				if len(t.vecAcc) < len(src) {
+					t.vecAcc = make([]float64, len(src))
+				}
+				t.vecAcc = t.vecAcc[:len(src)]
+				for i := range t.vecAcc {
+					t.vecAcc[i] = 0
+				}
+			}
+			for i, x := range src {
+				t.vecAcc[i] += x
+			}
+		},
+		nil,
+	)
+	c.t.mu.Lock()
+	copy(dst, c.t.vecAcc)
+	c.t.mu.Unlock()
+	// Second rendezvous so no rank can start the next vector reduction
+	// while others are still copying the result out.
+	c.Barrier()
+}
+
+// AllGather concatenates each rank's local block into the global vector on
+// every rank: global[offset(r):offset(r)+len(local_r)] = local_r. The
+// caller supplies the rank's offset; the global buffer must be the same
+// length on every rank. This is the halo exchange of the distributed MVM
+// (each rank needs the full input vector for its row block).
+func (c *Comm) AllGather(global []float64, local []float64, offset int) {
+	if offset < 0 || offset+len(local) > len(global) {
+		panic(fmt.Sprintf("par: AllGather block [%d,%d) outside global %d", offset, offset+len(local), len(global)))
+	}
+	c.arrive(
+		func(t *team) {
+			if t.cnt == 0 {
+				if len(t.gather) < len(global) {
+					t.gather = make([]float64, len(global))
+				}
+			}
+			copy(t.gather[offset:offset+len(local)], local)
+		},
+		nil,
+	)
+	c.t.mu.Lock()
+	copy(global, c.t.gather[:len(global)])
+	c.t.mu.Unlock()
+	c.Barrier()
+}
+
+// Bcast distributes root's value to every rank.
+func (c *Comm) Bcast(v float64, root int) float64 {
+	c.arrive(
+		func(t *team) {
+			if c.rank == root {
+				t.result = v
+			}
+		},
+		nil,
+	)
+	c.t.mu.Lock()
+	r := c.t.result
+	c.t.mu.Unlock()
+	c.Barrier()
+	return r
+}
+
+// BlockRange returns the contiguous row range [lo, hi) owned by rank r when
+// n rows are block-partitioned over size ranks, matching PETSc's default
+// distribution.
+func BlockRange(n, size, r int) (lo, hi int) {
+	lo = r * n / size
+	hi = (r + 1) * n / size
+	return lo, hi
+}

@@ -1,0 +1,97 @@
+package par
+
+import (
+	"math"
+
+	"newsum/internal/checksum"
+	"newsum/internal/sparse"
+	"newsum/internal/vec"
+)
+
+// DistMatrix is the row-block partition of a sparse matrix held by one
+// rank: rows [Lo, Hi) of the global matrix, with global column indices.
+type DistMatrix struct {
+	Global *sparse.CSR
+	Lo, Hi int
+}
+
+// Split returns rank r's row block of a for a team of the given size.
+func Split(a *sparse.CSR, size, r int) *DistMatrix {
+	lo, hi := BlockRange(a.Rows, size, r)
+	return &DistMatrix{Global: a, Lo: lo, Hi: hi}
+}
+
+// LocalRows returns the number of rows this rank owns.
+func (d *DistMatrix) LocalRows() int { return d.Hi - d.Lo }
+
+// MulVec computes the local block of y = A·x: yLocal gets rows [Lo, Hi) of
+// the product, from the full (gathered) input vector xGlobal.
+func (d *DistMatrix) MulVec(yLocal, xGlobal []float64) {
+	a := d.Global
+	if len(xGlobal) != a.Cols || len(yLocal) != d.LocalRows() {
+		panic("par: dimension mismatch in DistMatrix.MulVec")
+	}
+	for i := d.Lo; i < d.Hi; i++ {
+		var s float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Val[k] * xGlobal[a.ColIdx[k]]
+		}
+		yLocal[i-d.Lo] = s
+	}
+}
+
+// DistVector is one rank's block of a distributed vector together with its
+// rank-local contribution to the global checksums. The global checksum of
+// the full vector is the all-reduced sum of the local parts — which is why
+// the paper's design can keep all checksum state local and still verify
+// global relationships with one scalar reduction.
+type DistVector struct {
+	Data []float64
+	// S holds this rank's partial checksums Σ_{i∈block} c_k(i)·v_i.
+	S []float64
+}
+
+// NewDistVector allocates a zero block of the given local length with
+// nWeights checksum slots.
+func NewDistVector(localLen, nWeights int) *DistVector {
+	return &DistVector{Data: make([]float64, localLen), S: make([]float64, nWeights)}
+}
+
+// LocalChecksums recomputes the rank-local partial checksums of v for the
+// weights, offset by the rank's global row offset.
+func (v *DistVector) LocalChecksums(weights []checksum.Weight, offset int) {
+	for k, w := range weights {
+		var s float64
+		for i, x := range v.Data {
+			s += w.At(offset+i) * x
+		}
+		v.S[k] = s
+	}
+}
+
+// GlobalDot computes the global inner product of two distributed vectors.
+func GlobalDot(c *Comm, a, b *DistVector) float64 {
+	return c.AllReduceSum(vec.Dot(a.Data, b.Data))
+}
+
+// GlobalNorm2 computes the global Euclidean norm of a distributed vector.
+func GlobalNorm2(c *Comm, a *DistVector) float64 {
+	return math.Sqrt(c.AllReduceSum(vec.Dot(a.Data, a.Data)))
+}
+
+// VerifyGlobal checks the global checksum relationship of v for weight k:
+// it all-reduces the locally recomputed partial weighted sum and the
+// locally carried partial checksum and compares them with the engine
+// tolerance rule. Every rank returns the same verdict.
+func VerifyGlobal(c *Comm, v *DistVector, w checksum.Weight, k int, offset, n int, tol checksum.Tol) bool {
+	var sum, absSum float64
+	for i, x := range v.Data {
+		t := w.At(offset+i) * x
+		sum += t
+		absSum += math.Abs(t)
+	}
+	gSum := c.AllReduceSum(sum)
+	gAbs := c.AllReduceSum(absSum)
+	gS := c.AllReduceSum(v.S[k])
+	return tol.ConsistentAbs(gSum-gS, n, gAbs)
+}

@@ -1,0 +1,173 @@
+package par
+
+import (
+	"math"
+	"testing"
+
+	"newsum/internal/checksum"
+	"newsum/internal/sparse"
+)
+
+func TestBlockRangeCoversExactly(t *testing.T) {
+	for _, n := range []int{1, 7, 16, 100, 101} {
+		for _, size := range []int{1, 2, 3, 7, 16} {
+			if size > n {
+				continue
+			}
+			covered := 0
+			prevHi := 0
+			for r := 0; r < size; r++ {
+				lo, hi := BlockRange(n, size, r)
+				if lo != prevHi {
+					t.Fatalf("n=%d size=%d rank=%d: gap/overlap at %d", n, size, r, lo)
+				}
+				covered += hi - lo
+				prevHi = hi
+			}
+			if covered != n {
+				t.Fatalf("n=%d size=%d: covered %d", n, size, covered)
+			}
+		}
+	}
+}
+
+func TestDistMatrixMulVecMatchesSerial(t *testing.T) {
+	a := sparse.Laplacian2D(9, 9)
+	x := make([]float64, a.Rows)
+	for i := range x {
+		x[i] = math.Sin(float64(i))
+	}
+	want := make([]float64, a.Rows)
+	a.MulVec(want, x)
+	const ranks = 4
+	for r := 0; r < ranks; r++ {
+		dm := Split(a, ranks, r)
+		local := make([]float64, dm.LocalRows())
+		dm.MulVec(local, x)
+		for i, v := range local {
+			if math.Abs(v-want[dm.Lo+i]) > 1e-14 {
+				t.Fatalf("rank %d row %d: %v vs %v", r, dm.Lo+i, v, want[dm.Lo+i])
+			}
+		}
+	}
+}
+
+func TestLocalChecksumsSumToGlobal(t *testing.T) {
+	a := sparse.Laplacian2D(7, 7)
+	x := make([]float64, a.Rows)
+	for i := range x {
+		x[i] = float64(i % 5)
+	}
+	weights := checksum.Triple
+	global := checksum.Checksums(x, weights)
+	const ranks = 3
+	totals := make([]float64, len(weights))
+	for r := 0; r < ranks; r++ {
+		lo, hi := BlockRange(a.Rows, ranks, r)
+		dv := NewDistVector(hi-lo, len(weights))
+		copy(dv.Data, x[lo:hi])
+		dv.LocalChecksums(weights, lo)
+		for k := range totals {
+			totals[k] += dv.S[k]
+		}
+	}
+	for k := range totals {
+		if math.Abs(totals[k]-global[k]) > 1e-9*(1+math.Abs(global[k])) {
+			t.Fatalf("weight %d: partials sum to %v, global %v", k, totals[k], global[k])
+		}
+	}
+}
+
+func TestVerifyGlobalDetectsCorruption(t *testing.T) {
+	const n, ranks = 40, 4
+	comms := NewTeam(ranks)
+	type out struct {
+		clean, dirty bool
+	}
+	ch := make(chan out, ranks)
+	for r := 0; r < ranks; r++ {
+		go func(c *Comm) {
+			lo, hi := BlockRange(n, ranks, c.Rank())
+			dv := NewDistVector(hi-lo, 1)
+			for i := range dv.Data {
+				dv.Data[i] = float64(lo + i)
+			}
+			dv.LocalChecksums(checksum.Single, lo)
+			tol := checksum.Tol{}
+			clean := VerifyGlobal(c, dv, checksum.Ones, 0, lo, n, tol)
+			// Corrupt one element on rank 2 only.
+			if c.Rank() == 2 {
+				dv.Data[0] += 1e4
+			}
+			dirty := VerifyGlobal(c, dv, checksum.Ones, 0, lo, n, tol)
+			ch <- out{clean, dirty}
+		}(comms[r])
+	}
+	for i := 0; i < ranks; i++ {
+		o := <-ch
+		if !o.clean {
+			t.Fatalf("clean distributed vector failed verification")
+		}
+		if o.dirty {
+			t.Fatalf("corruption on one rank escaped global verification")
+		}
+	}
+}
+
+func TestBcast(t *testing.T) {
+	const ranks = 4
+	comms := NewTeam(ranks)
+	ch := make(chan float64, ranks)
+	for r := 0; r < ranks; r++ {
+		go func(c *Comm) {
+			v := -1.0
+			if c.Rank() == 2 {
+				v = 42
+			}
+			ch <- c.Bcast(v, 2)
+		}(comms[r])
+	}
+	for i := 0; i < ranks; i++ {
+		if got := <-ch; got != 42 {
+			t.Fatalf("Bcast: got %v", got)
+		}
+	}
+}
+
+func TestAllReduceVec(t *testing.T) {
+	const ranks = 3
+	comms := NewTeam(ranks)
+	ch := make(chan []float64, ranks)
+	for r := 0; r < ranks; r++ {
+		go func(c *Comm) {
+			src := []float64{float64(c.Rank()), 1, 2}
+			dst := make([]float64, 3)
+			c.AllReduceVec(dst, src)
+			// A second reduction immediately after must not corrupt the
+			// first result (regression for the double-rendezvous).
+			src2 := []float64{1, 1, 1}
+			dst2 := make([]float64, 3)
+			c.AllReduceVec(dst2, src2)
+			out := append(dst, dst2...)
+			ch <- out
+		}(comms[r])
+	}
+	for i := 0; i < ranks; i++ {
+		got := <-ch
+		want := []float64{0 + 1 + 2, 3, 6, 3, 3, 3}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("AllReduceVec[%d]: got %v want %v", j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestNewTeamPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	NewTeam(0)
+}

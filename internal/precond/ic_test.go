@@ -1,0 +1,132 @@
+package precond
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"newsum/internal/sparse"
+	"newsum/internal/vec"
+)
+
+// TestIC0ExactOnTridiag: tridiagonal SPD matrices have no dropped fill, so
+// IC(0) is the exact Cholesky factor and M⁻¹ solves the system.
+func TestIC0ExactOnTridiag(t *testing.T) {
+	a := sparse.Tridiag(40, -1, 3, -1)
+	p, err := IC0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	zTrue := randVecP(rng, 40)
+	r := make([]float64, 40)
+	a.MulVec(r, zTrue)
+	z := make([]float64, 40)
+	if err := p.Apply(z, r); err != nil {
+		t.Fatal(err)
+	}
+	for i := range z {
+		if math.Abs(z[i]-zTrue[i]) > 1e-10 {
+			t.Fatalf("IC(0) not exact on tridiagonal at %d: %v vs %v", i, z[i], zTrue[i])
+		}
+	}
+}
+
+// TestIC0FactorSymmetry: the stages must be L then Lᵀ (same values).
+func TestIC0FactorSymmetry(t *testing.T) {
+	a := sparse.Laplacian2D(5, 5)
+	p, err := IC0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stages()
+	if len(st) != 2 {
+		t.Fatalf("stages: %d", len(st))
+	}
+	l, lt := st[0].M, st[1].M
+	for i := 0; i < l.Rows; i++ {
+		cols, vals := l.RowView(i)
+		for k, j := range cols {
+			if math.Abs(lt.At(j, i)-vals[k]) > 1e-15 {
+				t.Fatalf("Lᵀ mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// pcgIters runs a minimal PCG loop locally (the solver package imports
+// precond, so tests here cannot import it back) and returns the iteration
+// count to tolerance.
+func pcgIters(t *testing.T, a *sparse.CSR, m Preconditioner, b []float64, tol float64) int {
+	t.Helper()
+	n := a.Rows
+	x := make([]float64, n)
+	r := append([]float64(nil), b...)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	q := make([]float64, n)
+	if err := m.Apply(z, r); err != nil {
+		t.Fatal(err)
+	}
+	copy(p, z)
+	rho := vec.Dot(r, z)
+	normB := vec.Norm2(b)
+	for i := 1; i <= 10*n; i++ {
+		a.MulVec(q, p)
+		alpha := rho / vec.Dot(p, q)
+		vec.Axpy(x, alpha, p)
+		vec.Axpy(r, -alpha, q)
+		if vec.Norm2(r)/normB <= tol {
+			return i
+		}
+		if err := m.Apply(z, r); err != nil {
+			t.Fatal(err)
+		}
+		rhoNew := vec.Dot(r, z)
+		vec.Xpby(p, z, rhoNew/rho, p)
+		rho = rhoNew
+	}
+	t.Fatalf("PCG did not converge")
+	return 0
+}
+
+// TestIC0AcceleratesCG: the whole point of the preconditioner.
+func TestIC0AcceleratesCG(t *testing.T) {
+	a := sparse.Laplacian2D(20, 20)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1
+	}
+	p, err := IC0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainIters := pcgIters(t, a, Identity(a.Rows), b, 1e-10)
+	preIters := pcgIters(t, a, p, b, 1e-10)
+	if preIters >= plainIters {
+		t.Fatalf("IC(0) did not accelerate: %d vs %d", preIters, plainIters)
+	}
+}
+
+func TestIC0Errors(t *testing.T) {
+	rect := sparse.NewCOO(2, 3).ToCSR()
+	if _, err := IC0(rect); err == nil {
+		t.Fatalf("rectangular accepted")
+	}
+	// Missing diagonal.
+	c := sparse.NewCOO(2, 2)
+	c.Add(0, 1, 1)
+	c.Add(1, 0, 1)
+	if _, err := IC0(c.ToCSR()); err == nil {
+		t.Fatalf("missing diagonal accepted")
+	}
+	// Indefinite matrix breaks down with a descriptive error.
+	ind := sparse.NewCOO(2, 2)
+	ind.Add(0, 0, 1)
+	ind.Add(0, 1, 3)
+	ind.Add(1, 0, 3)
+	ind.Add(1, 1, 1)
+	if _, err := IC0(ind.ToCSR()); err == nil {
+		t.Fatalf("indefinite matrix should break IC(0)")
+	}
+}

@@ -1,0 +1,319 @@
+package precond
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"newsum/internal/sparse"
+)
+
+func randVecP(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// applyStages replays the stage list manually and checks it matches Apply —
+// the property the ABFT engine depends on when it interleaves checksum
+// updates between stages.
+func applyStages(t *testing.T, p Preconditioner, r []float64) []float64 {
+	t.Helper()
+	n := p.Dims()
+	in := append([]float64(nil), r...)
+	for _, st := range p.Stages() {
+		out := make([]float64, n)
+		if err := st.Apply(out, in); err != nil {
+			t.Fatalf("stage apply: %v", err)
+		}
+		in = out
+	}
+	return in
+}
+
+func TestIdentity(t *testing.T) {
+	p := Identity(4)
+	r := []float64{1, 2, 3, 4}
+	z := make([]float64, 4)
+	if err := p.Apply(z, r); err != nil {
+		t.Fatal(err)
+	}
+	for i := range r {
+		if z[i] != r[i] {
+			t.Fatalf("identity changed the vector: %v", z)
+		}
+	}
+	if len(p.Stages()) != 0 || p.Name() != "none" || p.Dims() != 4 {
+		t.Fatalf("identity metadata wrong")
+	}
+}
+
+func TestJacobi(t *testing.T) {
+	a := sparse.Tridiag(5, -1, 4, -1)
+	p, err := Jacobi(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := []float64{4, 8, 12, 16, 20}
+	z := make([]float64, 5)
+	if err := p.Apply(z, r); err != nil {
+		t.Fatal(err)
+	}
+	for i := range z {
+		if math.Abs(z[i]-r[i]/4) > 1e-15 {
+			t.Fatalf("Jacobi apply: %v", z)
+		}
+	}
+}
+
+func TestJacobiZeroDiagonal(t *testing.T) {
+	c := sparse.NewCOO(2, 2)
+	c.Add(0, 0, 1)
+	c.Add(1, 0, 1)
+	if _, err := Jacobi(c.ToCSR()); err == nil {
+		t.Fatalf("expected zero-diagonal error")
+	}
+}
+
+// TestILU0ExactOnTridiag: for a tridiagonal matrix ILU(0) has no dropped
+// fill, so M = A exactly and applying the preconditioner solves A z = r.
+func TestILU0ExactOnTridiag(t *testing.T) {
+	a := sparse.Tridiag(50, -1, 2.5, -1)
+	p, err := ILU0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	zTrue := randVecP(rng, 50)
+	r := make([]float64, 50)
+	a.MulVec(r, zTrue)
+	z := make([]float64, 50)
+	if err := p.Apply(z, r); err != nil {
+		t.Fatal(err)
+	}
+	for i := range z {
+		if math.Abs(z[i]-zTrue[i]) > 1e-10 {
+			t.Fatalf("ILU(0) not exact on tridiagonal: z[%d]=%v want %v", i, z[i], zTrue[i])
+		}
+	}
+}
+
+func TestILU0StagesComposeLikeApply(t *testing.T) {
+	a := sparse.Laplacian2D(6, 6)
+	p, err := ILU0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	r := randVecP(rng, a.Rows)
+	z := make([]float64, a.Rows)
+	if err := p.Apply(z, r); err != nil {
+		t.Fatal(err)
+	}
+	staged := applyStages(t, p, r)
+	for i := range z {
+		if math.Abs(z[i]-staged[i]) > 1e-13 {
+			t.Fatalf("stage composition differs at %d", i)
+		}
+	}
+}
+
+func TestILU0RequiresDiagonal(t *testing.T) {
+	c := sparse.NewCOO(2, 2)
+	c.Add(0, 1, 1)
+	c.Add(1, 0, 1)
+	if _, err := ILU0(c.ToCSR()); err == nil {
+		t.Fatalf("expected missing-diagonal error")
+	}
+}
+
+func TestBlockJacobiILU0(t *testing.T) {
+	a := sparse.Laplacian2D(8, 8)
+	p, err := BlockJacobiILU0(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block-diagonal: applying to a vector supported on one block must
+	// produce output supported on the same block.
+	n := a.Rows
+	r := make([]float64, n)
+	for i := 0; i < n/4; i++ {
+		r[i] = 1
+	}
+	z := make([]float64, n)
+	if err := p.Apply(z, r); err != nil {
+		t.Fatal(err)
+	}
+	for i := n / 4; i < n; i++ {
+		if z[i] != 0 {
+			t.Fatalf("block coupling leaked to index %d", i)
+		}
+	}
+	// With one block it degenerates to plain ILU(0).
+	p1, err := BlockJacobiILU0(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pFull, err := ILU0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	rr := randVecP(rng, n)
+	z1 := make([]float64, n)
+	z2 := make([]float64, n)
+	if err := p1.Apply(z1, rr); err != nil {
+		t.Fatal(err)
+	}
+	if err := pFull.Apply(z2, rr); err != nil {
+		t.Fatal(err)
+	}
+	for i := range z1 {
+		if math.Abs(z1[i]-z2[i]) > 1e-12 {
+			t.Fatalf("1-block block-Jacobi differs from ILU(0)")
+		}
+	}
+}
+
+func TestBlockJacobiBadParams(t *testing.T) {
+	a := sparse.Laplacian2D(4, 4)
+	if _, err := BlockJacobiILU0(a, 0); err == nil {
+		t.Fatalf("expected error for 0 blocks")
+	}
+	if _, err := BlockJacobiILU0(a, 17); err == nil {
+		t.Fatalf("expected error for more blocks than rows")
+	}
+	rect := sparse.NewCOO(2, 3).ToCSR()
+	if _, err := BlockJacobiILU0(rect, 1); err == nil {
+		t.Fatalf("expected error for rectangular matrix")
+	}
+}
+
+// TestSSORDefinition checks M z = r against the explicit SSOR formula
+// M = (D/ω + L)·(D/ω)⁻¹·(D/ω + U)·ω/(2−ω) on a small dense system.
+func TestSSORDefinition(t *testing.T) {
+	a := sparse.Tridiag(6, -1, 4, -1)
+	const omega = 1.3
+	p, err := SSOR(a, omega)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	r := randVecP(rng, 6)
+	z := make([]float64, 6)
+	if err := p.Apply(z, r); err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild M densely and check M·z = r.
+	n := 6
+	d := a.Dense()
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	// K1 = D/ω + L, K2 = D/ω + U, M = K1·(D/ω)⁻¹·K2·ω/(2−ω).
+	k1 := make([][]float64, n)
+	k2 := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		k1[i] = make([]float64, n)
+		k2[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			switch {
+			case j < i:
+				k1[i][j] = d[i][j]
+			case j > i:
+				k2[i][j] = d[i][j]
+			default:
+				k1[i][i] = d[i][i] / omega
+				k2[i][i] = d[i][i] / omega
+			}
+		}
+	}
+	scale := omega / (2 - omega)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				// (K1)(D/ω)⁻¹(K2) = Σ_k k1[i][k]·ω/d[k][k]·k2[k][j]
+				s += k1[i][k] * omega / d[k][k] * k2[k][j]
+			}
+			m[i][j] = s * scale
+		}
+	}
+	mz := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			mz[i] += m[i][j] * z[j]
+		}
+	}
+	for i := range r {
+		if math.Abs(mz[i]-r[i]) > 1e-10 {
+			t.Fatalf("SSOR: (Mz)[%d]=%v, want %v", i, mz[i], r[i])
+		}
+	}
+}
+
+func TestSSORBadOmega(t *testing.T) {
+	a := sparse.Tridiag(4, -1, 4, -1)
+	for _, w := range []float64{0, -1, 2, 3} {
+		if _, err := SSOR(a, w); err == nil {
+			t.Errorf("omega %v accepted", w)
+		}
+	}
+}
+
+func TestApplyDimensionMismatch(t *testing.T) {
+	p := Identity(4)
+	if err := p.Apply(make([]float64, 3), make([]float64, 4)); err == nil {
+		t.Fatalf("expected dimension error")
+	}
+}
+
+func TestStageApplyExported(t *testing.T) {
+	a := sparse.Tridiag(4, -1, 4, -1)
+	p, err := ILU0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stages()[0]
+	out := make([]float64, 4)
+	if err := st.Apply(out, []float64{1, 1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 { // unit-diagonal L: first entry passes through
+		t.Fatalf("stage apply: %v", out)
+	}
+}
+
+func BenchmarkILU0Setup(b *testing.B) {
+	a := sparse.CircuitLike(40000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BlockJacobiILU0(a, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBlockJacobiApply(b *testing.B) {
+	a := sparse.CircuitLike(40000, 1)
+	p, err := BlockJacobiILU0(a, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := make([]float64, a.Rows)
+	z := make([]float64, a.Rows)
+	for i := range r {
+		r[i] = float64(i % 11)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Apply(z, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

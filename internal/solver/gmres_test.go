@@ -1,0 +1,134 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"newsum/internal/precond"
+	"newsum/internal/sparse"
+	"newsum/internal/vec"
+)
+
+func TestGMRESOnUnsymmetric(t *testing.T) {
+	a := sparse.ConvectionDiffusion2D(12, 12, 25)
+	b, xTrue := system(a, 21)
+	res, err := GMRES(a, nil, b, 30, Options{Tol: 1e-10, MaxIter: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkClose(t, res.X, xTrue, 1e-6)
+}
+
+func TestGMRESWithPreconditioner(t *testing.T) {
+	a := sparse.ConvectionDiffusion2D(14, 14, 25)
+	b, xTrue := system(a, 22)
+	m, err := precond.ILU0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := GMRES(a, nil, b, 20, Options{Tol: 1e-10, MaxIter: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := GMRES(a, m, b, 20, Options{Tol: 1e-10, MaxIter: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkClose(t, pre.X, xTrue, 1e-6)
+	if pre.Iterations >= plain.Iterations {
+		t.Errorf("ILU(0)-preconditioned GMRES should need fewer steps: %d vs %d",
+			pre.Iterations, plain.Iterations)
+	}
+}
+
+func TestGMRESRestartStillConverges(t *testing.T) {
+	a := sparse.ConvectionDiffusion2D(10, 10, 10)
+	b, xTrue := system(a, 23)
+	// A very short restart forces several outer cycles.
+	res, err := GMRES(a, nil, b, 5, Options{Tol: 1e-9, MaxIter: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkClose(t, res.X, xTrue, 1e-5)
+}
+
+func TestGMRESMatchesCGOnSPD(t *testing.T) {
+	a := sparse.Laplacian2D(9, 9)
+	b, xTrue := system(a, 24)
+	res, err := GMRES(a, nil, b, 81, Options{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkClose(t, res.X, xTrue, 1e-7)
+}
+
+func TestGMRESDimensionErrors(t *testing.T) {
+	rect := sparse.NewCOO(2, 3).ToCSR()
+	if _, err := GMRES(rect, nil, make([]float64, 2), 5, Options{}); err == nil {
+		t.Fatalf("rectangular accepted")
+	}
+}
+
+func TestMINRESOnSPD(t *testing.T) {
+	a := sparse.Laplacian2D(10, 10)
+	b, xTrue := system(a, 25)
+	res, err := MINRES(a, b, Options{Tol: 1e-11, MaxIter: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkClose(t, res.X, xTrue, 1e-5)
+}
+
+func TestMINRESOnIndefinite(t *testing.T) {
+	// Shifted Laplacian: symmetric indefinite — CG fails here, MINRES must
+	// not.
+	n := 64
+	a := sparse.Tridiag(n, -1, 2, -1).Clone()
+	for i := 0; i < n; i++ {
+		// subtract a shift inside the spectrum
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if a.ColIdx[k] == i {
+				a.Val[k] -= 1.0
+			}
+		}
+	}
+	b, xTrue := system(a, 26)
+	res, err := MINRES(a, b, Options{Tol: 1e-10, MaxIter: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := make([]float64, n)
+	a.MulVec(r, res.X)
+	vec.Sub(r, b, r)
+	if rel := vec.Norm2(r) / vec.Norm2(b); rel > 1e-8 {
+		t.Fatalf("indefinite MINRES residual %.3e", rel)
+	}
+	_ = xTrue
+}
+
+func TestMINRESZeroRHS(t *testing.T) {
+	a := sparse.Laplacian2D(5, 5)
+	res, err := MINRES(a, make([]float64, a.Rows), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || vec.Norm2(res.X) != 0 {
+		t.Fatalf("zero rhs mishandled")
+	}
+}
+
+func TestGMRESResidualMatchesReported(t *testing.T) {
+	a := sparse.ConvectionDiffusion2D(10, 10, 20)
+	b, _ := system(a, 27)
+	res, err := GMRES(a, nil, b, 25, Options{Tol: 1e-9, MaxIter: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := make([]float64, a.Rows)
+	a.MulVec(r, res.X)
+	vec.Sub(r, b, r)
+	trueRel := vec.Norm2(r) / vec.Norm2(b)
+	if math.Abs(math.Log10(trueRel+1e-300)-math.Log10(res.Residual+1e-300)) > 2 {
+		t.Fatalf("reported residual %.3e far from true %.3e", res.Residual, trueRel)
+	}
+}

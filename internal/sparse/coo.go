@@ -1,0 +1,84 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// COO is a coordinate-format builder for sparse matrices. Entries may be
+// added in any order; duplicates are summed when converting to CSR, matching
+// the conventions of the Matrix Market format and of finite-element assembly.
+type COO struct {
+	rows, cols int
+	i, j       []int
+	v          []float64
+}
+
+// NewCOO returns an empty COO builder for an rows×cols matrix.
+func NewCOO(rows, cols int) *COO {
+	if rows < 0 || cols < 0 {
+		panic("sparse: negative COO dimensions")
+	}
+	return &COO{rows: rows, cols: cols}
+}
+
+// Dims returns the matrix dimensions.
+func (c *COO) Dims() (rows, cols int) { return c.rows, c.cols }
+
+// NNZ returns the number of accumulated entries (before duplicate merging).
+func (c *COO) NNZ() int { return len(c.v) }
+
+// Add appends the entry (i, j, v). Zero values are kept so that explicitly
+// stored zeros survive the round trip, as Matrix Market allows.
+func (c *COO) Add(i, j int, v float64) {
+	if i < 0 || i >= c.rows || j < 0 || j >= c.cols {
+		panic(fmt.Sprintf("sparse: COO entry (%d,%d) out of range %dx%d", i, j, c.rows, c.cols))
+	}
+	c.i = append(c.i, i)
+	c.j = append(c.j, j)
+	c.v = append(c.v, v)
+}
+
+// AddSym appends (i, j, v) and, when i != j, the mirrored entry (j, i, v).
+// It is convenient when expanding symmetric Matrix Market files.
+func (c *COO) AddSym(i, j int, v float64) {
+	c.Add(i, j, v)
+	if i != j {
+		c.Add(j, i, v)
+	}
+}
+
+// ToCSR converts the accumulated entries to CSR form, sorting each row's
+// columns ascending and summing duplicate coordinates.
+func (c *COO) ToCSR() *CSR {
+	n := len(c.v)
+	order := make([]int, n)
+	for k := range order {
+		order[k] = k
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ka, kb := order[a], order[b]
+		if c.i[ka] != c.i[kb] {
+			return c.i[ka] < c.i[kb]
+		}
+		return c.j[ka] < c.j[kb]
+	})
+
+	a := &CSR{Rows: c.rows, Cols: c.cols, RowPtr: make([]int, c.rows+1)}
+	prevI, prevJ := -1, -1
+	for _, k := range order {
+		i, j, v := c.i[k], c.j[k], c.v[k]
+		if i == prevI && j == prevJ {
+			a.Val[len(a.Val)-1] += v
+			continue
+		}
+		a.ColIdx = append(a.ColIdx, j)
+		a.Val = append(a.Val, v)
+		a.RowPtr[i+1]++
+		prevI, prevJ = i, j
+	}
+	for i := 0; i < c.rows; i++ {
+		a.RowPtr[i+1] += a.RowPtr[i]
+	}
+	return a
+}

@@ -1,0 +1,369 @@
+// Package sparse implements the sparse-matrix substrate the paper's solvers
+// run on: CSR storage, matrix-vector products (the MVM operation), triangular
+// solves (used by ILU/IC preconditioners), structural and numerical property
+// queries, and generators for the evaluation matrices (a circuit-topology SPD
+// matrix standing in for UFL G3_circuit, Laplacians, convection–diffusion).
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// CSR is a sparse matrix in compressed sparse row format.
+//
+// RowPtr has length Rows+1; the column indices and values of row i occupy
+// ColIdx[RowPtr[i]:RowPtr[i+1]] and Val[RowPtr[i]:RowPtr[i+1]]. Column
+// indices within a row are sorted ascending, which the triangular solves
+// and the diagonal extraction rely on.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []float64
+}
+
+// NNZ returns the number of stored entries.
+func (a *CSR) NNZ() int { return len(a.Val) }
+
+// Dims returns the matrix dimensions.
+func (a *CSR) Dims() (rows, cols int) { return a.Rows, a.Cols }
+
+// Sparsity returns nnz/n, the paper's c0 parameter (average nonzeros per
+// row) used in the Table 4 cost analysis.
+func (a *CSR) Sparsity() float64 {
+	if a.Rows == 0 {
+		return 0
+	}
+	return float64(a.NNZ()) / float64(a.Rows)
+}
+
+// Validate checks the structural invariants of the CSR representation and
+// returns a descriptive error on the first violation.
+func (a *CSR) Validate() error {
+	if a.Rows < 0 || a.Cols < 0 {
+		return fmt.Errorf("sparse: negative dimensions %dx%d", a.Rows, a.Cols)
+	}
+	if len(a.RowPtr) != a.Rows+1 {
+		return fmt.Errorf("sparse: RowPtr length %d, want %d", len(a.RowPtr), a.Rows+1)
+	}
+	if a.RowPtr[0] != 0 {
+		return fmt.Errorf("sparse: RowPtr[0] = %d, want 0", a.RowPtr[0])
+	}
+	if len(a.ColIdx) != len(a.Val) {
+		return fmt.Errorf("sparse: ColIdx length %d != Val length %d", len(a.ColIdx), len(a.Val))
+	}
+	if a.RowPtr[a.Rows] != len(a.Val) {
+		return fmt.Errorf("sparse: RowPtr[end] = %d, want nnz %d", a.RowPtr[a.Rows], len(a.Val))
+	}
+	for i := 0; i < a.Rows; i++ {
+		if a.RowPtr[i] > a.RowPtr[i+1] {
+			return fmt.Errorf("sparse: RowPtr not monotone at row %d", i)
+		}
+		prev := -1
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.ColIdx[k]
+			if j < 0 || j >= a.Cols {
+				return fmt.Errorf("sparse: column %d out of range in row %d", j, i)
+			}
+			if j <= prev {
+				return fmt.Errorf("sparse: columns not strictly ascending in row %d", i)
+			}
+			prev = j
+		}
+	}
+	return nil
+}
+
+// At returns the value at (i, j), which is zero for entries not stored. It
+// is O(log nnz(row)) and intended for tests and small matrices, not kernels.
+func (a *CSR) At(i, j int) float64 {
+	if i < 0 || i >= a.Rows || j < 0 || j >= a.Cols {
+		panic(fmt.Sprintf("sparse: index (%d,%d) out of range %dx%d", i, j, a.Rows, a.Cols))
+	}
+	lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case a.ColIdx[mid] < j:
+			lo = mid + 1
+		case a.ColIdx[mid] > j:
+			hi = mid
+		default:
+			return a.Val[mid]
+		}
+	}
+	return 0
+}
+
+// Clone returns a deep copy of the matrix.
+func (a *CSR) Clone() *CSR {
+	b := &CSR{
+		Rows:   a.Rows,
+		Cols:   a.Cols,
+		RowPtr: make([]int, len(a.RowPtr)),
+		ColIdx: make([]int, len(a.ColIdx)),
+		Val:    make([]float64, len(a.Val)),
+	}
+	copy(b.RowPtr, a.RowPtr)
+	copy(b.ColIdx, a.ColIdx)
+	copy(b.Val, a.Val)
+	return b
+}
+
+// Diag extracts the main diagonal into dst (allocated if nil) and returns it.
+// Missing diagonal entries are zero.
+func (a *CSR) Diag(dst []float64) []float64 {
+	n := a.Rows
+	if a.Cols < n {
+		n = a.Cols
+	}
+	if dst == nil {
+		dst = make([]float64, n)
+	}
+	if len(dst) != n {
+		panic("sparse: Diag destination length mismatch")
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = 0
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if a.ColIdx[k] == i {
+				dst[i] = a.Val[k]
+				break
+			}
+			if a.ColIdx[k] > i {
+				break
+			}
+		}
+	}
+	return dst
+}
+
+// Transpose returns Aᵀ as a new CSR matrix using a two-pass counting
+// algorithm, O(nnz + rows + cols).
+func (a *CSR) Transpose() *CSR {
+	t := &CSR{
+		Rows:   a.Cols,
+		Cols:   a.Rows,
+		RowPtr: make([]int, a.Cols+1),
+		ColIdx: make([]int, a.NNZ()),
+		Val:    make([]float64, a.NNZ()),
+	}
+	for _, j := range a.ColIdx {
+		t.RowPtr[j+1]++
+	}
+	for j := 0; j < a.Cols; j++ {
+		t.RowPtr[j+1] += t.RowPtr[j]
+	}
+	next := make([]int, a.Cols)
+	copy(next, t.RowPtr[:a.Cols])
+	for i := 0; i < a.Rows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.ColIdx[k]
+			p := next[j]
+			t.ColIdx[p] = i
+			t.Val[p] = a.Val[k]
+			next[j]++
+		}
+	}
+	return t
+}
+
+// MulVec computes y := A·x, the paper's MVM operation. y must not alias x.
+func (a *CSR) MulVec(y, x []float64) {
+	if len(x) != a.Cols || len(y) != a.Rows {
+		panic("sparse: dimension mismatch in MulVec")
+	}
+	for i := 0; i < a.Rows; i++ {
+		var s float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Val[k] * x[a.ColIdx[k]]
+		}
+		y[i] = s
+	}
+}
+
+// MulVecRange computes y[lo:hi] := (A·x)[lo:hi], recomputing only the rows in
+// [lo, hi). It is the partial-recomputation primitive the online-MV baseline's
+// binary-search localization uses.
+func (a *CSR) MulVecRange(y, x []float64, lo, hi int) {
+	if lo < 0 || hi > a.Rows || lo > hi {
+		panic("sparse: bad row range in MulVecRange")
+	}
+	if len(x) != a.Cols || len(y) != a.Rows {
+		panic("sparse: dimension mismatch in MulVecRange")
+	}
+	for i := lo; i < hi; i++ {
+		var s float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Val[k] * x[a.ColIdx[k]]
+		}
+		y[i] = s
+	}
+}
+
+// MulVecStride computes y[i] := (A·x)[i] for rows i = start, start+stride,
+// start+2·stride, … — a strided partial product. The fault-injection layer
+// uses it to model a cache line being present for some rows of an MVM and
+// evicted for others.
+func (a *CSR) MulVecStride(y, x []float64, start, stride int) {
+	if stride < 1 || start < 0 {
+		panic("sparse: bad stride in MulVecStride")
+	}
+	if len(x) != a.Cols || len(y) != a.Rows {
+		panic("sparse: dimension mismatch in MulVecStride")
+	}
+	for i := start; i < a.Rows; i += stride {
+		var s float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Val[k] * x[a.ColIdx[k]]
+		}
+		y[i] = s
+	}
+}
+
+// MulTransVec computes y := Aᵀ·x without materializing the transpose.
+// y must not alias x.
+func (a *CSR) MulTransVec(y, x []float64) {
+	if len(x) != a.Rows || len(y) != a.Cols {
+		panic("sparse: dimension mismatch in MulTransVec")
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			y[a.ColIdx[k]] += a.Val[k] * xi
+		}
+	}
+}
+
+// NormInf returns the induced infinity norm max_i sum_j |a_ij|, the ‖A‖∞
+// appearing in the paper's lower bound for the scalar d (Lemma 2).
+func (a *CSR) NormInf() float64 {
+	var m float64
+	for i := 0; i < a.Rows; i++ {
+		var s float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += math.Abs(a.Val[k])
+		}
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// MaxAbs returns the largest magnitude of any stored entry.
+func (a *CSR) MaxAbs() float64 {
+	var m float64
+	for _, v := range a.Val {
+		if av := math.Abs(v); av > m {
+			m = av
+		}
+	}
+	return m
+}
+
+// GershgorinBounds returns enclosing bounds [lo, hi] for the eigenvalues of
+// a square matrix from the Gershgorin circle theorem: every eigenvalue lies
+// in some disc centred at a_ii with radius Σ_{j≠i}|a_ij|. For SPD matrices
+// max(lo, 0⁺) and hi bound the spectrum, which is what the Chebyshev
+// semi-iteration needs.
+func (a *CSR) GershgorinBounds() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for i := 0; i < a.Rows; i++ {
+		var diag, radius float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if a.ColIdx[k] == i {
+				diag = a.Val[k]
+			} else {
+				radius += math.Abs(a.Val[k])
+			}
+		}
+		if d := diag - radius; d < lo {
+			lo = d
+		}
+		if d := diag + radius; d > hi {
+			hi = d
+		}
+	}
+	if a.Rows == 0 {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+// IsSymmetric reports whether the matrix is numerically symmetric to within
+// tol. It requires a square matrix and runs in O(nnz·log nnz/row).
+func (a *CSR) IsSymmetric(tol float64) bool {
+	if a.Rows != a.Cols {
+		return false
+	}
+	for i := 0; i < a.Rows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.ColIdx[k]
+			if math.Abs(a.Val[k]-a.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsDiagonallyDominant reports whether |a_ii| >= sum_{j!=i} |a_ij| for every
+// row, with strict inequality in at least one row.
+func (a *CSR) IsDiagonallyDominant() bool {
+	if a.Rows != a.Cols {
+		return false
+	}
+	strict := false
+	for i := 0; i < a.Rows; i++ {
+		var diag, off float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if a.ColIdx[k] == i {
+				diag = math.Abs(a.Val[k])
+			} else {
+				off += math.Abs(a.Val[k])
+			}
+		}
+		if diag < off {
+			return false
+		}
+		if diag > off {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// RowView returns the column indices and values of row i as sub-slices of
+// the backing arrays. Callers must not modify the returned slices' lengths.
+func (a *CSR) RowView(i int) (cols []int, vals []float64) {
+	lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+	return a.ColIdx[lo:hi], a.Val[lo:hi]
+}
+
+// Scale multiplies every stored entry by s in place.
+func (a *CSR) Scale(s float64) {
+	for i := range a.Val {
+		a.Val[i] *= s
+	}
+}
+
+// Dense returns the dense row-major form of the matrix; intended for tests
+// on small systems only.
+func (a *CSR) Dense() [][]float64 {
+	d := make([][]float64, a.Rows)
+	for i := range d {
+		d[i] = make([]float64, a.Cols)
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			d[i][a.ColIdx[k]] = a.Val[k]
+		}
+	}
+	return d
+}

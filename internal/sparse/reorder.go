@@ -1,0 +1,150 @@
+package sparse
+
+import (
+	"math"
+	"sort"
+)
+
+// RCM computes the reverse Cuthill–McKee ordering of a structurally
+// symmetric matrix: perm[newIndex] = oldIndex. Renumbering with this
+// ordering clusters nonzeros near the diagonal, which shrinks triangular-
+// solve fill paths and improves ILU(0)/IC(0) quality — the standard
+// bandwidth-reduction preprocessing for the circuit-style matrices the
+// paper evaluates on.
+//
+// Disconnected components are handled by restarting the BFS from the
+// lowest-degree unvisited vertex.
+func RCM(a *CSR) []int {
+	n := a.Rows
+	perm := make([]int, 0, n)
+	visited := make([]bool, n)
+	degree := make([]int, n)
+	for i := 0; i < n; i++ {
+		degree[i] = a.RowPtr[i+1] - a.RowPtr[i]
+	}
+
+	// Vertices sorted by degree, used to pick pseudo-peripheral starts.
+	byDegree := make([]int, n)
+	for i := range byDegree {
+		byDegree[i] = i
+	}
+	sort.Slice(byDegree, func(x, y int) bool { return degree[byDegree[x]] < degree[byDegree[y]] })
+
+	queue := make([]int, 0, n)
+	neighbors := make([]int, 0, 16)
+	for _, start := range byDegree {
+		if visited[start] {
+			continue
+		}
+		visited[start] = true
+		queue = append(queue[:0], start)
+		perm = append(perm, start)
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			neighbors = neighbors[:0]
+			for k := a.RowPtr[u]; k < a.RowPtr[u+1]; k++ {
+				v := a.ColIdx[k]
+				if v < n && !visited[v] {
+					visited[v] = true
+					neighbors = append(neighbors, v)
+				}
+			}
+			// Cuthill–McKee visits neighbors in increasing degree order.
+			sort.Slice(neighbors, func(x, y int) bool {
+				return degree[neighbors[x]] < degree[neighbors[y]]
+			})
+			queue = append(queue, neighbors...)
+			perm = append(perm, neighbors...)
+		}
+	}
+	// Reverse for RCM.
+	for i, j := 0, len(perm)-1; i < j; i, j = i+1, j-1 {
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
+
+// Permute returns P·A·Pᵀ for the symmetric permutation perm
+// (perm[new] = old): row and column i of the result are row and column
+// perm[i] of a.
+func (a *CSR) Permute(perm []int) *CSR {
+	n := a.Rows
+	if len(perm) != n || a.Cols != n {
+		panic("sparse: Permute needs a square matrix and a full permutation")
+	}
+	inv := make([]int, n)
+	for newI, oldI := range perm {
+		inv[oldI] = newI
+	}
+	c := NewCOO(n, n)
+	for newI, oldI := range perm {
+		cols, vals := a.RowView(oldI)
+		for k, oldJ := range cols {
+			c.Add(newI, inv[oldJ], vals[k])
+		}
+	}
+	return c.ToCSR()
+}
+
+// PermuteVec returns the vector renumbered by perm: out[new] = x[perm[new]].
+func PermuteVec(x []float64, perm []int) []float64 {
+	out := make([]float64, len(x))
+	for newI, oldI := range perm {
+		out[newI] = x[oldI]
+	}
+	return out
+}
+
+// UnpermuteVec inverts PermuteVec: out[perm[new]] = x[new].
+func UnpermuteVec(x []float64, perm []int) []float64 {
+	out := make([]float64, len(x))
+	for newI, oldI := range perm {
+		out[oldI] = x[newI]
+	}
+	return out
+}
+
+// Bandwidth returns max |i−j| over stored entries, the quantity RCM
+// minimizes heuristically.
+func (a *CSR) Bandwidth() int {
+	bw := 0
+	for i := 0; i < a.Rows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			d := i - a.ColIdx[k]
+			if d < 0 {
+				d = -d
+			}
+			if d > bw {
+				bw = d
+			}
+		}
+	}
+	return bw
+}
+
+// DiagonalScaling returns s with s_i = 1/√|a_ii| and the symmetrically
+// equilibrated matrix D·A·D (D = diag(s)), whose diagonal is ±1. For
+// matrices with wildly varying conductances (the circuit workload) this
+// compresses the dynamic range the checksum round-off bounds see.
+func (a *CSR) DiagonalScaling() (scaled *CSR, s []float64) {
+	n := a.Rows
+	s = make([]float64, n)
+	diag := a.Diag(nil)
+	for i, dv := range diag {
+		if dv == 0 {
+			s[i] = 1
+			continue
+		}
+		if dv < 0 {
+			dv = -dv
+		}
+		s[i] = 1 / math.Sqrt(dv)
+	}
+	out := a.Clone()
+	for i := 0; i < n; i++ {
+		for k := out.RowPtr[i]; k < out.RowPtr[i+1]; k++ {
+			out.Val[k] *= s[i] * s[out.ColIdx[k]]
+		}
+	}
+	return out, s
+}

@@ -1,0 +1,121 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRCMIsAPermutation(t *testing.T) {
+	a := CircuitLike(400, 3)
+	perm := RCM(a)
+	if len(perm) != a.Rows {
+		t.Fatalf("perm length %d", len(perm))
+	}
+	seen := make([]bool, a.Rows)
+	for _, p := range perm {
+		if p < 0 || p >= a.Rows || seen[p] {
+			t.Fatalf("not a permutation at %d", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestRCMReducesBandwidth(t *testing.T) {
+	// A randomly permuted banded matrix: RCM should recover a small
+	// bandwidth.
+	base := Tridiag(200, -1, 2, -1)
+	rng := rand.New(rand.NewSource(4))
+	shuffle := rng.Perm(200)
+	scrambled := base.Permute(shuffle)
+	if scrambled.Bandwidth() <= 10 {
+		t.Skip("shuffle did not scramble the band")
+	}
+	perm := RCM(scrambled)
+	restored := scrambled.Permute(perm)
+	if restored.Bandwidth() >= scrambled.Bandwidth()/2 {
+		t.Fatalf("RCM bandwidth %d not much below scrambled %d",
+			restored.Bandwidth(), scrambled.Bandwidth())
+	}
+}
+
+func TestPermuteRoundTrip(t *testing.T) {
+	a := Laplacian2D(5, 5)
+	rng := rand.New(rand.NewSource(7))
+	perm := rng.Perm(a.Rows)
+	b := a.Permute(perm)
+	// Check a sample of entries: b[new_i][new_j] == a[perm[new_i]][perm[new_j]].
+	inv := make([]int, a.Rows)
+	for newI, oldI := range perm {
+		inv[oldI] = newI
+	}
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.RowView(i)
+		for k, j := range cols {
+			if got := b.At(inv[i], inv[j]); got != vals[k] {
+				t.Fatalf("permute mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Vector permutation round trip.
+	x := make([]float64, a.Rows)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	back := UnpermuteVec(PermuteVec(x, perm), perm)
+	for i := range x {
+		if back[i] != x[i] {
+			t.Fatalf("vector permute round trip broke at %d", i)
+		}
+	}
+}
+
+func TestPermutedSolveEquivalence(t *testing.T) {
+	// Solving the permuted system must give the permuted solution:
+	// (PAPᵀ)(Px) = Pb.
+	a := Laplacian2D(6, 6)
+	rng := rand.New(rand.NewSource(8))
+	perm := rng.Perm(a.Rows)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	ap := a.Permute(perm)
+	x := make([]float64, a.Rows)
+	xp := make([]float64, a.Rows)
+	a.MulVec(x, b) // x = A b
+	ap.MulVec(xp, PermuteVec(b, perm))
+	want := PermuteVec(x, perm)
+	for i := range xp {
+		if math.Abs(xp[i]-want[i]) > 1e-12 {
+			t.Fatalf("permuted product differs at %d", i)
+		}
+	}
+}
+
+func TestDiagonalScaling(t *testing.T) {
+	a := CircuitLike(400, 9)
+	scaled, s := a.DiagonalScaling()
+	if len(s) != a.Rows {
+		t.Fatalf("scale length")
+	}
+	d := scaled.Diag(nil)
+	for i, v := range d {
+		if math.Abs(math.Abs(v)-1) > 1e-12 {
+			t.Fatalf("scaled diagonal[%d] = %v, want ±1", i, v)
+		}
+	}
+	// Symmetry preserved.
+	if !scaled.IsSymmetric(1e-12) {
+		t.Fatalf("scaling broke symmetry")
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	if bw := Tridiag(10, -1, 2, -1).Bandwidth(); bw != 1 {
+		t.Fatalf("tridiag bandwidth %d", bw)
+	}
+	if bw := Identity(5).Bandwidth(); bw != 0 {
+		t.Fatalf("identity bandwidth %d", bw)
+	}
+}

@@ -1,0 +1,204 @@
+// Package vec provides the dense vector kernels (the paper's "vector linear
+// operations", VLOs) that iterative methods are built from: copy, scale,
+// axpy-style updates, dot products and norms.
+//
+// Every routine is allocation-free and operates on caller-provided slices so
+// the solvers in internal/solver and the ABFT schemes in internal/core can
+// reuse buffers across iterations. Lengths must match; mismatches panic, as
+// they indicate programmer error rather than runtime conditions.
+package vec
+
+import "math"
+
+// Copy copies src into dst. It is the VLO assignment w := u.
+func Copy(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("vec: length mismatch in Copy")
+	}
+	copy(dst, src)
+}
+
+// Zero sets every element of x to zero.
+func Zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Scale computes w := alpha*u element-wise. dst and u may alias.
+func Scale(dst []float64, alpha float64, u []float64) {
+	if len(dst) != len(u) {
+		panic("vec: length mismatch in Scale")
+	}
+	for i, v := range u {
+		dst[i] = alpha * v
+	}
+}
+
+// Add computes w := u + v element-wise. dst may alias either operand.
+func Add(dst, u, v []float64) {
+	if len(dst) != len(u) || len(dst) != len(v) {
+		panic("vec: length mismatch in Add")
+	}
+	for i := range dst {
+		dst[i] = u[i] + v[i]
+	}
+}
+
+// Sub computes w := u - v element-wise. dst may alias either operand.
+func Sub(dst, u, v []float64) {
+	if len(dst) != len(u) || len(dst) != len(v) {
+		panic("vec: length mismatch in Sub")
+	}
+	for i := range dst {
+		dst[i] = u[i] - v[i]
+	}
+}
+
+// Axpy computes y := y + alpha*x, the classic BLAS-1 update.
+func Axpy(y []float64, alpha float64, x []float64) {
+	if len(y) != len(x) {
+		panic("vec: length mismatch in Axpy")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Axpby computes w := alpha*x + beta*y, the general VLO of Eq. (3) in the
+// paper. dst may alias x or y.
+func Axpby(dst []float64, alpha float64, x []float64, beta float64, y []float64) {
+	if len(dst) != len(x) || len(dst) != len(y) {
+		panic("vec: length mismatch in Axpby")
+	}
+	for i := range dst {
+		dst[i] = alpha*x[i] + beta*y[i]
+	}
+}
+
+// Xpby computes w := x + beta*y, the search-direction update p = z + beta*p
+// used by CG-family methods. dst may alias x or y.
+func Xpby(dst, x []float64, beta float64, y []float64) {
+	if len(dst) != len(x) || len(dst) != len(y) {
+		panic("vec: length mismatch in Xpby")
+	}
+	for i := range dst {
+		dst[i] = x[i] + beta*y[i]
+	}
+}
+
+// Dot returns the inner product u·v (the paper's VDP operation).
+func Dot(u, v []float64) float64 {
+	if len(u) != len(v) {
+		panic("vec: length mismatch in Dot")
+	}
+	var s float64
+	for i, x := range u {
+		s += x * v[i]
+	}
+	return s
+}
+
+// Sum returns the sum of the elements of u, i.e. the inner product with the
+// all-ones checksum vector c1.
+func Sum(u []float64) float64 {
+	var s float64
+	for _, x := range u {
+		s += x
+	}
+	return s
+}
+
+// WeightedSum returns sum_i w(i)*u[i] for a functional weight, used by the
+// checksum package to evaluate c2 = (1..n) and c3 = (1, 1/2, ..., 1/n)
+// inner products without materializing the weight vectors.
+func WeightedSum(u []float64, w func(i int) float64) float64 {
+	var s float64
+	for i, x := range u {
+		s += w(i) * x
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of u, guarding against overflow for
+// large magnitudes by scaling, in the manner of LAPACK's dnrm2.
+func Norm2(u []float64) float64 {
+	var scale, ssq float64
+	ssq = 1
+	for _, x := range u {
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// NormInf returns the maximum absolute element of u.
+func NormInf(u []float64) float64 {
+	var m float64
+	for _, x := range u {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Norm1 returns the sum of absolute values of u.
+func Norm1(u []float64) float64 {
+	var s float64
+	for _, x := range u {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// MaxAbsIndex returns the index of the element with the largest magnitude,
+// or -1 for an empty vector.
+func MaxAbsIndex(u []float64) int {
+	idx := -1
+	var m float64
+	for i, x := range u {
+		if a := math.Abs(x); idx < 0 || a > m {
+			m, idx = a, i
+		}
+	}
+	return idx
+}
+
+// Equal reports whether u and v agree element-wise to within tol in absolute
+// value. Vectors of different lengths are never equal.
+func Equal(u, v []float64, tol float64) bool {
+	if len(u) != len(v) {
+		return false
+	}
+	for i := range u {
+		if math.Abs(u[i]-v[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a freshly allocated copy of u.
+func Clone(u []float64) []float64 {
+	c := make([]float64, len(u))
+	copy(c, u)
+	return c
+}
