@@ -53,7 +53,8 @@ func run(exp string, n, blocks, repeats int, seed int64, csvDir string) error {
 			return err
 		}
 		if err := emit(f); err != nil {
-			f.Close()
+			//lint:ignore errdrop the emit error is the primary failure being reported
+			_ = f.Close()
 			return err
 		}
 		return f.Close()
@@ -70,32 +71,40 @@ func run(exp string, n, blocks, repeats int, seed int64, csvDir string) error {
 		if err != nil {
 			return err
 		}
-		bench.WriteTable3(out, r)
-		fmt.Fprintln(out)
+		if err := bench.WriteTable3(out, r); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stdout)
 	}
 	if all || exp == "table4" {
 		// (d, cd) = (1, 12): the paper's λ=1 optimum; c0 = 4.8 matches
 		// G3_circuit's nnz/n.
-		bench.WriteTable4(out, 1, 12, 4.8)
-		fmt.Fprintln(out)
+		if err := bench.WriteTable4(out, 1, 12, 4.8); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stdout)
 	}
 	if all || exp == "table5" {
-		bench.WriteTable5(out, model.Stampede(), 2000, 1000)
+		if err := bench.WriteTable5(out, model.Stampede(), 2000, 1000); err != nil {
+			return err
+		}
 		if err := writeCSV("table5.csv", func(f *os.File) error {
 			return bench.WriteTable5CSV(f, model.Stampede(), 2000, 1000)
 		}); err != nil {
 			return err
 		}
-		fmt.Fprintln(out)
+		fmt.Fprintln(os.Stdout)
 	}
 	if all || exp == "fig5" {
-		bench.WriteFigure5(out, model.Stampede(), 2000)
+		if err := bench.WriteFigure5(out, model.Stampede(), 2000); err != nil {
+			return err
+		}
 		if err := writeCSV("figure5_pcg.csv", func(f *os.File) error {
 			return bench.WriteSurfaceCSV(f, model.Stampede().PCG, 1.0, 2000, 40, 8)
 		}); err != nil {
 			return err
 		}
-		fmt.Fprintln(out)
+		fmt.Fprintln(os.Stdout)
 	}
 	if all || exp == "fig6" {
 		w, err := bench.CircuitPCG(n, blocks, seed)
@@ -106,11 +115,13 @@ func run(exp string, n, blocks, repeats int, seed int64, csvDir string) error {
 		if err != nil {
 			return err
 		}
-		bench.WriteOverheadFigure(out, "Figure 6: PCG overheads (host measurement)", fig)
+		if err := bench.WriteOverheadFigure(out, "Figure 6: PCG overheads (host measurement)", fig); err != nil {
+			return err
+		}
 		if err := writeCSV("figure6.csv", func(f *os.File) error { return bench.WriteOverheadCSV(f, fig) }); err != nil {
 			return err
 		}
-		fmt.Fprintln(out)
+		fmt.Fprintln(os.Stdout)
 	}
 	if all || exp == "fig7" {
 		side := isqrt(n)
@@ -122,27 +133,33 @@ func run(exp string, n, blocks, repeats int, seed int64, csvDir string) error {
 		if err != nil {
 			return err
 		}
-		bench.WriteOverheadFigure(out, "Figure 7: PBiCGSTAB overheads (host measurement)", fig)
+		if err := bench.WriteOverheadFigure(out, "Figure 7: PBiCGSTAB overheads (host measurement)", fig); err != nil {
+			return err
+		}
 		if err := writeCSV("figure7.csv", func(f *os.File) error { return bench.WriteOverheadCSV(f, fig) }); err != nil {
 			return err
 		}
-		fmt.Fprintln(out)
+		fmt.Fprintln(os.Stdout)
 	}
 	if all || exp == "fig8" {
 		fig := bench.ProjectOverheads(model.Tianhe2(), core.MethodPCG, 1, 12, 4.8)
-		bench.WriteProjectedFigure(out, "Figure 8: PCG overheads on Tianhe-2", fig)
+		if err := bench.WriteProjectedFigure(out, "Figure 8: PCG overheads on Tianhe-2", fig); err != nil {
+			return err
+		}
 		if err := writeCSV("figure8.csv", func(f *os.File) error { return bench.WriteProjectedCSV(f, fig) }); err != nil {
 			return err
 		}
-		fmt.Fprintln(out)
+		fmt.Fprintln(os.Stdout)
 	}
 	if all || exp == "fig9" {
 		fig := bench.ProjectOverheads(model.Tianhe2(), core.MethodPBiCGSTAB, 1, 10, 4.8)
-		bench.WriteProjectedFigure(out, "Figure 9: PBiCGSTAB overheads on Tianhe-2", fig)
+		if err := bench.WriteProjectedFigure(out, "Figure 9: PBiCGSTAB overheads on Tianhe-2", fig); err != nil {
+			return err
+		}
 		if err := writeCSV("figure9.csv", func(f *os.File) error { return bench.WriteProjectedCSV(f, fig) }); err != nil {
 			return err
 		}
-		fmt.Fprintln(out)
+		fmt.Fprintln(os.Stdout)
 	}
 	if all || exp == "fig10" {
 		w, err := bench.CircuitPCG(n, blocks, seed)
@@ -153,11 +170,13 @@ func run(exp string, n, blocks, repeats int, seed int64, csvDir string) error {
 		if err != nil {
 			return err
 		}
-		bench.WriteFigure10(out, fig)
+		if err := bench.WriteFigure10(out, fig); err != nil {
+			return err
+		}
 		if err := writeCSV("figure10.csv", func(f *os.File) error { return bench.WriteFigure10CSV(f, fig) }); err != nil {
 			return err
 		}
-		fmt.Fprintln(out)
+		fmt.Fprintln(os.Stdout)
 	}
 	switch exp {
 	case "all", "table3", "table4", "table5", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10":

@@ -1,0 +1,164 @@
+// Command newsum-lint runs the repo's static-analysis gate: the four
+// ABFT-invariant analyzers of internal/analysis (floatcmp, errdrop,
+// bannedcall, goroutineguard) over the packages named by its arguments.
+//
+// Usage:
+//
+//	newsum-lint [flags] [patterns...]
+//
+// Patterns are package directories; a trailing /... recurses ("./..." is
+// the default). Flags:
+//
+//	-json          emit findings as a JSON array instead of text
+//	-only cat,cat  run only the named analyzers
+//	-list          print the analyzer set and exit
+//
+// Exit status is 0 when no findings survive //lint:ignore suppression, 1
+// when findings remain, and 2 on usage or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"newsum/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// fprintf and fprintln route CLI output to the injected streams. A failed
+// write to stdout/stderr leaves the driver nothing to report with, so the
+// error is consciously dropped.
+func fprintf(w io.Writer, format string, args ...any) {
+	//lint:ignore errdrop CLI output failure is unactionable from inside the CLI
+	_, _ = fmt.Fprintf(w, format, args...)
+}
+
+func fprintln(w io.Writer, args ...any) {
+	//lint:ignore errdrop CLI output failure is unactionable from inside the CLI
+	_, _ = fmt.Fprintln(w, args...)
+}
+
+// finding is the stable JSON shape of one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Category string `json:"category"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("newsum-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	only := fs.String("only", "", "comma-separated analyzer allowlist (default: all)")
+	list := fs.Bool("list", false, "print the analyzer set and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := analysis.All()
+	if *list {
+		for _, az := range analyzers {
+			fprintf(stdout, "%-15s %s\n", az.Name(), az.Doc())
+		}
+		return 0
+	}
+	if *only != "" {
+		var err error
+		analyzers, err = analysis.Select(analyzers, strings.Split(*only, ","))
+		if err != nil {
+			fprintln(stderr, err)
+			return 2
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		fprintln(stderr, err)
+		return 2
+	}
+	// Resolve patterns against the invocation directory, not the module
+	// root, so "./..." in a subdirectory lints just that subtree.
+	resolved := make([]string, len(patterns))
+	for i, pat := range patterns {
+		resolved[i] = absPattern(pat)
+	}
+
+	diags, err := analysis.Run(root, resolved, analyzers)
+	if err != nil {
+		fprintln(stderr, err)
+		return 2
+	}
+
+	if *jsonOut {
+		out := make([]finding, len(diags))
+		for i, d := range diags {
+			out[i] = finding{File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column, Category: d.Category, Message: d.Message}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// absPattern makes a pattern absolute while preserving a /... suffix.
+func absPattern(pat string) string {
+	recursive := false
+	if pat == "..." || strings.HasSuffix(pat, "/...") {
+		recursive = true
+		pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+		if pat == "" {
+			pat = "."
+		}
+	}
+	abs, err := filepath.Abs(pat)
+	if err != nil {
+		abs = pat
+	}
+	if recursive {
+		return abs + "/..."
+	}
+	return abs
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("newsum-lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,274 @@
+// Package analysis is a self-contained static-analysis framework for the
+// newsum codebase, built only on the standard library (go/parser, go/ast,
+// go/types, go/importer, go/token).
+//
+// The checks it hosts enforce the invariants the paper's soundness
+// arguments rest on: floating-point checksum relations such as
+// cᵀ(Av) = checksum(A)·v + d·(cᵀv) survive round-off only when every
+// detection decision goes through a tolerance (never `==` on floats), when
+// no I/O or checkpoint error is silently dropped, when fault injection
+// stays deterministic (no global rand, no stray stdout/exit inside library
+// code), and when the goroutine "MPI" substrate never leaks an unjoined
+// rank. See docs/static_analysis.md for the invariant-by-invariant story.
+//
+// Analyzers implement the Analyzer interface and are driven by Run (used
+// by cmd/newsum-lint) or directly over a loaded *Package in tests.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the reporting analyzer's category
+// (its Name), and a human-readable message.
+type Diagnostic struct {
+	Pos      token.Position
+	Category string
+	Message  string
+}
+
+// String formats a diagnostic the way compilers do: file:line:col: category: message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Category, d.Message)
+}
+
+// Analyzer is one static check over type-checked source. Name doubles as
+// the diagnostic category, the //lint:ignore key, and the driver's -only
+// selector.
+type Analyzer interface {
+	// Name is the short category identifier (e.g. "floatcmp").
+	Name() string
+	// Doc is a one-line description of the enforced invariant.
+	Doc() string
+	// RunFile is called once per loaded (non-test) file of each package.
+	RunFile(pass *Pass, file *ast.File)
+	// RunPackage is called once per package, after every RunFile call.
+	RunPackage(pass *Pass)
+}
+
+// Base carries an analyzer's name and doc and provides no-op hooks, so
+// concrete analyzers embed it and override only the hook they need.
+type Base struct {
+	name, doc string
+}
+
+// NewBase builds the embeddable name/doc core of an analyzer.
+func NewBase(name, doc string) Base { return Base{name: name, doc: doc} }
+
+// Name implements Analyzer.
+func (b Base) Name() string { return b.name }
+
+// Doc implements Analyzer.
+func (b Base) Doc() string { return b.doc }
+
+// RunFile implements Analyzer as a no-op.
+func (Base) RunFile(*Pass, *ast.File) {}
+
+// RunPackage implements Analyzer as a no-op.
+func (Base) RunPackage(*Pass) {}
+
+// Pass hands one analyzer its view of one package plus the reporting sink.
+type Pass struct {
+	Pkg    *Package
+	report func(Diagnostic)
+	name   string
+}
+
+// Reportf records a diagnostic at pos under the running analyzer's
+// category. Findings suppressed by a //lint:ignore comment on the same or
+// the preceding line are dropped.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Category: p.name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil if the type checker recorded none.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Pkg.Info.TypeOf(e)
+}
+
+// ObjectOf returns the object an identifier denotes, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.Pkg.Info.ObjectOf(id)
+}
+
+// Filename returns the name of the file containing pos.
+func (p *Pass) Filename(pos token.Pos) string {
+	return p.Pkg.Fset.Position(pos).Filename
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	pos        token.Position
+	categories []string // nil means the directive is malformed
+}
+
+// suppressions indexes //lint:ignore directives by filename and line. A
+// directive suppresses matching diagnostics on its own line (trailing
+// comment) and on the line below it (comment-above style).
+type suppressions map[string]map[int][]string
+
+func (s suppressions) add(file string, line int, categories []string) {
+	m := s[file]
+	if m == nil {
+		m = map[int][]string{}
+		s[file] = m
+	}
+	m[line] = append(m[line], categories...)
+}
+
+func (s suppressions) matches(d Diagnostic) bool {
+	for _, cat := range s[d.Pos.Filename][d.Pos.Line] {
+		if cat == d.Category {
+			return true
+		}
+	}
+	return false
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// parseIgnores scans a file's comments for //lint:ignore directives. Well
+// formed directives ("//lint:ignore cat[,cat...] reason") are indexed into
+// sup; malformed ones (missing category or reason) are returned so the
+// runner can report them under the "lint" category.
+func parseIgnores(fset *token.FileSet, file *ast.File, sup suppressions) []ignoreDirective {
+	var malformed []ignoreDirective
+	for _, group := range file.Comments {
+		for _, c := range group.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, ignorePrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //lint:ignorefoo — not our directive
+			}
+			pos := fset.Position(c.Pos())
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				malformed = append(malformed, ignoreDirective{pos: pos})
+				continue
+			}
+			cats := strings.Split(fields[0], ",")
+			sup.add(pos.Filename, pos.Line, cats)
+			sup.add(pos.Filename, pos.Line+1, cats)
+		}
+	}
+	return malformed
+}
+
+// Analyze runs the given analyzers over one loaded package and returns the
+// surviving (unsuppressed) diagnostics, sorted by position. Malformed
+// //lint:ignore directives are reported under the "lint" category.
+func Analyze(pkg *Package, analyzers []Analyzer) []Diagnostic {
+	sup := suppressions{}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, bad := range parseIgnores(pkg.Fset, f, sup) {
+			diags = append(diags, Diagnostic{
+				Pos:      bad.pos,
+				Category: "lint",
+				Message:  "malformed //lint:ignore directive; want //lint:ignore <category>[,<category>] <reason>",
+			})
+		}
+	}
+	for _, az := range analyzers {
+		pass := &Pass{
+			Pkg:  pkg,
+			name: az.Name(),
+			report: func(d Diagnostic) {
+				diags = append(diags, d)
+			},
+		}
+		for _, f := range pkg.Files {
+			if isTestFile(pkg.Fset, f) {
+				continue
+			}
+			az.RunFile(pass, f)
+		}
+		az.RunPackage(pass)
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !sup.matches(d) {
+			kept = append(kept, d)
+		}
+	}
+	sortDiagnostics(kept)
+	return kept
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Category < b.Category
+	})
+}
+
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// errorType is the predeclared error interface, for signature checks.
+var errorType = types.Universe.Lookup("error").Type()
+
+// returnsError reports whether any result of sig is exactly error.
+func returnsError(sig *types.Signature) bool {
+	if sig == nil {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errorType) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the called function object of call, if it is a
+// direct call of a named function or method (not a func value or builtin).
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// isNamedType reports whether t (or the type it points to) is the named
+// type path.name.
+func isNamedType(t types.Type, path, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == path
+}

@@ -1,0 +1,196 @@
+package analysis_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"newsum/internal/analysis"
+)
+
+var update = flag.Bool("update", false, "rewrite golden expected.txt files")
+
+// sharedLoader is reused across golden cases so GOROOT sources are
+// type-checked once per test binary.
+var sharedLoader *analysis.Loader
+
+func loader(t *testing.T) *analysis.Loader {
+	t.Helper()
+	if sharedLoader == nil {
+		l, err := analysis.NewLoader("../..")
+		if err != nil {
+			t.Fatalf("NewLoader: %v", err)
+		}
+		sharedLoader = l
+	}
+	return sharedLoader
+}
+
+// golden formats diagnostics with basename-only file names so expected.txt
+// is independent of the checkout path.
+func golden(diags []analysis.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s:%d:%d: %s: %s\n", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Category, d.Message)
+	}
+	return b.String()
+}
+
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		dir string
+		az  analysis.Analyzer
+	}{
+		{"floatcmp", analysis.NewFloatCmp()},
+		{"errdrop", analysis.NewErrDrop()},
+		{"bannedcall", analysis.NewBannedCall()},
+		{"goroutineguard", analysis.NewGoroutineGuard()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			pkg, err := loader(t).LoadDir(filepath.Join("testdata", tc.dir))
+			if err != nil {
+				t.Fatalf("LoadDir: %v", err)
+			}
+			if !pkg.Internal {
+				t.Fatalf("testdata package %s should count as internal, got Path=%s", tc.dir, pkg.Path)
+			}
+			got := golden(analysis.Analyze(pkg, []analysis.Analyzer{tc.az}))
+			expPath := filepath.Join("testdata", tc.dir, "expected.txt")
+			if *update {
+				if err := os.WriteFile(expPath, []byte(got), 0o644); err != nil {
+					t.Fatalf("writing golden: %v", err)
+				}
+				return
+			}
+			want, err := os.ReadFile(expPath)
+			if err != nil {
+				t.Fatalf("reading golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+			if got == "" {
+				t.Errorf("golden case produced no findings; testdata must seed positives")
+			}
+		})
+	}
+}
+
+// TestInternalScoping checks that bannedcall and goroutineguard exempt
+// packages without an internal path element unless unscoped.
+func TestInternalScoping(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scopemod\n\ngo 1.22\n")
+	pkgDir := filepath.Join(dir, "app")
+	writeFile(t, filepath.Join(pkgDir, "main.go"), `package app
+
+import "fmt"
+
+func Hello() { fmt.Println("hi") }
+`)
+	l, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := l.LoadDir(pkgDir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if pkg.Internal {
+		t.Fatalf("package %s should not be internal", pkg.Path)
+	}
+	if diags := analysis.Analyze(pkg, []analysis.Analyzer{analysis.NewBannedCall()}); len(diags) != 0 {
+		t.Errorf("internal-scoped bannedcall fired outside internal/: %v", diags)
+	}
+	unscoped := analysis.NewBannedCall()
+	unscoped.InternalOnly = false
+	if diags := analysis.Analyze(pkg, []analysis.Analyzer{unscoped}); len(diags) != 1 {
+		t.Errorf("unscoped bannedcall want 1 finding, got %v", diags)
+	}
+}
+
+// TestMalformedIgnore checks that a //lint:ignore directive without a
+// category and reason is itself reported, and suppresses nothing.
+func TestMalformedIgnore(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module badmod\n\ngo 1.22\n")
+	pkgDir := filepath.Join(dir, "internal", "x")
+	writeFile(t, filepath.Join(pkgDir, "x.go"), `package x
+
+func cmp(a, b float64) bool {
+	//lint:ignore floatcmp
+	return a == b
+}
+`)
+	l, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := l.LoadDir(pkgDir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	diags := analysis.Analyze(pkg, []analysis.Analyzer{analysis.NewFloatCmp()})
+	var cats []string
+	for _, d := range diags {
+		cats = append(cats, d.Category)
+	}
+	if len(diags) != 2 || cats[0] != "lint" || cats[1] != "floatcmp" {
+		t.Errorf("want [lint floatcmp] diagnostics, got %v", diags)
+	}
+}
+
+// TestSuppressionSameLineAndAbove checks both placements of lint:ignore.
+func TestSuppressionSameLineAndAbove(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module supmod\n\ngo 1.22\n")
+	pkgDir := filepath.Join(dir, "internal", "s")
+	writeFile(t, filepath.Join(pkgDir, "s.go"), `package s
+
+func cmp(a, b, c, d float64) bool {
+	x := a == b //lint:ignore floatcmp trailing-style suppression
+	//lint:ignore floatcmp comment-above suppression
+	y := c == d
+	return x && y
+}
+`)
+	l, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := l.LoadDir(pkgDir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if diags := analysis.Analyze(pkg, []analysis.Analyzer{analysis.NewFloatCmp()}); len(diags) != 0 {
+		t.Errorf("both placements should suppress, got %v", diags)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all := analysis.All()
+	sel, err := analysis.Select(all, []string{"floatcmp", "errdrop"})
+	if err != nil || len(sel) != 2 || sel[0].Name() != "floatcmp" || sel[1].Name() != "errdrop" {
+		t.Errorf("Select(floatcmp,errdrop) = %v, %v", sel, err)
+	}
+	if _, err := analysis.Select(all, []string{"nosuch"}); err == nil {
+		t.Errorf("Select with unknown name should fail")
+	}
+	if sel, err := analysis.Select(all, nil); err != nil || len(sel) != len(all) {
+		t.Errorf("empty selection should return all analyzers")
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags discarded error results: calls whose returned error is
+// never bound (expression, defer and go statements) and errors assigned to
+// the blank identifier. A dropped error from an mmio write or a checkpoint
+// restore silently voids the recovery guarantees the rollback protocol
+// depends on; genuinely-ignorable errors must be discarded as an explicit
+// `_ =` carrying a //lint:ignore justification.
+//
+// A small conventional allowlist avoids noise from unactionable failures:
+// fmt.Print* (process stdout), fmt.Fprint* aimed at os.Stdout/os.Stderr or
+// an in-memory *bytes.Buffer / *strings.Builder, and the Write* methods of
+// those two buffer types (documented to never return a non-nil error).
+type ErrDrop struct {
+	Base
+}
+
+// NewErrDrop constructs the errdrop analyzer.
+func NewErrDrop() *ErrDrop {
+	return &ErrDrop{Base: NewBase("errdrop",
+		"flags discarded error results; checkpoint/mmio errors must be propagated or justified")}
+}
+
+// RunFile implements Analyzer.
+func (a *ErrDrop) RunFile(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := stmt.X.(*ast.CallExpr); ok {
+				a.checkDiscardedCall(pass, call, "")
+			}
+		case *ast.DeferStmt:
+			a.checkDiscardedCall(pass, stmt.Call, "deferred ")
+		case *ast.GoStmt:
+			a.checkDiscardedCall(pass, stmt.Call, "goroutine ")
+		case *ast.AssignStmt:
+			a.checkBlankAssign(pass, stmt)
+		}
+		return true
+	})
+}
+
+// checkDiscardedCall reports a call statement that returns an error with no
+// binding at all.
+func (a *ErrDrop) checkDiscardedCall(pass *Pass, call *ast.CallExpr, kind string) {
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok || !returnsError(sig) || a.allowed(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%scall to %s drops its error result; handle it or assign to _ with a //lint:ignore justification",
+		kind, calleeName(pass, call))
+}
+
+// checkBlankAssign reports error results assigned to the blank identifier.
+func (a *ErrDrop) checkBlankAssign(pass *Pass, stmt *ast.AssignStmt) {
+	// Multi-value form: x, _ := f().
+	if len(stmt.Rhs) == 1 && len(stmt.Lhs) > 1 {
+		call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+		if !ok || a.allowed(pass, call) {
+			return
+		}
+		res := sig.Results()
+		for i := 0; i < res.Len() && i < len(stmt.Lhs); i++ {
+			if isBlank(stmt.Lhs[i]) && types.Identical(res.At(i).Type(), errorType) {
+				pass.Reportf(stmt.Lhs[i].Pos(), "error result of %s discarded as _; handle it or add a //lint:ignore justification",
+					calleeName(pass, call))
+			}
+		}
+		return
+	}
+	// Paired form: _ = f() (possibly among several pairs).
+	for i, lhs := range stmt.Lhs {
+		if !isBlank(lhs) || i >= len(stmt.Rhs) {
+			continue
+		}
+		if t := pass.TypeOf(stmt.Rhs[i]); t == nil || !types.Identical(t, errorType) {
+			continue
+		}
+		if call, ok := ast.Unparen(stmt.Rhs[i]).(*ast.CallExpr); ok && a.allowed(pass, call) {
+			continue
+		}
+		pass.Reportf(lhs.Pos(), "error discarded as _; handle it or add a //lint:ignore justification")
+	}
+}
+
+// allowed reports whether call is on the conventional ignore list.
+func (a *ErrDrop) allowed(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv != nil {
+		// In-memory buffer writes never fail.
+		return isNamedType(recv.Type(), "bytes", "Buffer") || isNamedType(recv.Type(), "strings", "Builder")
+	}
+	if fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	if strings.HasPrefix(fn.Name(), "Print") {
+		return true // process stdout: failure is unactionable
+	}
+	if strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+		return isUnactionableWriter(pass, call.Args[0])
+	}
+	return false
+}
+
+// isUnactionableWriter reports whether the fmt.Fprint* destination is the
+// process's own stdout/stderr or an in-memory buffer.
+func isUnactionableWriter(pass *Pass, w ast.Expr) bool {
+	if sel, ok := ast.Unparen(w).(*ast.SelectorExpr); ok {
+		if obj := pass.ObjectOf(sel.Sel); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "os" {
+			if sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr" {
+				return true
+			}
+		}
+	}
+	t := pass.TypeOf(w)
+	return isNamedType(t, "bytes", "Buffer") || isNamedType(t, "strings", "Builder")
+}
+
+func calleeName(pass *Pass, call *ast.CallExpr) string {
+	if fn := calleeFunc(pass, call); fn != nil {
+		if fn.Pkg() != nil && fn.Type().(*types.Signature).Recv() == nil {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return "function"
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != between floating-point operands. Every ABFT
+// detection decision in this codebase must go through a tolerance
+// (checksum.Tol): Lemma 2's round-off bound makes exact equality of
+// checksum relations meaningless, so a bare float equality is either a
+// latent soundness bug or an exact-sentinel test that deserves an explicit
+// //lint:ignore justification.
+type FloatCmp struct {
+	Base
+}
+
+// NewFloatCmp constructs the floatcmp analyzer.
+func NewFloatCmp() *FloatCmp {
+	return &FloatCmp{Base: NewBase("floatcmp",
+		"flags ==/!= between floating-point operands; ABFT detection must use tolerances")}
+}
+
+// RunFile implements Analyzer.
+func (a *FloatCmp) RunFile(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+			return true
+		}
+		if isFloat(pass.TypeOf(bin.X)) || isFloat(pass.TypeOf(bin.Y)) {
+			pass.Reportf(bin.OpPos,
+				"floating-point %s comparison; compare through a tolerance (checksum.Tol) or an ordered guard", bin.Op)
+		}
+		return true
+	})
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineGuard polices `go` statements in internal/ library code. The
+// par substrate models MPI ranks as goroutines whose collectives block the
+// whole team, so a leaked (unjoined) goroutine deadlocks or races the next
+// solve. Two findings:
+//
+//   - a go statement whose enclosing function shows no join construct at
+//     all (no sync.WaitGroup.Wait, no channel receive, no range over a
+//     channel) — the goroutine's lifetime escapes the function silently;
+//   - a go statement whose function literal captures an enclosing loop
+//     variable instead of receiving it as an argument. Go 1.22 made the
+//     capture per-iteration, but the rank identity of a worker must stay
+//     explicit in the signature (as in ABFTPCG's `go func(rank int)`).
+//
+// Long-lived workers joined elsewhere (e.g. via a Stop method) are the
+// legitimate exception and take a //lint:ignore goroutineguard comment.
+type GoroutineGuard struct {
+	Base
+	// InternalOnly restricts the check to internal/ library packages.
+	InternalOnly bool
+}
+
+// NewGoroutineGuard constructs the goroutineguard analyzer scoped to
+// internal/ packages.
+func NewGoroutineGuard() *GoroutineGuard {
+	return &GoroutineGuard{
+		Base: NewBase("goroutineguard",
+			"flags go statements with no visible join or with implicit loop-variable capture in internal/ packages"),
+		InternalOnly: true,
+	}
+}
+
+// RunFile implements Analyzer.
+func (a *GoroutineGuard) RunFile(pass *Pass, file *ast.File) {
+	if a.InternalOnly && !pass.Pkg.Internal {
+		return
+	}
+	w := &ggWalker{pass: pass}
+	ast.Walk(w, file)
+}
+
+// ggWalker tracks the enclosing function and loop-variable stacks while
+// descending to go statements.
+type ggWalker struct {
+	pass      *Pass
+	funcStack []*funcFrame
+	loopVars  []types.Object
+}
+
+// funcFrame is one enclosing function body; loop-variable capture resolves
+// by object identity, so shadowing parameters need no special casing.
+type funcFrame struct {
+	body *ast.BlockStmt
+}
+
+func (w *ggWalker) Visit(n ast.Node) ast.Visitor {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		if n.Body == nil {
+			return nil
+		}
+		w.pushFunc(n.Body)
+		ast.Walk(w, n.Body)
+		w.popFunc()
+		return nil
+	case *ast.FuncLit:
+		w.pushFunc(n.Body)
+		ast.Walk(w, n.Body)
+		w.popFunc()
+		return nil
+	case *ast.ForStmt:
+		w.walkLoop(n, forLoopVars(w.pass, n), n.Cond, n.Post, n.Body)
+		return nil
+	case *ast.RangeStmt:
+		w.walkLoop(n, rangeLoopVars(w.pass, n), n.Body)
+		return nil
+	case *ast.GoStmt:
+		w.checkGo(n)
+		return w // descend into the call (nested literals may hold more go stmts)
+	}
+	return w
+}
+
+func (w *ggWalker) pushFunc(body *ast.BlockStmt) {
+	w.funcStack = append(w.funcStack, &funcFrame{body: body})
+}
+
+func (w *ggWalker) popFunc() {
+	w.funcStack = w.funcStack[:len(w.funcStack)-1]
+}
+
+// walkLoop pushes the loop's variables, walks its constituent nodes, and
+// pops.
+func (w *ggWalker) walkLoop(loop ast.Node, vars []types.Object, parts ...ast.Node) {
+	depth := len(w.loopVars)
+	w.loopVars = append(w.loopVars, vars...)
+	for _, p := range parts {
+		if p != nil {
+			ast.Walk(w, p)
+		}
+	}
+	w.loopVars = w.loopVars[:depth]
+}
+
+func (w *ggWalker) checkGo(stmt *ast.GoStmt) {
+	if len(w.funcStack) == 0 {
+		return
+	}
+	frame := w.funcStack[len(w.funcStack)-1]
+	if !hasJoin(w.pass, frame.body) {
+		w.pass.Reportf(stmt.Pos(),
+			"go statement without a visible join in the enclosing function (no WaitGroup.Wait, channel receive, or channel range); unjoined goroutines leak past the collective protocol")
+	}
+	if lit, ok := stmt.Call.Fun.(*ast.FuncLit); ok {
+		for _, obj := range w.loopVars {
+			if id := capturedIdent(w.pass, lit.Body, obj); id != nil {
+				w.pass.Reportf(id.Pos(),
+					"goroutine closure captures loop variable %q; pass it as an argument so the rank binding is explicit", obj.Name())
+			}
+		}
+	}
+}
+
+// hasJoin reports whether body contains any construct that waits for a
+// goroutine: a Wait call on a sync.WaitGroup, a channel receive, or a
+// range over a channel. Nested function literals count (a join wrapped in
+// a defer closure is still a join).
+func hasJoin(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				if isNamedType(pass.TypeOf(sel.X), "sync", "WaitGroup") {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// forLoopVars extracts the variables defined by a 3-clause for init.
+func forLoopVars(pass *Pass, loop *ast.ForStmt) []types.Object {
+	assign, ok := loop.Init.(*ast.AssignStmt)
+	if !ok || assign.Tok != token.DEFINE {
+		return nil
+	}
+	var vars []types.Object
+	for _, lhs := range assign.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+				vars = append(vars, obj)
+			}
+		}
+	}
+	return vars
+}
+
+// rangeLoopVars extracts the variables defined by a range clause.
+func rangeLoopVars(pass *Pass, loop *ast.RangeStmt) []types.Object {
+	if loop.Tok != token.DEFINE {
+		return nil
+	}
+	var vars []types.Object
+	for _, e := range []ast.Expr{loop.Key, loop.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+				vars = append(vars, obj)
+			}
+		}
+	}
+	return vars
+}
+
+// capturedIdent returns the first identifier in body that uses obj, or nil.
+func capturedIdent(pass *Pass, body *ast.BlockStmt, obj types.Object) *ast.Ident {
+	var hit *ast.Ident
+	ast.Inspect(body, func(n ast.Node) bool {
+		if hit != nil {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.Pkg.Info.Uses[id] == obj {
+			hit = id
+		}
+		return hit == nil
+	})
+	return hit
+}

@@ -1,0 +1,36 @@
+package analysis
+
+import "fmt"
+
+// All returns the full default analyzer set in its driver configuration
+// (bannedcall and goroutineguard scoped to internal/ packages).
+func All() []Analyzer {
+	return []Analyzer{
+		NewFloatCmp(),
+		NewErrDrop(),
+		NewBannedCall(),
+		NewGoroutineGuard(),
+	}
+}
+
+// Select filters analyzers down to the named categories. An unknown name
+// is an error, so a typo in -only fails loudly instead of silently
+// skipping a gate.
+func Select(analyzers []Analyzer, names []string) ([]Analyzer, error) {
+	if len(names) == 0 {
+		return analyzers, nil
+	}
+	byName := map[string]Analyzer{}
+	for _, az := range analyzers {
+		byName[az.Name()] = az
+	}
+	var out []Analyzer
+	for _, name := range names {
+		az, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", name)
+		}
+		out = append(out, az)
+	}
+	return out, nil
+}

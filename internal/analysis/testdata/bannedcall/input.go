@@ -1,0 +1,36 @@
+// Package bannedcase seeds deliberate bannedcall violations (plus clean
+// and suppressed counterparts) for the analyzer's golden test.
+package bannedcase
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"os"
+)
+
+func positives() {
+	fmt.Println("direct stdout")
+	fmt.Printf("%d\n", rand.Intn(10))
+	fmt.Print("more stdout")
+	rand.Seed(42)
+	x := rand.Float64()
+	if x > 2 {
+		log.Fatalf("impossible: %v", x)
+		os.Exit(1)
+	}
+}
+
+func negatives(w io.Writer) {
+	r := rand.New(rand.NewSource(1))
+	_ = r.Intn(10)
+	fmt.Fprintf(w, "injected writer is the sanctioned path")
+	s := fmt.Sprintf("pure formatting is fine")
+	_ = s
+}
+
+func suppressed() {
+	//lint:ignore bannedcall this exit is the documented panic-equivalent
+	os.Exit(2)
+}

@@ -1,0 +1,44 @@
+// Package errdropcase seeds deliberate errdrop violations (plus clean and
+// suppressed counterparts) for the analyzer's golden test.
+package errdropcase
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+func value() (int, error) { return 0, nil }
+
+func positives() {
+	mayFail()
+	defer mayFail()
+	go mayFail()
+	_, _ = value()
+	_ = mayFail()
+	f, _ := os.Create("x")
+	fmt.Fprintf(f, "not an allowlisted writer")
+}
+
+func negatives(sb *strings.Builder) error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	v, err := value()
+	_ = v
+	fmt.Println("stdout is unactionable")
+	fmt.Fprintf(os.Stderr, "so is stderr")
+	var b strings.Builder
+	b.WriteString("in-memory writes cannot fail")
+	fmt.Fprintf(&b, "neither can this")
+	fmt.Fprintf(sb, "nor this")
+	return err
+}
+
+func suppressed() {
+	//lint:ignore errdrop best-effort cleanup, failure leaves no stale state
+	mayFail()
+	_ = mayFail() //lint:ignore errdrop sentinel write, checked by caller
+}

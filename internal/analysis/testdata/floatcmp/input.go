@@ -1,0 +1,30 @@
+// Package floatcmpcase seeds deliberate floatcmp violations (plus clean
+// and suppressed counterparts) for the analyzer's golden test.
+package floatcmpcase
+
+func positives(a, b float64, c float32) bool {
+	if a == b {
+		return true
+	}
+	if c != 2.5 {
+		return false
+	}
+	xs := []float64{1}
+	return xs[0] == 0
+}
+
+func negatives(a, b float64, i, j int) bool {
+	if i == j {
+		return true
+	}
+	if a <= b || a > b {
+		return false
+	}
+	s := "x"
+	return s == "y"
+}
+
+func suppressed(a float64) bool {
+	//lint:ignore floatcmp exact sentinel comparison is intended here
+	return a == 0
+}

@@ -1,0 +1,60 @@
+// Package ggcase seeds deliberate goroutineguard violations (plus clean
+// and suppressed counterparts) for the analyzer's golden test.
+package ggcase
+
+import "sync"
+
+func work(int) {}
+
+func positiveNoJoin() {
+	go work(1)
+}
+
+func positiveLoopCapture() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work(i)
+		}()
+	}
+	wg.Wait()
+}
+
+func positiveRangeCapture(xs []int) {
+	ch := make(chan int)
+	for _, v := range xs {
+		go func() {
+			ch <- v
+		}()
+	}
+	for range xs {
+		<-ch
+	}
+}
+
+func negativeJoined() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			work(rank)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func negativeChannelJoin() {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}
+
+func suppressedDetached() {
+	//lint:ignore goroutineguard long-lived worker, joined by Stop elsewhere
+	go work(3)
+}

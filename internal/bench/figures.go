@@ -159,31 +159,33 @@ func FigureOverheads(w Workload, repeats int, seed int64) (OverheadFigure, error
 }
 
 // WriteOverheadFigure renders an empirical overhead figure.
-func WriteOverheadFigure(out io.Writer, title string, fig OverheadFigure) {
-	fmt.Fprintf(out, "%s — workload %s, baseline %.3fs (%d iterations)\n",
+func WriteOverheadFigure(out io.Writer, title string, fig OverheadFigure) error {
+	var s sink
+	s.printf(out, "%s — workload %s, baseline %.3fs (%d iterations)\n",
 		title, fig.Workload, fig.BaselineS, fig.Iters)
-	fmt.Fprintf(out, "host Eq.(5) params: t=%.3gs tu=%.3gs td=%.3gs tc=%.3gs tr=%.3gs\n",
+	s.printf(out, "host Eq.(5) params: t=%.3gs tu=%.3gs td=%.3gs tc=%.3gs tr=%.3gs\n",
 		fig.Costs.Iter, fig.Costs.Update, fig.Costs.Detect, fig.Costs.Checkpoint, fig.Costs.Recover)
-	for _, s := range []ScenarioName{S1, S2, S3} {
-		iv := fig.Intervals[s]
-		fmt.Fprintf(out, "%s: (cd,d)=(%d,%d)  ", s, iv[0], iv[1])
+	for _, sc := range []ScenarioName{S1, S2, S3} {
+		iv := fig.Intervals[sc]
+		s.printf(out, "%s: (cd,d)=(%d,%d)  ", sc, iv[0], iv[1])
 	}
-	fmt.Fprintln(out)
+	s.println(out)
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "scheme\terror-free\tscenario 1\tscenario 2\tscenario 3\n")
+	s.printf(tw, "scheme\terror-free\tscenario 1\tscenario 2\tscenario 3\n")
 	for _, v := range FigureVariants() {
-		fmt.Fprintf(tw, "%s\t", v.Label)
+		s.printf(tw, "%s\t", v.Label)
 		for _, scen := range Scenarios() {
 			ov := fig.Overhead[v.Label][scen]
 			if math.IsInf(ov, 1) {
-				fmt.Fprintf(tw, "Inf\t")
+				s.printf(tw, "Inf\t")
 			} else {
-				fmt.Fprintf(tw, "%+.1f%%\t", 100*ov)
+				s.printf(tw, "%+.1f%%\t", 100*ov)
 			}
 		}
-		fmt.Fprintln(tw)
+		s.println(tw)
 	}
-	tw.Flush()
+	s.flush(tw)
+	return s.err
 }
 
 // ProjectedFigure computes the Figs. 8–9 analogue for a machine profile we
@@ -237,24 +239,26 @@ func ProjectOverheads(m model.Machine, method core.Method, d, cd int, c0 float64
 }
 
 // WriteProjectedFigure renders a Figs. 8–9 projection table.
-func WriteProjectedFigure(out io.Writer, title string, fig ProjectedFigure) {
-	fmt.Fprintf(out, "%s — %s profile, %s, (cd,d)=(%d,%d), c0=%.1f (Table-4 projection)\n",
+func WriteProjectedFigure(out io.Writer, title string, fig ProjectedFigure) error {
+	var s sink
+	s.printf(out, "%s — %s profile, %s, (cd,d)=(%d,%d), c0=%.1f (Table-4 projection)\n",
 		title, fig.Machine, fig.Method, fig.CD, fig.D, fig.C0)
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "scheme\terror-free\tscenario 1\tscenario 2\tscenario 3\n")
+	s.printf(tw, "scheme\terror-free\tscenario 1\tscenario 2\tscenario 3\n")
 	for _, l := range projLabels {
-		fmt.Fprintf(tw, "%s\t", l)
+		s.printf(tw, "%s\t", l)
 		for _, scen := range Scenarios() {
 			ov := fig.Overhead[l][scen]
 			if math.IsInf(ov, 1) {
-				fmt.Fprintf(tw, "Inf\t")
+				s.printf(tw, "Inf\t")
 			} else {
-				fmt.Fprintf(tw, "%+.1f%%\t", 100*ov)
+				s.printf(tw, "%+.1f%%\t", 100*ov)
 			}
 		}
-		fmt.Fprintln(tw)
+		s.println(tw)
 	}
-	tw.Flush()
+	s.flush(tw)
+	return s.err
 }
 
 // MultiErrorFigure is the Fig. 10 result: basic vs two-level under k MVM
@@ -348,17 +352,18 @@ func Figure10(w Workload, repeats int, seed int64) (MultiErrorFigure, error) {
 }
 
 // WriteFigure10 renders the multi-error comparison.
-func WriteFigure10(out io.Writer, fig MultiErrorFigure) {
-	fmt.Fprintf(out, "Figure 10: multiple-error scenario — %s, (cd,d)=(%d,%d)\n", fig.Workload, fig.CD, fig.D)
+func WriteFigure10(out io.Writer, fig MultiErrorFigure) error {
+	var s sink
+	s.printf(out, "Figure 10: multiple-error scenario — %s, (cd,d)=(%d,%d)\n", fig.Workload, fig.CD, fig.D)
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "case\tbasic\ttwo-level/eager\ttwo-level/lazy\tbasic rollbacks\ttwo-level corrections\n")
+	s.printf(tw, "case\tbasic\ttwo-level/eager\ttwo-level/lazy\tbasic rollbacks\ttwo-level corrections\n")
 	sums := map[string]float64{}
 	for _, c := range fig.Cases {
 		label := fmt.Sprintf("%d MVM err", c.K)
 		if c.WithVLO {
 			label += " + 1 VLO err"
 		}
-		fmt.Fprintf(tw, "%s\t%+.1f%%\t%+.1f%%\t%+.1f%%\t%d\t%d\n",
+		s.printf(tw, "%s\t%+.1f%%\t%+.1f%%\t%+.1f%%\t%d\t%d\n",
 			label,
 			100*c.Overhead["basic"],
 			100*c.Overhead["two-level/eager"],
@@ -369,17 +374,18 @@ func WriteFigure10(out io.Writer, fig MultiErrorFigure) {
 			sums[l] += ov
 		}
 	}
-	tw.Flush()
+	s.flush(tw)
 	n := float64(len(fig.Cases))
 	if n > 0 && sums["basic"] > 0 {
 		b := sums["basic"] / n
 		te := sums["two-level/eager"] / n
 		tl := sums["two-level/lazy"] / n
-		fmt.Fprintf(out, "average overhead: basic %+.1f%%, two-level/eager %+.1f%%, two-level/lazy %+.1f%%\n",
+		s.printf(out, "average overhead: basic %+.1f%%, two-level/eager %+.1f%%, two-level/lazy %+.1f%%\n",
 			100*b, 100*te, 100*tl)
-		fmt.Fprintf(out, "two-level improvement over basic: eager %.1f%%, lazy %.1f%% (paper reports 32.1%%)\n",
+		s.printf(out, "two-level improvement over basic: eager %.1f%%, lazy %.1f%% (paper reports 32.1%%)\n",
 			100*(b-te)/b, 100*(b-tl)/b)
 	}
+	return s.err
 }
 
 func minInt(a, b int) int {

@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// sink latches the first error of a sequence of formatted writes, so table
+// renderers can format unconditionally and report the failure once. This
+// is how the Write* functions satisfy the errdrop gate without threading
+// an error check through every row.
+type sink struct {
+	err error
+}
+
+func (s *sink) printf(w io.Writer, format string, args ...any) {
+	if s.err == nil {
+		_, s.err = fmt.Fprintf(w, format, args...)
+	}
+}
+
+func (s *sink) println(w io.Writer, args ...any) {
+	if s.err == nil {
+		_, s.err = fmt.Fprintln(w, args...)
+	}
+}
+
+// flush drains a tabwriter, where buffered cell errors actually surface.
+func (s *sink) flush(tw *tabwriter.Writer) {
+	if s.err == nil {
+		s.err = tw.Flush()
+	}
+}

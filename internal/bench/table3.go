@@ -152,35 +152,37 @@ func yesNo(b bool) string {
 }
 
 // WriteTable3 renders the coverage result as the paper's Table 3.
-func WriteTable3(out io.Writer, r CoverageResult) {
+func WriteTable3(out io.Writer, r CoverageResult) error {
+	var s sink
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(out, "Table 3: features and error coverage (empirical; PCG + block-Jacobi/ILU)")
-	fmt.Fprintf(tw, "feature\t")
-	for _, s := range r.Schemes {
-		fmt.Fprintf(tw, "%s\t", shortScheme(s))
+	s.println(out, "Table 3: features and error coverage (empirical; PCG + block-Jacobi/ILU)")
+	s.printf(tw, "feature\t")
+	for _, sc := range r.Schemes {
+		s.printf(tw, "%s\t", shortScheme(sc))
 	}
-	fmt.Fprintln(tw)
+	s.println(tw)
 	kindRow := map[fault.Kind]string{
 		fault.Arithmetic:    "Can protect arithmetic error",
 		fault.Memory:        "Can protect memory bit flips",
 		fault.CacheRegister: "Can protect cache or register bit flips",
 	}
 	for _, k := range r.Kinds {
-		fmt.Fprintf(tw, "%s\t", kindRow[k])
-		for _, s := range r.Schemes {
-			fmt.Fprintf(tw, "%s\t", yesNo(r.Cells[s][k].Protected))
+		s.printf(tw, "%s\t", kindRow[k])
+		for _, sc := range r.Schemes {
+			s.printf(tw, "%s\t", yesNo(r.Cells[sc][k].Protected))
 		}
-		fmt.Fprintln(tw)
+		s.println(tw)
 	}
 	for _, fr := range featureRows {
-		fmt.Fprintf(tw, "%s\t", fr.name)
-		for _, s := range r.Schemes {
-			fmt.Fprintf(tw, "%s\t", yesNo(fr.vals[s]))
+		s.printf(tw, "%s\t", fr.name)
+		for _, sc := range r.Schemes {
+			s.printf(tw, "%s\t", yesNo(fr.vals[sc]))
 		}
-		fmt.Fprintln(tw)
+		s.println(tw)
 	}
-	tw.Flush()
-	fmt.Fprintf(out, "generality demo: basic ABFT protected a faulted Jacobi solve: %s\n", yesNo(r.JacobiWorks))
+	s.flush(tw)
+	s.printf(out, "generality demo: basic ABFT protected a faulted Jacobi solve: %s\n", yesNo(r.JacobiWorks))
+	return s.err
 }
 
 func shortScheme(s core.Scheme) string {

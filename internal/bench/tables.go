@@ -13,18 +13,20 @@ import (
 // Table 4 at the given intervals and sparsity, both in op units and — using
 // the Stampede per-operation times — in milliseconds per iteration, with
 // the §6.2 ranking per scenario.
-func WriteTable4(out io.Writer, d, cd int, c0 float64) {
+func WriteTable4(out io.Writer, d, cd int, c0 float64) error {
 	m := model.Stampede()
-	fmt.Fprintf(out, "Table 4: theoretical per-iteration overhead (d=%d, cd=%d, c0=nnz/n=%.1f)\n", d, cd, c0)
+	var s sink
+	s.printf(out, "Table 4: theoretical per-iteration overhead (d=%d, cd=%d, c0=nnz/n=%.1f)\n", d, cd, c0)
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "scenario\tbasic (O1)\ttwo-level (O2)\tonline MV (O3)\tranking (cheapest first)\n")
-	for _, s := range []model.Scenario{model.Scenario1, model.Scenario2, model.Scenario3} {
-		o1, o2, o3 := model.Table4Costs(s, d, cd, c0)
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%v\n",
-			s, opString(o1, m.Ops), opString(o2, m.Ops), opString(o3, m.Ops),
-			model.Ranking(s, d, cd, c0, m.Ops))
+	s.printf(tw, "scenario\tbasic (O1)\ttwo-level (O2)\tonline MV (O3)\tranking (cheapest first)\n")
+	for _, sc := range []model.Scenario{model.Scenario1, model.Scenario2, model.Scenario3} {
+		o1, o2, o3 := model.Table4Costs(sc, d, cd, c0)
+		s.printf(tw, "%s\t%s\t%s\t%s\t%v\n",
+			sc, opString(o1, m.Ops), opString(o2, m.Ops), opString(o3, m.Ops),
+			model.Ranking(sc, d, cd, c0, m.Ops))
 	}
-	tw.Flush()
+	s.flush(tw)
+	return s.err
 }
 
 func opString(o model.OpCount, t model.OpTimes) string {
@@ -33,6 +35,7 @@ func opString(o model.OpCount, t model.OpTimes) string {
 	}
 	parts := ""
 	add := func(v float64, unit string) {
+		//lint:ignore floatcmp op counts are small exact integers in float64; zero means the term is absent
 		if v == 0 {
 			return
 		}
@@ -75,20 +78,23 @@ func Table5(m model.Machine, iters, maxCD int) []Table5Row {
 }
 
 // WriteTable5 renders the optimal (cd, d) table.
-func WriteTable5(out io.Writer, m model.Machine, iters, maxCD int) {
-	fmt.Fprintf(out, "Table 5: optimal (cd, d) for basic online ABFT (%s profile, I=%d, cd<=%d)\n", m.Name, iters, maxCD)
+func WriteTable5(out io.Writer, m model.Machine, iters, maxCD int) error {
+	var s sink
+	s.printf(out, "Table 5: optimal (cd, d) for basic online ABFT (%s profile, I=%d, cd<=%d)\n", m.Name, iters, maxCD)
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "lambda\tPCG\tPBiCGSTAB\n")
+	s.printf(tw, "lambda\tPCG\tPBiCGSTAB\n")
 	for _, r := range Table5(m, iters, maxCD) {
-		fmt.Fprintf(tw, "%g\t(%d, %d)\t(%d, %d)\n", r.Lambda, r.PCGCD, r.PCGD, r.BiCGCD, r.BiCGD)
+		s.printf(tw, "%g\t(%d, %d)\t(%d, %d)\n", r.Lambda, r.PCGCD, r.PCGD, r.BiCGCD, r.BiCGD)
 	}
-	tw.Flush()
+	s.flush(tw)
+	return s.err
 }
 
 // WriteFigure5 renders the Fig. 5 expected-execution-time landscape
 // E(cd, d) at λ = 1 for PCG (a) and PBiCGSTAB (b): one row per cd, one
 // column per d, with the optimum marked.
-func WriteFigure5(out io.Writer, m model.Machine, iters int) {
+func WriteFigure5(out io.Writer, m model.Machine, iters int) error {
+	var s sink
 	for _, part := range []struct {
 		label string
 		costs model.OpCosts
@@ -97,13 +103,13 @@ func WriteFigure5(out io.Writer, m model.Machine, iters int) {
 		{"(b) PBiCGSTAB", m.PBiCGSTAB},
 	} {
 		bestCD, bestD, bestE := model.Optimize(part.costs, 1.0, iters, 40)
-		fmt.Fprintf(out, "Figure 5%s: expected execution time E(cd,d), lambda=1.0, I=%d (%s profile)\n",
+		s.printf(out, "Figure 5%s: expected execution time E(cd,d), lambda=1.0, I=%d (%s profile)\n",
 			part.label, iters, m.Name)
-		fmt.Fprintf(out, "optimal (cd,d) = (%d,%d), E = %.2fs\n", bestCD, bestD, bestE)
+		s.printf(out, "optimal (cd,d) = (%d,%d), E = %.2fs\n", bestCD, bestD, bestE)
 		tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-		fmt.Fprintf(tw, "cd\\d\t1\t2\t4\t8\n")
+		s.printf(tw, "cd\\d\t1\t2\t4\t8\n")
 		for cd := 2; cd <= 40; cd += 2 {
-			fmt.Fprintf(tw, "%d\t", cd)
+			s.printf(tw, "%d\t", cd)
 			for _, d := range []int{1, 2, 4, 8} {
 				e := model.ExpectedTime(part.costs, 1.0, iters, cd, d)
 				mark := ""
@@ -111,13 +117,14 @@ func WriteFigure5(out io.Writer, m model.Machine, iters int) {
 					mark = "*"
 				}
 				if math.IsInf(e, 1) {
-					fmt.Fprintf(tw, "-\t")
+					s.printf(tw, "-\t")
 				} else {
-					fmt.Fprintf(tw, "%.2f%s\t", e, mark)
+					s.printf(tw, "%.2f%s\t", e, mark)
 				}
 			}
-			fmt.Fprintln(tw)
+			s.println(tw)
 		}
-		tw.Flush()
+		s.flush(tw)
 	}
+	return s.err
 }

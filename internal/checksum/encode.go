@@ -27,6 +27,7 @@ func EncodeMatrix(a *sparse.CSR, weights []Weight, d float64) *Matrix {
 	if a.Rows != a.Cols {
 		panic("checksum: EncodeMatrix requires a square matrix")
 	}
+	//lint:ignore floatcmp validates a caller-supplied exact value, not computed data
 	if d == 0 {
 		panic("checksum: decoupling scalar d must be non-zero")
 	}

@@ -108,12 +108,13 @@ func Checksums(x []float64, weights []Weight) []float64 {
 func LemmaD(a *sparse.CSR, weights []Weight) float64 {
 	n := float64(a.Rows)
 	normA := a.NormInf()
-	if normA == 0 {
+	if normA <= 0 {
 		normA = 1
 	}
 	bound := 0.0
 	for _, w := range weights {
 		minC, maxC := w.Range(a.Rows)
+		//lint:ignore floatcmp weights are nonzero by construction; exact validation
 		if minC == 0 {
 			panic("checksum: weight with zero entry")
 		}
@@ -140,7 +141,7 @@ func LemmaD(a *sparse.CSR, weights []Weight) float64 {
 // guarantee is worth the signal loss.
 func PracticalD(a *sparse.CSR) float64 {
 	normA := a.NormInf()
-	if normA == 0 {
+	if normA <= 0 {
 		normA = 1
 	}
 	d := math.Exp2(math.Ceil(math.Log2(normA)) + 1)

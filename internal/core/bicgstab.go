@@ -65,7 +65,7 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 	rhat := vec.Clone(r.data) // shadow residual, fixed for the whole solve
 
 	normB := vec.Norm2(b)
-	if normB == 0 {
+	if normB <= 0 {
 		normB = 1
 	}
 	tolRes := opts.Tol
@@ -167,6 +167,7 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 		}
 
 		rho := vec.Dot(rhat, r.data)
+		//lint:ignore floatcmp exact zero guards the division below, not a detection decision
 		if rho == 0 {
 			res.Residual = relres
 			return res, breakdownErr("PBiCGSTAB", scheme, i, "ρ = 0")
@@ -204,6 +205,7 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 			continue
 		}
 		rhatV := vec.Dot(rhat, v.data)
+		//lint:ignore floatcmp exact zero guards the division below, not a detection decision
 		if rhatV == 0 {
 			res.Residual = relres
 			return res, breakdownErr("PBiCGSTAB", scheme, i, "r̂ᵀv = 0")
@@ -255,11 +257,12 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 			continue
 		}
 		tt := vec.Dot(t.data, t.data)
-		if tt == 0 {
+		if tt <= 0 {
 			res.Residual = relres
 			return res, breakdownErr("PBiCGSTAB", scheme, i, "tᵀt = 0")
 		}
 		omega = vec.Dot(t.data, s.data) / tt
+		//lint:ignore floatcmp exact zero guards the division below, not a detection decision
 		if omega == 0 {
 			res.Residual = relres
 			return res, breakdownErr("PBiCGSTAB", scheme, i, "ω = 0")

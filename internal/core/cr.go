@@ -45,7 +45,7 @@ func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 	copyTracked(ap, ar)
 
 	normB := vec.Norm2(b)
-	if normB == 0 {
+	if normB <= 0 {
 		normB = 1
 	}
 	tolRes := opts.Tol
@@ -126,6 +126,7 @@ func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 		}
 
 		apap := vec.Dot(ap.data, ap.data)
+		//lint:ignore floatcmp exact zero guards the division below, not a detection decision
 		if apap == 0 || rAr == 0 {
 			res.Residual = relres
 			return res, breakdownErr("CR", Basic, i, "ApᵀAp = 0 or rᵀAr = 0")

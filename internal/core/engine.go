@@ -67,6 +67,7 @@ func (e *engine) initLazyDiag() {
 // the paper's offline encoding pass) and prepares scratch storage.
 func newEngine(a *sparse.CSR, m precond.Preconditioner, weights []checksum.Weight, opts *Options, stats *Stats) *engine {
 	d := opts.DScalar
+	//lint:ignore floatcmp DScalar == 0 is the unset sentinel selecting a derived d
 	if d == 0 {
 		if opts.UseLemmaD {
 			d = checksum.LemmaD(a, weights)

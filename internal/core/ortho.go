@@ -43,7 +43,7 @@ func OrthoPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options
 	a.MulVec(r, x)
 	vec.Sub(r, b, r)
 	normB := vec.Norm2(b)
-	if normB == 0 {
+	if normB <= 0 {
 		normB = 1
 	}
 	tolRes := opts.Tol
@@ -132,6 +132,7 @@ func OrthoPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options
 		inj.InjectOutput(i, fault.SiteMVM, q)
 
 		pq := vec.Dot(p, q)
+		//lint:ignore floatcmp exact zero guards the division below, not a detection decision
 		if pq == 0 {
 			res.Residual = relres
 			return res, breakdownErr("PCG", Orthogonality, i, "pᵀAp = 0")

@@ -60,7 +60,7 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 	e.recompute(r)
 
 	normB := vec.Norm2(b)
-	if normB == 0 {
+	if normB <= 0 {
 		normB = 1
 	}
 	tolRes := opts.Tol
@@ -196,6 +196,7 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 		}
 
 		pq := vec.Dot(p.data, q.data)
+		//lint:ignore floatcmp exact zero guards the division below, not a detection decision
 		if pq == 0 {
 			res.Residual = relres
 			return res, breakdownErr("PCG", scheme, i, "pᵀAp = 0")

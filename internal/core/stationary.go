@@ -42,7 +42,7 @@ func BasicJacobi(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 	bT := e.wrap("b", b)
 
 	normB := vec.Norm2(b)
-	if normB == 0 {
+	if normB <= 0 {
 		normB = 1
 	}
 	tolRes := opts.Tol
@@ -163,7 +163,7 @@ func BasicChebyshev(a *sparse.CSR, m precond.Preconditioner, b []float64, lmin, 
 	e.recompute(r)
 
 	normB := vec.Norm2(b)
-	if normB == 0 {
+	if normB <= 0 {
 		normB = 1
 	}
 	tolRes := opts.Tol

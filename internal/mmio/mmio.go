@@ -131,6 +131,7 @@ func ReadFile(path string) (*sparse.CSR, Header, error) {
 	if err != nil {
 		return nil, Header{}, err
 	}
+	//lint:ignore errdrop read-only file; Close cannot lose data
 	defer f.Close()
 	return Read(f)
 }
@@ -164,7 +165,8 @@ func WriteFile(path string, a *sparse.CSR) error {
 		return err
 	}
 	if err := Write(f, a); err != nil {
-		f.Close()
+		//lint:ignore errdrop the write error is the primary failure being reported
+		_ = f.Close()
 		return err
 	}
 	return f.Close()

@@ -205,7 +205,7 @@ func rankPCG(c *Comm, a *sparse.CSR, b []float64, opts Options) (Result, error) 
 	r.LocalChecksums(weights, lo)
 
 	normB := GlobalNorm2(c, bL)
-	if normB == 0 {
+	if normB <= 0 {
 		normB = 1
 	}
 
@@ -233,6 +233,7 @@ func rankPCG(c *Comm, a *sparse.CSR, b []float64, opts Options) (Result, error) 
 					idx = 0
 				}
 				mag := f.Magnitude
+				//lint:ignore floatcmp Magnitude == 0 is the unset sentinel selecting the default error
 				if mag == 0 {
 					mag = 1e4
 				}
@@ -396,6 +397,7 @@ func rankPCG(c *Comm, a *sparse.CSR, b []float64, opts Options) (Result, error) 
 			continue
 		}
 		pq := GlobalDot(c, p, q)
+		//lint:ignore floatcmp exact zero guards the division below, not a detection decision
 		if pq == 0 {
 			res.Residual = relres
 			return res, fmt.Errorf("par: PCG breakdown at iteration %d", i)

@@ -46,6 +46,7 @@ func ilu0Factor(a *sparse.CSR) (l, u *sparse.CSR, err error) {
 				break
 			}
 			piv := w.Val[diagPos[t]]
+			//lint:ignore floatcmp exact-zero pivot is the standard singularity convention (cf. LAPACK)
 			if piv == 0 {
 				return nil, nil, fmt.Errorf("precond: ILU(0) zero pivot at row %d", t)
 			}
@@ -60,6 +61,7 @@ func ilu0Factor(a *sparse.CSR) (l, u *sparse.CSR, err error) {
 				}
 			}
 		}
+		//lint:ignore floatcmp exact-zero pivot is the standard singularity convention (cf. LAPACK)
 		if w.Val[diagPos[i]] == 0 {
 			return nil, nil, fmt.Errorf("precond: ILU(0) zero pivot at row %d", i)
 		}
@@ -174,6 +176,7 @@ func SSOR(a *sparse.CSR, omega float64) (Preconditioner, error) {
 	mid := sparse.NewCOO(n, n)
 	scale := omega / (2 - omega)
 	for i := 0; i < n; i++ {
+		//lint:ignore floatcmp exact-zero pivot is the standard singularity convention (cf. LAPACK)
 		if diag[i] == 0 {
 			return nil, fmt.Errorf("precond: SSOR requires nonzero diagonal (row %d)", i)
 		}

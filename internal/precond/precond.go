@@ -67,6 +67,7 @@ func (s Stage) apply(out, in []float64) error {
 		case Diagonal:
 			for i := range out {
 				d := s.M.At(i, i)
+				//lint:ignore floatcmp exact-zero pivot is the standard singularity convention (cf. LAPACK)
 				if d == 0 {
 					return fmt.Errorf("precond: zero diagonal at %d", i)
 				}
@@ -157,6 +158,7 @@ func Jacobi(a *sparse.CSR) (Preconditioner, error) {
 	diag := a.Diag(nil)
 	c := sparse.NewCOO(n, n)
 	for i, d := range diag {
+		//lint:ignore floatcmp exact-zero pivot is the standard singularity convention (cf. LAPACK)
 		if d == 0 {
 			return nil, fmt.Errorf("precond: Jacobi requires nonzero diagonal (row %d)", i)
 		}

@@ -34,7 +34,7 @@ func GMRES(a *sparse.CSR, m precond.Preconditioner, b []float64, restart int, op
 		return Result{}, err
 	}
 	normB := vec.Norm2(b)
-	if normB == 0 {
+	if normB <= 0 {
 		normB = 1
 	}
 	tol := opts.tol()
@@ -104,7 +104,7 @@ func GMRES(a *sparse.CSR, m precond.Preconditioner, b []float64, restart int, op
 			}
 			// New rotation annihilating h[k+1][k].
 			denom := math.Hypot(h[k][k], h[k+1][k])
-			if denom == 0 {
+			if denom <= 0 {
 				return res, fmt.Errorf("solver: GMRES breakdown at step %d", total)
 			}
 			cs[k] = h[k][k] / denom
@@ -176,7 +176,7 @@ func MINRES(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 		return Result{}, err
 	}
 	normB := vec.Norm2(b)
-	if normB == 0 {
+	if normB <= 0 {
 		normB = 1
 	}
 	tol := opts.tol()
@@ -219,7 +219,7 @@ func MINRES(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 		rho3 := sPrev * beta
 		// New rotation.
 		rho1 := math.Hypot(delta, betaNew)
-		if rho1 == 0 {
+		if rho1 <= 0 {
 			return res, fmt.Errorf("solver: MINRES breakdown at iteration %d", i)
 		}
 		c := delta / rho1

@@ -24,13 +24,14 @@ func Jacobi(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 	}
 	diag := a.Diag(nil)
 	for i, d := range diag {
+		//lint:ignore floatcmp exact-zero pivot is the standard singularity convention (cf. LAPACK)
 		if d == 0 {
 			return Result{}, fmt.Errorf("solver: Jacobi requires nonzero diagonal (row %d)", i)
 		}
 	}
 	r := make([]float64, n)
 	normB := vec.Norm2(b)
-	if normB == 0 {
+	if normB <= 0 {
 		normB = 1
 	}
 	tol := opts.tol()
@@ -86,7 +87,7 @@ func Chebyshev(a *sparse.CSR, m precond.Preconditioner, b []float64, lmin, lmax 
 	a.MulVec(r, x)
 	vec.Sub(r, b, r)
 	normB := vec.Norm2(b)
-	if normB == 0 {
+	if normB <= 0 {
 		normB = 1
 	}
 	tol := opts.tol()
@@ -151,7 +152,7 @@ func SteepestDescent(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 	a.MulVec(r, x)
 	vec.Sub(r, b, r)
 	normB := vec.Norm2(b)
-	if normB == 0 {
+	if normB <= 0 {
 		normB = 1
 	}
 	tol := opts.tol()
@@ -168,6 +169,7 @@ func SteepestDescent(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 		a.MulVec(ar, r)
 		rr := vec.Dot(r, r)
 		rar := vec.Dot(r, ar)
+		//lint:ignore floatcmp exact zero guards the division below, not a detection decision
 		if rar == 0 {
 			return res, fmt.Errorf("solver: steepest descent breakdown at iteration %d", i)
 		}
@@ -213,7 +215,7 @@ func CR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 	a.MulVec(ar, r)
 	vec.Copy(ap, ar)
 	normB := vec.Norm2(b)
-	if normB == 0 {
+	if normB <= 0 {
 		normB = 1
 	}
 	tol := opts.tol()
@@ -229,6 +231,7 @@ func CR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 	rAr := vec.Dot(r, ar)
 	for i := 0; i < maxIter; i++ {
 		apap := vec.Dot(ap, ap)
+		//lint:ignore floatcmp exact zero guards the division below, not a detection decision
 		if apap == 0 || rAr == 0 {
 			return res, fmt.Errorf("solver: CR breakdown at iteration %d", i)
 		}

@@ -233,6 +233,7 @@ func (a *CSR) MulTransVec(y, x []float64) {
 	}
 	for i := 0; i < a.Rows; i++ {
 		xi := x[i]
+		//lint:ignore floatcmp exact-zero sparsity skip only avoids no-op work
 		if xi == 0 {
 			continue
 		}

@@ -131,6 +131,7 @@ func (a *CSR) DiagonalScaling() (scaled *CSR, s []float64) {
 	s = make([]float64, n)
 	diag := a.Diag(nil)
 	for i, dv := range diag {
+		//lint:ignore floatcmp a zero diagonal cannot be scaled; structural test on exact input data
 		if dv == 0 {
 			s[i] = 1
 			continue

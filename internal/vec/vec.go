@@ -133,6 +133,7 @@ func Norm2(u []float64) float64 {
 	var scale, ssq float64
 	ssq = 1
 	for _, x := range u {
+		//lint:ignore floatcmp exact-zero sparsity skip only avoids no-op work
 		if x == 0 {
 			continue
 		}

@@ -1,0 +1,33 @@
+#!/bin/sh
+# verify.sh — the repo's tier-1 gate. Every PR must leave this green.
+#
+#   ./verify.sh          # formatting, vet, newsum-lint, tests, race pass
+#
+# The steps mirror ROADMAP.md "Standing gates": the stdlib static-analysis
+# gate (cmd/newsum-lint) and the race-enabled test pass over the
+# concurrency-bearing packages run on every verify, not just in CI.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: needs formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== newsum-lint =="
+go run ./cmd/newsum-lint ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (par, core) =="
+go test -race ./internal/par/... ./internal/core/...
+
+echo "verify: OK"
