@@ -21,6 +21,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sync"
 	"testing"
 
 	"newsum/internal/bench"
@@ -390,6 +391,105 @@ func BenchmarkAblationDetectionLatency(b *testing.B) {
 				}
 				b.ReportMetric(float64(res.Stats.WastedIterations), "wasted-iters")
 			}
+		})
+	}
+}
+
+// runCollectiveTeam drives one benchmark body per rank over a communicator
+// team and joins them all, the harness for the collective benchmarks below.
+func runCollectiveTeam(comms []*par.Comm, body func(rank int, c *par.Comm)) {
+	var wg sync.WaitGroup
+	for rank, c := range comms {
+		wg.Add(1)
+		go func(rank int, c *par.Comm) {
+			defer wg.Done()
+			body(rank, c)
+		}(rank, c)
+	}
+	wg.Wait()
+}
+
+// BenchmarkAllReduceVec compares the Linear rendezvous and Tree
+// recursive-doubling vector all-reduce — the collective behind the
+// setup-time checksum-row assembly.
+func BenchmarkAllReduceVec(b *testing.B) {
+	const ranks, length = 8, 4096
+	for _, topo := range []par.Topology{par.Linear, par.Tree} {
+		b.Run(topo.String(), func(b *testing.B) {
+			comms := par.NewTeamTopology(ranks, topo)
+			b.SetBytes(8 * length)
+			b.ResetTimer()
+			runCollectiveTeam(comms, func(rank int, c *par.Comm) {
+				src := make([]float64, length)
+				dst := make([]float64, length)
+				for i := range src {
+					src[i] = float64(rank*length + i)
+				}
+				for i := 0; i < b.N; i++ {
+					c.AllReduceVec(dst, src)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkAllGather compares the two topologies on the distributed MVM's
+// halo exchange: each rank contributes its block of an n-vector and
+// receives the whole vector.
+func BenchmarkAllGather(b *testing.B) {
+	const ranks, n = 8, 8192
+	part := par.EvenPartition(n, ranks)
+	for _, topo := range []par.Topology{par.Linear, par.Tree} {
+		b.Run(topo.String(), func(b *testing.B) {
+			comms := par.NewTeamTopology(ranks, topo)
+			b.SetBytes(8 * n)
+			b.ResetTimer()
+			runCollectiveTeam(comms, func(rank int, c *par.Comm) {
+				lo, hi := part.Range(rank)
+				global := make([]float64, n)
+				local := make([]float64, hi-lo)
+				for i := range local {
+					local[i] = float64(lo + i)
+				}
+				for i := 0; i < b.N; i++ {
+					c.AllGather(global, local, lo)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkDistSpMV measures one distributed MVM (halo exchange + local row
+// block) under the even row split versus the nnz-balanced partition. The
+// circuit matrix's hub rows skew the even split, so the nnz partition should
+// close the straggler gap.
+func BenchmarkDistSpMV(b *testing.B) {
+	a := sparse.CircuitLike(benchN, benchSeed)
+	u := make([]float64, a.Rows)
+	for i := range u {
+		u[i] = 1 + float64(i%7)*0.25
+	}
+	for _, tc := range []struct {
+		name string
+		part par.Partition
+	}{
+		{"even", par.EvenPartition(a.Rows, 8)},
+		{"nnz", par.NnzPartition(a, 8)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			comms := par.NewTeam(tc.part.Ranks())
+			b.ResetTimer()
+			runCollectiveTeam(comms, func(rank int, c *par.Comm) {
+				lo, hi := tc.part.Range(rank)
+				global := make([]float64, a.Rows)
+				local := make([]float64, hi-lo)
+				copy(local, u[lo:hi])
+				y := make([]float64, a.Rows)
+				for i := 0; i < b.N; i++ {
+					c.AllGather(global, local, lo)
+					a.MulVecRange(y, global, lo, hi)
+				}
+			})
 		})
 	}
 }

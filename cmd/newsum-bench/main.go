@@ -18,11 +18,13 @@ import (
 	"newsum/internal/bench"
 	"newsum/internal/core"
 	"newsum/internal/model"
+	"newsum/internal/par"
+	"newsum/internal/sparse"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table3|table4|table5|fig5|fig6|fig7|fig8|fig9|fig10|all")
+		exp     = flag.String("exp", "all", "experiment: table3|table4|table5|fig5|fig6|fig7|fig8|fig9|fig10|par|all")
 		n       = flag.Int("n", 40000, "target matrix order for empirical experiments")
 		blocks  = flag.Int("blocks", 16, "block-Jacobi block count (stand-in for MPI ranks)")
 		repeats = flag.Int("repeats", 3, "timing repetitions (median reported)")
@@ -161,6 +163,30 @@ func run(exp string, n, blocks, repeats int, seed int64, csvDir string) error {
 		}
 		fmt.Fprintln(os.Stdout)
 	}
+	if all || exp == "par" {
+		a := sparseCircuit(minInt(n, 6000), seed)
+		b := make([]float64, a.Rows)
+		for i := range b {
+			b[i] = 1 + float64(i%13)
+		}
+		ranks := []int{1, 2, 4}
+		if blocks >= 8 {
+			ranks = append(ranks, 8)
+		}
+		pts, err := bench.ParallelSweep(a, b, bench.ParallelSolvers, ranks,
+			[]par.Topology{par.Tree, par.Linear}, par.Options{Tol: 1e-8})
+		if err != nil {
+			return err
+		}
+		title := fmt.Sprintf("Parallel: distributed ABFT solvers on circuit n=%d (goroutine ranks, per-solve collective counters)", a.Rows)
+		if err := bench.WriteParallelTable(out, title, pts); err != nil {
+			return err
+		}
+		if err := writeCSV("parallel.csv", func(f *os.File) error { return bench.WriteParallelCSV(f, pts) }); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stdout)
+	}
 	if all || exp == "fig10" {
 		w, err := bench.CircuitPCG(n, blocks, seed)
 		if err != nil {
@@ -179,7 +205,7 @@ func run(exp string, n, blocks, repeats int, seed int64, csvDir string) error {
 		fmt.Fprintln(os.Stdout)
 	}
 	switch exp {
-	case "all", "table3", "table4", "table5", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10":
+	case "all", "table3", "table4", "table5", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "par":
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
@@ -199,4 +225,10 @@ func isqrt(n int) int {
 		s++
 	}
 	return s
+}
+
+// sparseCircuit builds the raw circuit matrix for the parallel sweep (the
+// distributed engine builds its own per-rank block preconditioners).
+func sparseCircuit(n int, seed int64) *sparse.CSR {
+	return sparse.CircuitLike(n, seed)
 }

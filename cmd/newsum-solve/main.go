@@ -21,6 +21,7 @@ import (
 	"newsum/internal/core"
 	"newsum/internal/fault"
 	"newsum/internal/mmio"
+	"newsum/internal/par"
 	"newsum/internal/precond"
 	"newsum/internal/solver"
 	"newsum/internal/sparse"
@@ -95,12 +96,14 @@ func main() {
 		cdIntv  = flag.Int("cd", 10, "checkpoint interval")
 		seed    = flag.Int64("seed", 1, "generator/injector seed")
 		trace   = flag.Bool("trace", false, "print the fault-tolerance event timeline")
+		ranks   = flag.Int("ranks", 0, "run the distributed engine over this many goroutine ranks (0 = serial)")
+		topoN   = flag.String("topo", "tree", "collective topology for -ranks: tree|linear")
 		injects injectList
 	)
 	flag.Var(&injects, "inject", "inject an error: iter:site:kind[:count], kind arith|mem|cache[-bit] (repeatable)")
 	flag.Parse()
 
-	if err := run(*matrix, *n, *solverN, *scheme, *precN, *blocks, *tol, *maxIter, *dIntv, *cdIntv, *seed, *trace, injects); err != nil {
+	if err := run(*matrix, *n, *solverN, *scheme, *precN, *blocks, *tol, *maxIter, *dIntv, *cdIntv, *seed, *trace, *ranks, *topoN, injects); err != nil {
 		fmt.Fprintln(os.Stderr, "newsum-solve:", err)
 		os.Exit(1)
 	}
@@ -156,13 +159,16 @@ func buildPrecond(kind string, a *sparse.CSR, blocks int) (precond.Preconditione
 	}
 }
 
-func run(matrix string, n int, solverN, scheme, precN string, blocks int, tol float64, maxIter, d, cd int, seed int64, trace bool, injects injectList) error {
+func run(matrix string, n int, solverN, scheme, precN string, blocks int, tol float64, maxIter, d, cd int, seed int64, trace bool, ranks int, topoN string, injects injectList) error {
 	a, err := buildMatrix(matrix, n, seed)
 	if err != nil {
 		return err
 	}
 	if maxIter == 0 {
 		maxIter = 10 * a.Rows
+	}
+	if ranks > 0 {
+		return runParallel(a, solverN, scheme, topoN, tol, maxIter, d, cd, ranks, injects)
 	}
 	m, err := buildPrecond(precN, a, blocks)
 	if err != nil {
@@ -294,5 +300,75 @@ func run(matrix string, n int, solverN, scheme, precN string, blocks int, tol fl
 			return err
 		}
 	}
+	return nil
+}
+
+// runParallel routes the solve through the distributed goroutine-team engine
+// (internal/par) and reports its fault-tolerance and collective statistics.
+func runParallel(a *sparse.CSR, solverN, scheme, topoN string, tol float64, maxIter, d, cd, ranks int, injects injectList) error {
+	var topo par.Topology
+	switch topoN {
+	case "tree":
+		topo = par.Tree
+	case "linear":
+		topo = par.Linear
+	default:
+		return fmt.Errorf("unknown topology %q (tree|linear)", topoN)
+	}
+	opts := par.Options{
+		Tol:                tol,
+		MaxIter:            maxIter,
+		DetectInterval:     d,
+		CheckpointInterval: cd,
+		Topology:           topo,
+	}
+	switch scheme {
+	case "basic":
+	case "twolevel":
+		opts.TwoLevel = true
+	default:
+		return fmt.Errorf("-ranks supports -scheme basic|twolevel, not %q", scheme)
+	}
+	// The distributed engine's fault model strikes MVM outputs only; map the
+	// -inject events onto it (one strike each, on rank 0's block).
+	for _, ev := range injects {
+		if ev.Site != fault.SiteMVM {
+			return fmt.Errorf("-ranks supports -inject at site mvm only")
+		}
+		pf := par.Fault{Iteration: ev.Iteration, Index: -1}
+		if ev.BitFlip {
+			pf.BitFlip, pf.Bit = true, -1
+		}
+		opts.Faults = append(opts.Faults, pf)
+	}
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1
+	}
+	fmt.Printf("matrix: %dx%d, nnz=%d (c0=%.2f), solver=%s, scheme=%s, ranks=%d, topo=%s\n",
+		a.Rows, a.Cols, a.NNZ(), a.Sparsity(), solverN, scheme, ranks, topo)
+
+	var res par.Result
+	var err error
+	switch solverN {
+	case "pcg", "cg":
+		res, err = par.ABFTPCG(a, b, ranks, opts)
+	case "pbicgstab", "bicgstab":
+		res, err = par.ABFTBiCGStab(a, b, ranks, opts)
+	case "cr":
+		res, err = par.ABFTCR(a, b, ranks, opts)
+	default:
+		return fmt.Errorf("-ranks supports pcg|bicgstab|cr, not %q", solverN)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converged=%v iterations=%d relres=%.3e trueResid=%.3e\n",
+		res.Converged, res.Iterations, res.Residual, core.TrueResidual(a, b, res.X))
+	fmt.Printf("stats: detections=%d corrections=%d checkpoints=%d rollbacks=%d injected=%d\n",
+		res.Detections, res.Corrections, res.Checkpoints, res.Rollbacks, res.InjectedFaults)
+	c := res.Comm
+	fmt.Printf("comm: reductions=%d vec_reductions=%d gathers=%d broadcasts=%d barriers=%d msgs=%d words=%d\n",
+		c.Reductions, c.VecReductions, c.Gathers, c.Broadcasts, c.Barriers, c.MsgsSent, c.WordsMoved)
 	return nil
 }

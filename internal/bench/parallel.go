@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"newsum/internal/par"
+	"newsum/internal/sparse"
+)
+
+// The parallel experiment: run the distributed ABFT solvers over goroutine
+// teams at several rank counts on both collective topologies, and report
+// wall time alongside the per-solve collective instrumentation (reduction /
+// gather / broadcast counts and tree-message traffic). This is the repo's
+// stand-in for the paper's strong-scaling runs: the goroutine team models
+// the MPI communicator, so the collective counts — not the wall times — are
+// the numbers that transfer to a real cluster.
+
+// ParallelPoint is one (solver, ranks, topology) measurement.
+type ParallelPoint struct {
+	Solver     string
+	Ranks      int
+	Topology   par.Topology
+	Seconds    float64
+	Iterations int
+	Converged  bool
+	Residual   float64
+	Comm       par.CommStats
+}
+
+// ParallelSolvers lists the distributed solvers the sweep exercises.
+var ParallelSolvers = []string{"pcg", "bicgstab", "cr"}
+
+// RunParallelSolver dispatches one distributed solve by solver name.
+func RunParallelSolver(solver string, a *sparse.CSR, b []float64, ranks int, opts par.Options) (par.Result, error) {
+	switch solver {
+	case "pcg":
+		return par.ABFTPCG(a, b, ranks, opts)
+	case "bicgstab":
+		return par.ABFTBiCGStab(a, b, ranks, opts)
+	case "cr":
+		return par.ABFTCR(a, b, ranks, opts)
+	default:
+		return par.Result{}, fmt.Errorf("bench: unknown parallel solver %q", solver)
+	}
+}
+
+// MeasureParallelPoint runs one timed distributed solve.
+func MeasureParallelPoint(solver string, a *sparse.CSR, b []float64, ranks int, opts par.Options) (ParallelPoint, error) {
+	start := time.Now()
+	res, err := RunParallelSolver(solver, a, b, ranks, opts)
+	elapsed := time.Since(start).Seconds()
+	if err != nil {
+		return ParallelPoint{}, fmt.Errorf("bench: %s ranks=%d topo=%s: %w", solver, ranks, opts.Topology, err)
+	}
+	return ParallelPoint{
+		Solver:     solver,
+		Ranks:      ranks,
+		Topology:   opts.Topology,
+		Seconds:    elapsed,
+		Iterations: res.Iterations,
+		Converged:  res.Converged,
+		Residual:   res.Residual,
+		Comm:       res.Comm,
+	}, nil
+}
+
+// ParallelSweep measures every (solver, ranks, topology) combination on the
+// given system. Rank counts exceeding the matrix order are skipped.
+func ParallelSweep(a *sparse.CSR, b []float64, solvers []string, rankCounts []int, topos []par.Topology, opts par.Options) ([]ParallelPoint, error) {
+	var points []ParallelPoint
+	for _, s := range solvers {
+		for _, ranks := range rankCounts {
+			if ranks > a.Rows {
+				continue
+			}
+			for _, topo := range topos {
+				o := opts
+				o.Topology = topo
+				pt, err := MeasureParallelPoint(s, a, b, ranks, o)
+				if err != nil {
+					return points, err
+				}
+				points = append(points, pt)
+			}
+		}
+	}
+	return points, nil
+}
+
+// WriteParallelTable renders the sweep with the collective instrumentation
+// counters the engine records per solve.
+func WriteParallelTable(out io.Writer, title string, points []ParallelPoint) error {
+	var s sink
+	s.println(out, title)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	s.println(tw, "solver\tranks\ttopo\titers\ttime(s)\trelres\tredns\tvecredns\tgathers\tmsgs\twords")
+	for _, p := range points {
+		s.printf(tw, "%s\t%d\t%s\t%d\t%.4f\t%.2e\t%d\t%d\t%d\t%d\t%d\n",
+			p.Solver, p.Ranks, p.Topology, p.Iterations, p.Seconds, p.Residual,
+			p.Comm.Reductions, p.Comm.VecReductions, p.Comm.Gathers,
+			p.Comm.MsgsSent, p.Comm.WordsMoved)
+	}
+	s.flush(tw)
+	return s.err
+}
+
+// WriteParallelCSV emits the sweep as CSV with one row per point.
+func WriteParallelCSV(w io.Writer, points []ParallelPoint) error {
+	var s sink
+	s.println(w, "solver,ranks,topology,iterations,seconds,residual,reductions,vec_reductions,gathers,broadcasts,barriers,msgs_sent,words_moved")
+	for _, p := range points {
+		s.printf(w, "%s,%d,%s,%d,%.6f,%.6e,%d,%d,%d,%d,%d,%d,%d\n",
+			p.Solver, p.Ranks, p.Topology, p.Iterations, p.Seconds, p.Residual,
+			p.Comm.Reductions, p.Comm.VecReductions, p.Comm.Gathers,
+			p.Comm.Broadcasts, p.Comm.Barriers, p.Comm.MsgsSent, p.Comm.WordsMoved)
+	}
+	return s.err
+}

@@ -1,0 +1,197 @@
+package checksum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"newsum/internal/sparse"
+)
+
+// Native fuzz targets for the paper's update rules: whatever inputs the
+// fuzzer invents, the O(n)/O(1) checksum updates of Eq. (2) (MVM), Eq. (4)
+// (PCO) and Eq. (3) (VLO) must agree with the O(n) direct recomputation of
+// cᵀv on the operation's actual output, within the propagated first-order
+// round-off bound. Seeds live under testdata/fuzz; ./verify.sh replays them
+// on every run via `go test -run Fuzz -fuzz=^$`.
+
+// fuzzDim maps an arbitrary fuzzed int onto a usable problem size.
+func fuzzDim(n int) int {
+	if n < 0 {
+		n = -n
+	}
+	return 2 + n%48
+}
+
+// fuzzClamp maps an arbitrary fuzzed float onto a finite value in
+// (-lim, lim), defaulting NaN/Inf to 1 so every fuzz input is admissible.
+func fuzzClamp(v, lim float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 1
+	}
+	if math.Abs(v) >= lim {
+		return math.Mod(v, lim)
+	}
+	return v
+}
+
+// weightedAbsSum returns Σ|c_i·v_i|, the magnitude scale of a checksum
+// computation (what bounds its accumulated round-off).
+func weightedAbsSum(w Weight, v []float64) float64 {
+	var s float64
+	for i, x := range v {
+		s += math.Abs(w.At(i) * x)
+	}
+	return s
+}
+
+// directEta is the first-order round-off bound of computing cᵀv directly,
+// used to seed the Bound update chains with an honest input η.
+func directEta(n int, w Weight, v []float64) float64 {
+	return float64(n) * Eps * weightedAbsSum(w, v)
+}
+
+// FuzzChecksumMVM checks the Eq. (2) MVM update and the Eq. (4) PCO update
+// against direct recomputation: checksum_k(A·u) from Rows_k·u + d·su_k must
+// match c_kᵀ(A·u), and the solve update (su_k − Rows_k·y)/d must match
+// c_kᵀy for M·y = u, for all three weights of the two-level scheme.
+func FuzzChecksumMVM(f *testing.F) {
+	f.Add(int64(1), 8, 1.0)
+	f.Add(int64(20160531), 33, -2.5)
+	f.Add(int64(7), 47, 1e3)
+	f.Add(int64(-99), 2, 1e-4)
+	f.Fuzz(func(t *testing.T, seed int64, n int, scale float64) {
+		nn := fuzzDim(n)
+		scale = fuzzClamp(scale, 1e6)
+		if scale == 0 {
+			scale = 1
+		}
+		rng := rand.New(rand.NewSource(seed))
+		a := sparse.DiagDominant(nn, 4, seed)
+		u := make([]float64, nn)
+		for i := range u {
+			u[i] = scale * (2*rng.Float64() - 1)
+		}
+		d := PracticalD(a)
+		su := Checksums(u, Triple)
+		etaSrc := make([]float64, len(Triple))
+		for k, w := range Triple {
+			etaSrc[k] = directEta(nn, w, u)
+		}
+		tol := DefaultTol()
+
+		// Eq. (2): w = A·u computed by the real operation, checksums by the
+		// update rule from the input side only.
+		enc := EncodeMatrix(a, Triple, d)
+		w := make([]float64, nn)
+		a.MulVec(w, u)
+		got := make([]float64, len(Triple))
+		eta := make([]float64, len(Triple))
+		enc.UpdateMVMBound(got, eta, u, su, etaSrc)
+		for k, wt := range Triple {
+			want := wt.Apply(w)
+			if !tol.ConsistentBound(got[k]-want, nn, weightedAbsSum(wt, w), eta[k]) {
+				t.Errorf("MVM %s: update %g vs direct %g (δ=%g, η=%g)",
+					wt.Name, got[k], want, got[k]-want, eta[k])
+			}
+		}
+
+		// Eq. (4): diagonal solve M·y = u — invertible by construction, so
+		// the reference solution is exact division.
+		coo := sparse.NewCOO(nn, nn)
+		diag := make([]float64, nn)
+		for i := 0; i < nn; i++ {
+			diag[i] = 1 + 3*rng.Float64()
+			coo.Add(i, i, diag[i])
+		}
+		msolve := coo.ToCSR()
+		y := make([]float64, nn)
+		for i := range y {
+			y[i] = u[i] / diag[i]
+		}
+		encM := EncodeMatrix(msolve, Triple, d)
+		gotP := make([]float64, len(Triple))
+		etaP := make([]float64, len(Triple))
+		encM.UpdatePCOBound(gotP, etaP, y, su, etaSrc)
+		for k, wt := range Triple {
+			want := wt.Apply(y)
+			if !tol.ConsistentBound(gotP[k]-want, nn, weightedAbsSum(wt, y), etaP[k]) {
+				t.Errorf("PCO %s: update %g vs direct %g (δ=%g, η=%g)",
+					wt.Name, gotP[k], want, gotP[k]-want, etaP[k])
+			}
+		}
+	})
+}
+
+// FuzzChecksumVLO checks the Eq. (3) vector-linear-operation updates —
+// axpby, scale, and in-place axpy — against direct recomputation on the
+// operation's output.
+func FuzzChecksumVLO(f *testing.F) {
+	f.Add(int64(2), 16, 1.5, -0.25)
+	f.Add(int64(13), 5, 0.0, 1.0)
+	f.Add(int64(20160531), 40, -1e4, 1e-5)
+	f.Fuzz(func(t *testing.T, seed int64, n int, alpha, beta float64) {
+		nn := fuzzDim(n)
+		alpha = fuzzClamp(alpha, 1e8)
+		beta = fuzzClamp(beta, 1e8)
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, nn)
+		y := make([]float64, nn)
+		for i := range x {
+			x[i] = 2*rng.Float64() - 1
+			y[i] = 2*rng.Float64() - 1
+		}
+		sx := Checksums(x, Triple)
+		sy := Checksums(y, Triple)
+		tol := DefaultTol()
+		// η for one update on exactly-known inputs: the direct-computation
+		// round-off of both operands at their scaled magnitudes.
+		eta := func(k int) float64 {
+			w := Triple[k]
+			return float64(nn) * Eps * (math.Abs(alpha)*weightedAbsSum(w, x) +
+				math.Abs(beta)*weightedAbsSum(w, y) + 4)
+		}
+
+		// z = αx + βy.
+		z := make([]float64, nn)
+		for i := range z {
+			z[i] = alpha*x[i] + beta*y[i]
+		}
+		sz := make([]float64, len(Triple))
+		UpdateVLOAxpby(sz, alpha, sx, beta, sy)
+		for k, wt := range Triple {
+			want := wt.Apply(z)
+			if !tol.ConsistentBound(sz[k]-want, nn, weightedAbsSum(wt, z), eta(k)) {
+				t.Errorf("axpby %s: update %g vs direct %g", wt.Name, sz[k], want)
+			}
+		}
+
+		// w = αx.
+		wv := make([]float64, nn)
+		for i := range wv {
+			wv[i] = alpha * x[i]
+		}
+		sw := make([]float64, len(Triple))
+		UpdateVLOScale(sw, alpha, sx)
+		for k, wt := range Triple {
+			want := wt.Apply(wv)
+			if !tol.ConsistentBound(sw[k]-want, nn, weightedAbsSum(wt, wv), eta(k)) {
+				t.Errorf("scale %s: update %g vs direct %g", wt.Name, sw[k], want)
+			}
+		}
+
+		// y += αx in place, checksums carried in place too.
+		y2 := append([]float64(nil), y...)
+		for i := range y2 {
+			y2[i] += alpha * x[i]
+		}
+		sy2 := append([]float64(nil), sy...)
+		UpdateVLOAxpy(sy2, alpha, sx)
+		for k, wt := range Triple {
+			want := wt.Apply(y2)
+			if !tol.ConsistentBound(sy2[k]-want, nn, weightedAbsSum(wt, y2), eta(k)) {
+				t.Errorf("axpy %s: update %g vs direct %g", wt.Name, sy2[k], want)
+			}
+		}
+	})
+}

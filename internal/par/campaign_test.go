@@ -1,0 +1,209 @@
+package par
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"newsum/internal/sparse"
+	"newsum/internal/vec"
+)
+
+// The fault campaign: exhaustively inject one bit-flip at every iteration
+// index and every rank of a small distributed solve, and require that every
+// fault is detected (or corrected inline) and that the solver still
+// converges to the fault-free answer. The sweep is deterministic and
+// table-driven: the baseline run fixes the iteration count, then one case
+// per (iteration, rank) coordinate re-runs the solve with a single
+// scheduled strike. Bit 62 (the high exponent bit) guarantees a detectable
+// magnitude change for any struck value: |v| < 2 explodes, |v| ≥ 2
+// collapses, and 0 becomes 2.
+
+func campaignSystem(t *testing.T) (*sparse.CSR, []float64) {
+	t.Helper()
+	a := sparse.Laplacian2D(8, 8)
+	xTrue := make([]float64, a.Rows)
+	for i := range xTrue {
+		xTrue[i] = math.Cos(float64(i))
+	}
+	b := make([]float64, a.Rows)
+	a.MulVec(b, xTrue)
+	return a, b
+}
+
+type campaignCase struct {
+	name  string
+	fault Fault
+}
+
+// campaignCases enumerates one bit-flip per (iteration, rank) coordinate,
+// striking a varying local index so the sweep does not privilege element 0.
+func campaignCases(iters, ranks int) []campaignCase {
+	var cases []campaignCase
+	for iter := 0; iter < iters; iter++ {
+		for rank := 0; rank < ranks; rank++ {
+			cases = append(cases, campaignCase{
+				name: fmt.Sprintf("iter=%d/rank=%d", iter, rank),
+				fault: Fault{
+					Iteration: iter,
+					Rank:      rank,
+					Index:     (iter + rank) % 5,
+					BitFlip:   true,
+					Bit:       62,
+				},
+			})
+		}
+	}
+	return cases
+}
+
+func runCampaign(t *testing.T, solve func(faults []Fault) (Result, error), iters, ranks int, baseX []float64) {
+	t.Helper()
+	injected, detected := 0, 0
+	for _, tc := range campaignCases(iters, ranks) {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := solve([]Fault{tc.fault})
+			if err != nil {
+				t.Fatalf("faulted solve: %v", err)
+			}
+			if !res.Converged {
+				t.Fatal("faulted solve did not converge")
+			}
+			if res.InjectedFaults != 1 {
+				t.Fatalf("fault did not fire exactly once: injected=%d", res.InjectedFaults)
+			}
+			injected++
+			if res.Detections+res.Corrections == 0 {
+				t.Errorf("injected fault escaped detection: %+v", res)
+			} else {
+				detected++
+			}
+			if !vec.Equal(res.X, baseX, 1e-6) {
+				t.Errorf("solution drifted from the fault-free answer")
+			}
+		})
+	}
+	if detected != injected {
+		t.Errorf("campaign detection rate %d/%d, want 100%%", detected, injected)
+	} else {
+		t.Logf("campaign: %d/%d faults detected (100%%)", detected, injected)
+	}
+}
+
+func TestFaultCampaignPCG(t *testing.T) {
+	a, b := campaignSystem(t)
+	const ranks = 4
+	base, err := ABFTPCG(a, b, ranks, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	// Every loop iteration 0..Iterations-1 executes exactly one protected
+	// MVM, so every coordinate in the sweep fires.
+	runCampaign(t, func(faults []Fault) (Result, error) {
+		return ABFTPCG(a, b, ranks, Options{Tol: 1e-10, Faults: faults})
+	}, base.Iterations, ranks, base.X)
+}
+
+func TestFaultCampaignBiCGStab(t *testing.T) {
+	a, b := campaignSystem(t)
+	const ranks = 4
+	base, err := ABFTBiCGStab(a, b, ranks, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	// The first of BiCGStab's two MVMs per iteration runs unconditionally
+	// in every loop pass; the campaign strikes it (MVM: 0 is the zero
+	// value). The second MVM gets a separate, shorter sweep below.
+	runCampaign(t, func(faults []Fault) (Result, error) {
+		return ABFTBiCGStab(a, b, ranks, Options{Tol: 1e-10, Faults: faults})
+	}, base.Iterations, ranks, base.X)
+}
+
+// TestFaultCampaignBiCGStabSecondMVM sweeps the second protected MVM
+// (t = A·ŝ) across iterations on a fixed rank. The final iteration may
+// exit early on the intermediate residual without reaching MVM 1, so the
+// sweep stops one short.
+func TestFaultCampaignBiCGStabSecondMVM(t *testing.T) {
+	a, b := campaignSystem(t)
+	const ranks = 2
+	base, err := ABFTBiCGStab(a, b, ranks, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	for iter := 0; iter < base.Iterations-1; iter++ {
+		iter := iter
+		t.Run(fmt.Sprintf("iter=%d", iter), func(t *testing.T) {
+			res, err := ABFTBiCGStab(a, b, ranks, Options{
+				Tol:    1e-10,
+				Faults: []Fault{{Iteration: iter, Rank: iter % ranks, Index: 1, MVM: 1, BitFlip: true, Bit: 62}},
+			})
+			if err != nil {
+				t.Fatalf("faulted solve: %v", err)
+			}
+			if res.InjectedFaults != 1 {
+				t.Fatalf("fault did not fire exactly once: injected=%d", res.InjectedFaults)
+			}
+			if res.Detections+res.Corrections == 0 {
+				t.Errorf("injected fault escaped detection: %+v", res)
+			}
+			if !vec.Equal(res.X, base.X, 1e-6) {
+				t.Errorf("solution drifted from the fault-free answer")
+			}
+		})
+	}
+}
+
+// TestFaultCampaignCR sweeps CR's single protected MVM. The product update
+// Aᵣ = A·r runs at the tail of every non-final iteration, so coordinates
+// cover 0..Iterations-2.
+func TestFaultCampaignCR(t *testing.T) {
+	a, b := campaignSystem(t)
+	const ranks = 2
+	base, err := ABFTCR(a, b, ranks, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	runCampaign(t, func(faults []Fault) (Result, error) {
+		return ABFTCR(a, b, ranks, Options{Tol: 1e-10, Faults: faults})
+	}, base.Iterations-1, ranks, base.X)
+}
+
+// TestFaultCampaignTwoLevelPCG re-runs the PCG sweep with additive faults
+// under the two-level scheme: every single error must be corrected inline
+// with no rollback.
+func TestFaultCampaignTwoLevelPCG(t *testing.T) {
+	a, b := campaignSystem(t)
+	const ranks = 4
+	base, err := ABFTPCG(a, b, ranks, Options{Tol: 1e-10, TwoLevel: true})
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	for iter := 0; iter < base.Iterations; iter++ {
+		for rank := 0; rank < ranks; rank++ {
+			iter, rank := iter, rank
+			t.Run(fmt.Sprintf("iter=%d/rank=%d", iter, rank), func(t *testing.T) {
+				res, err := ABFTPCG(a, b, ranks, Options{
+					Tol:      1e-10,
+					TwoLevel: true,
+					Faults:   []Fault{{Iteration: iter, Rank: rank, Index: (iter + rank) % 5}},
+				})
+				if err != nil {
+					t.Fatalf("faulted solve: %v", err)
+				}
+				if res.InjectedFaults != 1 {
+					t.Fatalf("fault did not fire exactly once: injected=%d", res.InjectedFaults)
+				}
+				if res.Corrections != 1 {
+					t.Errorf("single error not corrected inline: %+v", res)
+				}
+				if res.Rollbacks != 0 {
+					t.Errorf("single error should not roll back: %+v", res)
+				}
+				if !vec.Equal(res.X, base.X, 1e-6) {
+					t.Errorf("solution drifted from the fault-free answer")
+				}
+			})
+		}
+	}
+}

@@ -1,10 +1,11 @@
 // Package par is the parallel execution substrate standing in for the
-// paper's MPI/PETSc runs on 2048 Stampede cores: goroutine "ranks" joined by
-// channel/condition-variable collectives (barrier, all-reduce, all-gather),
-// a row-partitioned distributed sparse matrix, and a distributed ABFT PCG
-// whose checkpoints and checksum state are rank-local — the property §5.1
-// highlights for scalability ("all the checkpoints and checksums are saved
-// locally").
+// paper's MPI/PETSc runs on 2048 Stampede cores: goroutine "ranks" joined
+// by message-passing collectives (barrier, all-reduce, all-gather,
+// broadcast), a row-partitioned distributed sparse matrix, and a family of
+// distributed ABFT solvers — PCG, BiCGStab and CR — built on a shared
+// per-rank engine whose checkpoints and checksum state are rank-local, the
+// property §5.1 highlights for scalability ("all the checkpoints and
+// checksums are saved locally").
 package par
 
 import (
@@ -12,40 +13,153 @@ import (
 	"sync"
 )
 
-// team is the shared collective state of one communicator group.
+// Topology selects the collective algorithm family of a team.
+type Topology int
+
+const (
+	// Tree is the default: recursive-doubling all-reduce and all-gather,
+	// binomial-tree broadcast, and a dissemination barrier — O(log P)
+	// rounds of pairwise channel exchanges, no shared accumulator. The
+	// reduction combines block sums with the same association tree on
+	// every rank (IEEE-754 addition is commutative), so all ranks obtain
+	// bitwise-identical results and the solvers' replicated control flow
+	// stays in lockstep.
+	Tree Topology = iota
+	// Linear is the original rendezvous implementation: every rank funnels
+	// through one mutex-guarded accumulator, O(P) serialization per
+	// collective. It is kept as the baseline the collective benchmarks
+	// compare against.
+	Linear
+)
+
+func (t Topology) String() string {
+	switch t {
+	case Tree:
+		return "tree"
+	case Linear:
+		return "linear"
+	default:
+		return "unknown"
+	}
+}
+
+// CommStats counts the communication work one rank performed. Every
+// counter is rank-local (written only by the owning goroutine); sum the
+// ranks' stats for team totals.
+type CommStats struct {
+	// Barriers counts explicit Barrier calls.
+	Barriers int
+	// Reductions counts scalar all-reduces — the dominant collective of
+	// the ABFT solvers (dot products, global checksum probes).
+	Reductions int
+	// VecReductions counts vector all-reduces (setup-time checksum-row
+	// assembly).
+	VecReductions int
+	// Gathers counts all-gathers (the halo exchange of each distributed
+	// MVM).
+	Gathers int
+	// Broadcasts counts broadcast collectives.
+	Broadcasts int
+	// MsgsSent counts point-to-point messages this rank sent (Tree), or
+	// rendezvous phases it entered (Linear).
+	MsgsSent int64
+	// WordsMoved counts float64 payload words this rank sent.
+	WordsMoved int64
+}
+
+// Merge adds o's counters into s.
+func (s *CommStats) Merge(o CommStats) {
+	s.Barriers += o.Barriers
+	s.Reductions += o.Reductions
+	s.VecReductions += o.VecReductions
+	s.Gathers += o.Gathers
+	s.Broadcasts += o.Broadcasts
+	s.MsgsSent += o.MsgsSent
+	s.WordsMoved += o.WordsMoved
+}
+
+// Collectives returns the total number of collective operations counted.
+func (s CommStats) Collectives() int {
+	return s.Barriers + s.Reductions + s.VecReductions + s.Gathers + s.Broadcasts
+}
+
+// segment is one rank's contiguous block of a distributed vector in
+// flight: global[off:off+len(data)] = data.
+type segment struct {
+	off  int
+	data []float64
+}
+
+// message is one point-to-point payload. Exactly one of data/segs is
+// meaningful per collective; barrier tokens carry neither. Payload slices
+// are never mutated after send, so forwarding them (all-gather) is safe.
+type message struct {
+	data []float64
+	segs []segment
+}
+
+// team is the shared state of one communicator group.
 type team struct {
 	size int
+	topo Topology
 
-	mu   sync.Mutex
-	cond *sync.Cond
-	gen  int
-	cnt  int
-
+	// Rendezvous state (Linear topology).
+	mu     sync.Mutex
+	cond   *sync.Cond
+	gen    int
+	cnt    int
 	sum    float64
 	result float64
-
 	vecAcc []float64
-	vecRes []float64
-
 	gather []float64
+
+	// Point-to-point mesh (Tree topology): ch[from][to] carries messages
+	// from rank `from` to rank `to`. Capacity 2 with at most one message
+	// per ordered pair per collective makes a send-blocked cycle require a
+	// strictly decreasing chain of collective indices around the cycle —
+	// impossible — so the mesh is deadlock-free.
+	ch [][]chan message
 }
 
 // Comm is one rank's handle on a communicator of Size() ranks. All
-// collective calls must be made by every rank of the team (they block until
-// the whole team arrives), in the same order on every rank.
+// collective calls must be made by every rank of the team (they block
+// until the whole team arrives), in the same order on every rank. A Comm
+// must be used by a single goroutine.
 type Comm struct {
-	rank int
-	t    *team
+	rank  int
+	t     *team
+	stats CommStats
 }
 
-// NewTeam creates a communicator team of the given size and returns one
-// Comm per rank.
+// NewTeam creates a communicator team of the given size with the default
+// Tree topology and returns one Comm per rank.
 func NewTeam(size int) []*Comm {
+	return NewTeamTopology(size, Tree)
+}
+
+// NewTeamTopology creates a communicator team with an explicit collective
+// topology.
+func NewTeamTopology(size int, topo Topology) []*Comm {
 	if size < 1 {
 		panic("par: team size must be >= 1")
 	}
-	t := &team{size: size}
-	t.cond = sync.NewCond(&t.mu)
+	t := &team{size: size, topo: topo}
+	switch topo {
+	case Linear:
+		t.cond = sync.NewCond(&t.mu)
+	case Tree:
+		t.ch = make([][]chan message, size)
+		for from := range t.ch {
+			t.ch[from] = make([]chan message, size)
+			for to := range t.ch[from] {
+				if to != from {
+					t.ch[from][to] = make(chan message, 2)
+				}
+			}
+		}
+	default:
+		panic("par: unknown topology")
+	}
 	comms := make([]*Comm, size)
 	for r := range comms {
 		comms[r] = &Comm{rank: r, t: t}
@@ -59,8 +173,44 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the number of ranks in the team.
 func (c *Comm) Size() int { return c.t.size }
 
-// arrive is the generic phase rendezvous: body runs under the team lock for
-// every arriving rank; the last arrival runs last (also under the lock),
+// Topology returns the team's collective topology.
+func (c *Comm) Topology() Topology { return c.t.topo }
+
+// Stats returns a snapshot of this rank's communication counters.
+func (c *Comm) Stats() CommStats { return c.stats }
+
+// ResetStats zeroes this rank's communication counters.
+func (c *Comm) ResetStats() { c.stats = CommStats{} }
+
+// send delivers a message to rank `to`, accounting for the payload.
+func (c *Comm) send(to int, m message) {
+	c.stats.MsgsSent++
+	words := int64(len(m.data))
+	for _, s := range m.segs {
+		words += int64(len(s.data))
+	}
+	c.stats.WordsMoved += words
+	c.t.ch[c.rank][to] <- m
+}
+
+// recv blocks for the next message from rank `from`.
+func (c *Comm) recv(from int) message {
+	return <-c.t.ch[from][c.rank]
+}
+
+// coreSize returns the largest power of two not exceeding p — the
+// recursive-doubling core; ranks beyond it fold their contribution in and
+// receive the result back.
+func coreSize(p int) int {
+	core := 1
+	for core*2 <= p {
+		core *= 2
+	}
+	return core
+}
+
+// arrive is the Linear rendezvous: body runs under the team lock for every
+// arriving rank; the last arrival runs last (also under the lock),
 // advances the generation and wakes the team.
 func (c *Comm) arrive(body func(t *team), last func(t *team)) {
 	t := c.t
@@ -85,14 +235,47 @@ func (c *Comm) arrive(body func(t *team), last func(t *team)) {
 	}
 }
 
-// Barrier blocks until every rank has entered it.
-func (c *Comm) Barrier() {
-	c.arrive(nil, nil)
+// barrier blocks until every rank has entered, without touching the
+// Barriers counter (collective-internal rendezvous under Linear).
+func (c *Comm) barrier() {
+	if c.t.size == 1 {
+		return
+	}
+	if c.t.topo == Linear {
+		c.arrive(nil, nil)
+		return
+	}
+	// Dissemination barrier: ceil(log2 P) token rounds.
+	p := c.t.size
+	for k := 1; k < p; k <<= 1 {
+		c.send((c.rank+k)%p, message{})
+		c.recv((c.rank - k + p) % p)
+	}
 }
 
-// AllReduceSum returns the sum of v over all ranks, on every rank. It is
-// the collective behind distributed dot products and global checksums.
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() {
+	c.stats.Barriers++
+	c.barrier()
+}
+
+// AllReduceSum returns the sum of v over all ranks, on every rank — the
+// collective behind distributed dot products and global checksum probes.
+// Every rank receives the bitwise-identical result.
 func (c *Comm) AllReduceSum(v float64) float64 {
+	c.stats.Reductions++
+	if c.t.size == 1 {
+		return v
+	}
+	if c.t.topo == Linear {
+		return c.allReduceSumLinear(v)
+	}
+	return c.allReduceSumTree(v)
+}
+
+func (c *Comm) allReduceSumLinear(v float64) float64 {
+	c.stats.MsgsSent++
+	c.stats.WordsMoved++
 	c.arrive(
 		func(t *team) {
 			if t.cnt == 0 {
@@ -112,6 +295,35 @@ func (c *Comm) AllReduceSum(v float64) float64 {
 	return r
 }
 
+// allReduceSumTree is the recursive-doubling scalar all-reduce with the
+// standard fold for non-power-of-two team sizes. After round k every rank
+// of a 2^k block holds the same block sum (addition is commutative), so
+// the final value is identical on every rank.
+func (c *Comm) allReduceSumTree(v float64) float64 {
+	p := c.t.size
+	core := coreSize(p)
+	rem := p - core
+	rank := c.rank
+	if rank >= core {
+		// Fold in: hand the contribution to the core partner, wait for
+		// the reduced result.
+		c.send(rank-core, message{data: []float64{v}})
+		return c.recv(rank - core).data[0]
+	}
+	if rank < rem {
+		v += c.recv(rank + core).data[0]
+	}
+	for mask := 1; mask < core; mask <<= 1 {
+		partner := rank ^ mask
+		c.send(partner, message{data: []float64{v}})
+		v += c.recv(partner).data[0]
+	}
+	if rank < rem {
+		c.send(rank+core, message{data: []float64{v}})
+	}
+	return v
+}
+
 // AllReduceVec element-wise sums the ranks' src slices (all the same
 // length) and stores the total into dst on every rank. dst and src may
 // alias.
@@ -119,6 +331,21 @@ func (c *Comm) AllReduceVec(dst, src []float64) {
 	if len(dst) != len(src) {
 		panic("par: length mismatch in AllReduceVec")
 	}
+	c.stats.VecReductions++
+	if c.t.size == 1 {
+		copy(dst, src)
+		return
+	}
+	if c.t.topo == Linear {
+		c.allReduceVecLinear(dst, src)
+		return
+	}
+	c.allReduceVecTree(dst, src)
+}
+
+func (c *Comm) allReduceVecLinear(dst, src []float64) {
+	c.stats.MsgsSent++
+	c.stats.WordsMoved += int64(len(src))
 	c.arrive(
 		func(t *team) {
 			if t.cnt == 0 {
@@ -141,7 +368,37 @@ func (c *Comm) AllReduceVec(dst, src []float64) {
 	c.t.mu.Unlock()
 	// Second rendezvous so no rank can start the next vector reduction
 	// while others are still copying the result out.
-	c.Barrier()
+	c.barrier()
+}
+
+func (c *Comm) allReduceVecTree(dst, src []float64) {
+	p := c.t.size
+	core := coreSize(p)
+	rem := p - core
+	rank := c.rank
+	acc := append([]float64(nil), src...)
+	if rank >= core {
+		c.send(rank-core, message{data: acc})
+		copy(dst, c.recv(rank-core).data)
+		return
+	}
+	addIn := func(m message) {
+		for i, x := range m.data {
+			acc[i] += x
+		}
+	}
+	if rank < rem {
+		addIn(c.recv(rank + core))
+	}
+	for mask := 1; mask < core; mask <<= 1 {
+		partner := rank ^ mask
+		c.send(partner, message{data: append([]float64(nil), acc...)})
+		addIn(c.recv(partner))
+	}
+	if rank < rem {
+		c.send(rank+core, message{data: append([]float64(nil), acc...)})
+	}
+	copy(dst, acc)
 }
 
 // AllGather concatenates each rank's local block into the global vector on
@@ -153,6 +410,21 @@ func (c *Comm) AllGather(global []float64, local []float64, offset int) {
 	if offset < 0 || offset+len(local) > len(global) {
 		panic(fmt.Sprintf("par: AllGather block [%d,%d) outside global %d", offset, offset+len(local), len(global)))
 	}
+	c.stats.Gathers++
+	if c.t.size == 1 {
+		copy(global[offset:offset+len(local)], local)
+		return
+	}
+	if c.t.topo == Linear {
+		c.allGatherLinear(global, local, offset)
+		return
+	}
+	c.allGatherTree(global, local, offset)
+}
+
+func (c *Comm) allGatherLinear(global, local []float64, offset int) {
+	c.stats.MsgsSent++
+	c.stats.WordsMoved += int64(len(local))
 	c.arrive(
 		func(t *team) {
 			if t.cnt == 0 {
@@ -167,11 +439,64 @@ func (c *Comm) AllGather(global []float64, local []float64, offset int) {
 	c.t.mu.Lock()
 	copy(global, c.t.gather[:len(global)])
 	c.t.mu.Unlock()
-	c.Barrier()
+	c.barrier()
+}
+
+// allGatherTree is the recursive-doubling all-gather: each round doubles
+// the set of blocks a rank holds; segments ride with their global offsets
+// so the partition may be arbitrary (nnz-balanced blocks included).
+func (c *Comm) allGatherTree(global, local []float64, offset int) {
+	p := c.t.size
+	core := coreSize(p)
+	rem := p - core
+	rank := c.rank
+	segs := []segment{{off: offset, data: append([]float64(nil), local...)}}
+	place := func(into []float64, ss []segment) {
+		for _, s := range ss {
+			copy(into[s.off:s.off+len(s.data)], s.data)
+		}
+	}
+	if rank >= core {
+		// Fold in: the block joins the core partner's set before the
+		// doubling rounds, so the echoed result includes it.
+		c.send(rank-core, message{segs: segs})
+		place(global, c.recv(rank-core).segs)
+		return
+	}
+	if rank < rem {
+		segs = append(segs, c.recv(rank+core).segs...)
+	}
+	for mask := 1; mask < core; mask <<= 1 {
+		partner := rank ^ mask
+		c.send(partner, message{segs: segs})
+		segs = append(segs, c.recv(partner).segs...)
+	}
+	if rank < rem {
+		c.send(rank+core, message{segs: segs})
+	}
+	place(global, segs)
 }
 
 // Bcast distributes root's value to every rank.
 func (c *Comm) Bcast(v float64, root int) float64 {
+	if root < 0 || root >= c.t.size {
+		panic(fmt.Sprintf("par: Bcast root %d outside team of %d", root, c.t.size))
+	}
+	c.stats.Broadcasts++
+	if c.t.size == 1 {
+		return v
+	}
+	if c.t.topo == Linear {
+		return c.bcastLinear(v, root)
+	}
+	return c.bcastTree(v, root)
+}
+
+func (c *Comm) bcastLinear(v float64, root int) float64 {
+	if c.rank == root {
+		c.stats.MsgsSent++
+		c.stats.WordsMoved++
+	}
 	c.arrive(
 		func(t *team) {
 			if c.rank == root {
@@ -183,13 +508,38 @@ func (c *Comm) Bcast(v float64, root int) float64 {
 	c.t.mu.Lock()
 	r := c.t.result
 	c.t.mu.Unlock()
-	c.Barrier()
+	c.barrier()
 	return r
 }
 
+// bcastTree is the binomial-tree broadcast rooted at root: a rank receives
+// from the peer that clears its lowest set (root-relative) bit, then
+// forwards down the remaining subtree — log2 P rounds, each rank sends at
+// most log2 P messages.
+func (c *Comm) bcastTree(v float64, root int) float64 {
+	p := c.t.size
+	vrank := (c.rank - root + p) % p
+	mask := 1
+	for mask < p {
+		if vrank&mask != 0 {
+			v = c.recv((c.rank - mask + p) % p).data[0]
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vrank+mask < p {
+			c.send((c.rank+mask)%p, message{data: []float64{v}})
+		}
+		mask >>= 1
+	}
+	return v
+}
+
 // BlockRange returns the contiguous row range [lo, hi) owned by rank r when
-// n rows are block-partitioned over size ranks, matching PETSc's default
-// distribution.
+// n rows are block-partitioned evenly over size ranks, matching PETSc's
+// default distribution. Ranks beyond n receive empty ranges.
 func BlockRange(n, size, r int) (lo, hi int) {
 	lo = r * n / size
 	hi = (r + 1) * n / size

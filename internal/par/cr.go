@@ -1,0 +1,170 @@
+package par
+
+import (
+	"fmt"
+
+	"newsum/internal/sparse"
+)
+
+// ABFTCR runs the online ABFT conjugate residual method distributed over
+// nranks goroutine ranks — the third §1-listed Krylov solver on the shared
+// rankEngine, unpreconditioned like its serial core counterpart. The CR
+// recurrence keeps x, r, p and the products Ar, Ap; errors anywhere
+// propagate into x and r, so the outer level verifies those two, and the
+// checkpoint set is {x, p} with the scalar rᵀAr — r is recomputed as
+// b − A·x and the products as A·r, A·p (three recovery MVMs).
+func ABFTCR(a *sparse.CSR, b []float64, nranks int, opts Options) (Result, error) {
+	if err := validateProblem(a, b, nranks); err != nil {
+		return Result{}, err
+	}
+	opts.normalize(a.Rows)
+	part := opts.partition(a, nranks)
+	return runTeam(nranks, opts.Topology, func(c *Comm) (Result, error) {
+		return rankCR(c, a, b, part, opts)
+	})
+}
+
+func rankCR(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Options) (res Result, err error) {
+	e, err := newRankEngine(c, a, b, part, &opts, &res, false)
+	if err != nil {
+		return res, err
+	}
+	defer e.finish()
+
+	x := e.newVec()
+	r := e.newVec()
+	p := e.newVec()
+	ar := e.newVec()
+	ap := e.newVec()
+
+	// r = b − A·x0 (x0 = 0, so r = b); Ar, Ap seeded with fresh checksums.
+	copyDist(r, e.bL)
+	copyDist(p, r)
+	e.mvmFresh(ar, r)
+	copyDist(ap, ar)
+
+	normB := e.norm2(e.bL)
+	if normB <= 0 {
+		normB = 1
+	}
+	relres := e.norm2(r) / normB
+	if relres <= opts.Tol {
+		res.Converged = true
+		res.Residual = relres
+		res.X = e.gatherX(x)
+		return res, nil
+	}
+	rAr := e.dot(r, ar)
+
+	d, cd := opts.DetectInterval, opts.CheckpointInterval
+	save := func(iter int) {
+		e.save(iter,
+			map[string]*DistVector{"x": x, "p": p},
+			map[string]float64{"rAr": rAr})
+	}
+	rollback := func(iter int) (int, bool) {
+		scal := map[string]float64{}
+		snapIter, ok := e.restore(map[string]*DistVector{"x": x, "p": p}, scal)
+		if !ok {
+			return iter, false
+		}
+		rAr = scal["rAr"]
+		e.residualFresh(r, x)
+		e.mvmFresh(ar, r)
+		e.mvmFresh(ap, p)
+		return snapIter, true
+	}
+	storm := func() (Result, error) {
+		res.Residual = relres
+		return res, fmt.Errorf("par: ABFT CR rollback limit exceeded")
+	}
+
+	i := 0
+	for i < opts.MaxIter {
+		e.beginIter(i)
+		if i > 0 && i%d == 0 {
+			// Unlike PCG/BiCGStab there is no preconditioner solve dividing
+			// the carried checksum error back down by d, so the Ar/Ap
+			// recurrences amplify round-off by ~(d·α + β) per iteration.
+			// Verifying (and thereby re-anchoring) them at every detect
+			// boundary breaks that growth and catches a fault while it still
+			// lives in the product recurrences, before it reaches x or r.
+			if !e.verify(x) || !e.verify(r) || !e.verify(ar) || !e.verify(ap) {
+				res.Detections++
+				var ok bool
+				if i, ok = rollback(i); !ok {
+					return storm()
+				}
+				continue
+			}
+		}
+		if i%cd == 0 {
+			// Guard the snapshot: p must verify clean before it becomes the
+			// rollback target (Ar, Ap and the rAr scalar were just verified
+			// above — cd is a multiple of d).
+			if i > 0 && !e.verify(p) {
+				res.Detections++
+				var ok bool
+				if i, ok = rollback(i); !ok {
+					return storm()
+				}
+				continue
+			}
+			save(i)
+		}
+
+		apap := e.dot(ap, ap)
+		if breakdownSuspect(apap) || breakdownSuspect(rAr) {
+			res.Detections++
+			var ok bool
+			if i, ok = rollback(i); !ok {
+				res.Residual = relres
+				return res, fmt.Errorf("par: CR breakdown at iteration %d: ApᵀAp = %v, rᵀAr = %v", i, apap, rAr)
+			}
+			continue
+		}
+		alpha := rAr / apap
+		e.axpy(x, alpha, p)
+		e.axpy(r, -alpha, ap)
+		i++
+		res.Iterations = i
+
+		relres = e.norm2(r) / normB
+		if relres <= opts.Tol {
+			if e.verify(x) && e.verify(r) {
+				res.Converged = true
+				break
+			}
+			res.Detections++
+			var ok bool
+			if i, ok = rollback(i); !ok {
+				return storm()
+			}
+			continue
+		}
+
+		// The iteration's protected MVM carries the fault coordinate of the
+		// loop index it tops off (curIter is still i−1 here, matching the
+		// serial solver's bookkeeping).
+		e.mvm(ar, r)
+		if opts.TwoLevel && !e.innerCheck(ar, r) {
+			var ok bool
+			if i, ok = rollback(i); !ok {
+				return storm()
+			}
+			continue
+		}
+		rArNew := e.dot(r, ar)
+		beta := rArNew / rAr
+		e.xpby(p, r, beta, p)
+		e.xpby(ap, ar, beta, ap)
+		rAr = rArNew
+	}
+
+	res.Residual = relres
+	res.X = e.gatherX(x)
+	if !res.Converged {
+		return res, fmt.Errorf("par: ABFT CR did not converge in %d iterations (relres %.3e)", res.Iterations, relres)
+	}
+	return res, nil
+}

@@ -1,0 +1,533 @@
+package par
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"newsum/internal/checkpoint"
+	"newsum/internal/checksum"
+	"newsum/internal/precond"
+	"newsum/internal/sparse"
+	"newsum/internal/vec"
+)
+
+// This file is the distributed counterpart of internal/core/engine.go: the
+// per-rank machinery every parallel ABFT solver shares. A solver body (see
+// pcg.go, bicgstab.go, cr.go) is written against a rankEngine exactly the
+// way the serial solvers are written against *engine — tracked distributed
+// vectors, instrumented MVM/PCO/VLO operations that carry partial checksums,
+// replicated verification, and checkpoint/rollback helpers — so adding a new
+// protected solver is one recurrence loop, not a re-derivation of the
+// distribution and protection layers.
+
+// Fault schedules one arithmetic error into the MVM output of a specific
+// rank at a specific iteration of the distributed solve.
+type Fault struct {
+	Iteration int
+	Rank      int
+	// Index is the local index within the rank's block; out-of-range
+	// (including -1) means 0.
+	Index int
+	// Magnitude is the additive error; 0 selects a large default. Ignored
+	// when BitFlip is set.
+	Magnitude float64
+	// MVM selects which MVM within the iteration is struck, 0-based, for
+	// solvers that perform more than one per iteration (BiCGStab runs two).
+	MVM int
+	// BitFlip flips bit Bit of the IEEE-754 word instead of adding
+	// Magnitude — the fault model of the paper's §6 campaigns.
+	BitFlip bool
+	// Bit is the flipped bit position (0 = LSB of the mantissa, 63 = sign).
+	// Out-of-range values select 62, the high exponent bit, whose flip
+	// always produces a detectable magnitude change.
+	Bit int
+}
+
+// Options configures a distributed ABFT solve.
+type Options struct {
+	// Tol is the relative residual tolerance (default 1e-8).
+	Tol float64
+	// MaxIter caps iterations (default 10·n).
+	MaxIter int
+	// DetectInterval and CheckpointInterval are the paper's d and cd
+	// (defaults 1 and 10; cd is rounded up to a multiple of d).
+	DetectInterval, CheckpointInterval int
+	// Theta is the checksum threshold (default 1e-10).
+	Theta float64
+	// MaxRollbacks bounds recovery attempts (default 100).
+	MaxRollbacks int
+	// TwoLevel enables the inner-level triple-checksum protection after
+	// every distributed MVM (Algorithm 2): the global δ1 probe costs one
+	// extra scalar all-reduce per iteration; on inconsistency the locating
+	// deltas are evaluated lazily (three more all-reduces), the owner rank
+	// corrects a located single error in place, and multiple errors
+	// trigger a coordinated rollback.
+	TwoLevel bool
+	// Topology selects the collective algorithm family (default Tree;
+	// Linear keeps the O(P) baseline for comparison).
+	Topology Topology
+	// EvenRows forces the legacy even row partition instead of the
+	// nnz-balanced partitioner (benchmarks compare the two).
+	EvenRows bool
+	// Faults schedules arithmetic MVM errors.
+	Faults []Fault
+}
+
+func (o *Options) normalize(n int) {
+	if o.Tol <= 0 {
+		o.Tol = 1e-8
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 10 * n
+	}
+	if o.DetectInterval < 1 {
+		o.DetectInterval = 1
+	}
+	if o.CheckpointInterval < 1 {
+		o.CheckpointInterval = 10 * o.DetectInterval
+	}
+	if rem := o.CheckpointInterval % o.DetectInterval; rem != 0 {
+		o.CheckpointInterval += o.DetectInterval - rem
+	}
+	if o.Theta <= 0 {
+		o.Theta = 1e-10
+	}
+	if o.MaxRollbacks <= 0 {
+		o.MaxRollbacks = 100
+	}
+}
+
+// partition builds the row partition the solve distributes over.
+func (o *Options) partition(a *sparse.CSR, nranks int) Partition {
+	if o.EvenRows {
+		return EvenPartition(a.Rows, nranks)
+	}
+	return NnzPartition(a, nranks)
+}
+
+// Result reports a distributed solve's outcome.
+type Result struct {
+	X           []float64
+	Iterations  int
+	Converged   bool
+	Residual    float64
+	Rollbacks   int
+	Checkpoints int
+	Detections  int
+	Corrections int
+	// InjectedFaults counts scheduled faults that actually fired, summed
+	// over all ranks.
+	InjectedFaults int
+	// Comm aggregates the collective instrumentation over all ranks.
+	Comm CommStats
+}
+
+func validateProblem(a *sparse.CSR, b []float64, nranks int) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("par: matrix must be square")
+	}
+	if len(b) != a.Rows {
+		return fmt.Errorf("par: rhs length %d, want %d", len(b), a.Rows)
+	}
+	if nranks < 1 || nranks > a.Rows {
+		return fmt.Errorf("par: nranks %d out of range", nranks)
+	}
+	return nil
+}
+
+// runTeam spawns one goroutine rank per Comm, runs body on each, and merges
+// the per-rank instrumentation (fault counts and comm stats) into rank 0's
+// replicated result. The solver counters (iterations, detections, …) are
+// identical on every rank because every branch they feed is taken on a
+// replicated all-reduced value.
+func runTeam(nranks int, topo Topology, body func(c *Comm) (Result, error)) (Result, error) {
+	comms := NewTeamTopology(nranks, topo)
+	results := make([]Result, nranks)
+	errs := make([]error, nranks)
+	var wg sync.WaitGroup
+	for r := 0; r < nranks; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			results[rank], errs[rank] = body(comms[rank])
+		}(r)
+	}
+	wg.Wait()
+	res := results[0]
+	for r := 1; r < nranks; r++ {
+		res.InjectedFaults += results[r].InjectedFaults
+		res.Comm.Merge(results[r].Comm)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// rankEngine is one rank's view of a protected distributed solve: its row
+// block, its slice of the encoded checksum rows, its local preconditioner
+// stages, and the instrumented operations the solver loops are built from.
+type rankEngine struct {
+	c      *Comm
+	a      *sparse.CSR
+	dm     *DistMatrix
+	lo, hi int
+	local  int
+	n      int
+	opts   *Options
+	res    *Result
+
+	weights []checksum.Weight
+	tol     checksum.Tol
+	dScalar float64
+	// rowA is this rank's [lo, hi) slice of checksum(A) = cᵀA − d·cᵀ.
+	rowA []float64
+	// Local block preconditioner stages with their encodings (nil without
+	// preconditioning).
+	stages []precond.Stage
+	encStg []*checksum.Matrix
+	// Lazy diagnosis state for the two-level inner check: this rank's
+	// column slices of c_kᵀA for the locating weights.
+	diagWeights []checksum.Weight
+	diagRows    [][]float64
+
+	bL *DistVector
+	xg []float64 // gathered global vector buffer
+
+	store checkpoint.Store
+	fired []bool
+	// curIter/curSeq track the (iteration, MVM-within-iteration) coordinate
+	// faults are addressed by; beginIter resets the sequence.
+	curIter, curSeq int
+}
+
+// newRankEngine prepares one rank's engine: partition block, local ILU(0)
+// block preconditioner (when withPrecond), encoded checksum rows, and the
+// rank's slice of the global encoding. Collective calls inside must be
+// matched by every rank, so the constructor runs identically everywhere —
+// including the setup-failure verdict, which is all-reduced so a rank whose
+// factorization fails cannot strand its peers in a collective.
+func newRankEngine(c *Comm, a *sparse.CSR, b []float64, part Partition, opts *Options, res *Result, withPrecond bool) (*rankEngine, error) {
+	lo, hi := part.Range(c.Rank())
+	e := &rankEngine{
+		c: c, a: a, dm: SplitPartition(a, part, c.Rank()),
+		lo: lo, hi: hi, local: hi - lo, n: a.Rows,
+		opts: opts, res: res,
+		weights: checksum.Single,
+		tol:     checksum.Tol{Theta: opts.Theta},
+		dScalar: checksum.PracticalD(a),
+		xg:      make([]float64, a.Rows),
+		fired:   make([]bool, len(opts.Faults)),
+	}
+
+	var setupErr error
+	if withPrecond {
+		// Local block preconditioner: ILU(0) of the diagonal block, exactly
+		// block-Jacobi with blocks = ranks.
+		blk := a.SubMatrix(lo, hi)
+		mLocal, err := precond.ILU0(blk)
+		if err != nil {
+			setupErr = fmt.Errorf("par: rank %d ILU(0): %w", c.Rank(), err)
+		} else {
+			e.stages = mLocal.Stages()
+		}
+	}
+	flag := 0.0
+	if setupErr != nil {
+		flag = 1
+	}
+	if c.AllReduceSum(flag) > 0 {
+		if setupErr != nil {
+			return nil, setupErr
+		}
+		return nil, fmt.Errorf("par: peer rank failed preconditioner setup")
+	}
+
+	// Shifted weights evaluate the global checksum vector at this rank's
+	// global row indices, so locally encoded stage matrices yield exactly
+	// this rank's slice of the global checksum rows.
+	shifted := make([]checksum.Weight, len(e.weights))
+	for k, w := range e.weights {
+		shifted[k] = checksum.ShiftWeight(w, lo)
+	}
+	e.encStg = make([]*checksum.Matrix, len(e.stages))
+	for i, st := range e.stages {
+		e.encStg[i] = checksum.EncodeMatrix(st.M, shifted, e.dScalar)
+	}
+
+	// This rank's slice of checksum(A): partial cᵀA from the owned rows,
+	// all-reduced over the team, then sliced and shifted.
+	full := make([]float64, e.n)
+	checksum.PartialMatrixRow(a, e.weights[0], lo, hi, full)
+	c.AllReduceVec(full, full)
+	e.rowA = checksum.LocalRowSlice(full, e.weights[0], e.dScalar, lo, hi)
+
+	if opts.TwoLevel {
+		e.diagWeights = []checksum.Weight{checksum.Linear, checksum.Harmonic}
+		e.diagRows = make([][]float64, len(e.diagWeights))
+		for k, w := range e.diagWeights {
+			fullK := make([]float64, e.n)
+			checksum.PartialMatrixRow(a, w, lo, hi, fullK)
+			c.AllReduceVec(fullK, fullK)
+			e.diagRows[k] = append([]float64(nil), fullK[lo:hi]...)
+		}
+	}
+
+	e.bL = NewDistVector(e.local, len(e.weights))
+	copy(e.bL.Data, b[lo:hi])
+	e.bL.LocalChecksums(e.weights, lo)
+	return e, nil
+}
+
+func (e *rankEngine) newVec() *DistVector { return NewDistVector(e.local, len(e.weights)) }
+
+// beginIter sets the fault coordinate for the iteration about to run.
+func (e *rankEngine) beginIter(i int) { e.curIter = i; e.curSeq = 0 }
+
+// finish stores the rank's collective instrumentation into the result; the
+// solver bodies defer it so every exit path reports comm stats.
+func (e *rankEngine) finish() { e.res.Comm = e.c.Stats() }
+
+// inject fires any scheduled fault addressed to this rank at the current
+// (iteration, MVM) coordinate. Faults are one-shot: a strike consumed
+// before a rollback does not re-fire when its iteration re-executes (the
+// paper's scenarios schedule a fixed set of errors).
+func (e *rankEngine) inject(dst *DistVector) {
+	for fi, f := range e.opts.Faults {
+		if f.Iteration != e.curIter || f.Rank != e.c.Rank() || f.MVM != e.curSeq || e.fired[fi] {
+			continue
+		}
+		e.fired[fi] = true
+		e.res.InjectedFaults++
+		idx := f.Index
+		if idx < 0 || idx >= e.local {
+			idx = 0
+		}
+		if f.BitFlip {
+			bit := uint(62)
+			if f.Bit >= 0 && f.Bit <= 63 {
+				bit = uint(f.Bit)
+			}
+			dst.Data[idx] = math.Float64frombits(math.Float64bits(dst.Data[idx]) ^ (1 << bit))
+			continue
+		}
+		mag := f.Magnitude
+		//lint:ignore floatcmp Magnitude == 0 is the unset sentinel selecting the default error
+		if mag == 0 {
+			mag = 1e4
+		}
+		dst.Data[idx] += mag
+	}
+}
+
+// mvmClean computes the local block of dst = A·src with no instrumentation
+// and no checksum update — the recovery and setup paths use it.
+func (e *rankEngine) mvmClean(dst, src *DistVector) {
+	e.c.AllGather(e.xg, src.Data, e.lo)
+	e.dm.MulVec(dst.Data, e.xg)
+}
+
+// mvm is the protected distributed MVM: gather, local multiply, scheduled
+// fault injection, then the partial Eq. (2) checksum update — this rank's
+// slice of checksum(A) against its own block of the (clean) input, plus d
+// times the carried partial input checksum. The partials sum to the global
+// rule, so an injected error leaves dst.Data inconsistent with dst.S.
+func (e *rankEngine) mvm(dst, src *DistVector) {
+	e.mvmClean(dst, src)
+	e.inject(dst)
+	var dot float64
+	for j := 0; j < e.local; j++ {
+		dot += e.rowA[j] * src.Data[j]
+	}
+	dst.S[0] = dot + e.dScalar*src.S[0]
+	e.curSeq++
+}
+
+// mvmFresh computes dst = A·src with directly recomputed checksums — the
+// recovery path, which must not consume fault strikes.
+func (e *rankEngine) mvmFresh(dst, src *DistVector) {
+	e.mvmClean(dst, src)
+	dst.LocalChecksums(e.weights, e.lo)
+}
+
+// residualFresh recomputes r = b − A·x with fresh local checksums.
+func (e *rankEngine) residualFresh(r, x *DistVector) {
+	e.mvmClean(r, x)
+	vec.Sub(r.Data, e.bL.Data, r.Data)
+	r.LocalChecksums(e.weights, e.lo)
+}
+
+// pco applies the local block preconditioner stage by stage, carrying the
+// partial checksum through each solve (Eq. 4) or multiply (Eq. 2). With no
+// stages it is the identity.
+func (e *rankEngine) pco(dst, src *DistVector) error {
+	in, inS := src.Data, src.S[0]
+	buf := make([]float64, e.local)
+	bufS := make([]float64, len(e.weights))
+	for k, st := range e.stages {
+		if err := st.Apply(buf, in); err != nil {
+			return err
+		}
+		switch st.Op {
+		case precond.StageSolve:
+			e.encStg[k].UpdatePCO(bufS, buf, []float64{inS})
+		case precond.StageMul:
+			e.encStg[k].UpdateMVM(bufS, in, []float64{inS})
+		}
+		in, inS = buf, bufS[0]
+		buf = make([]float64, e.local)
+	}
+	copy(dst.Data, in)
+	dst.S[0] = inS
+	return nil
+}
+
+// The VLO family updates data and carried checksums together (Eq. 3).
+
+func (e *rankEngine) axpy(y *DistVector, alpha float64, x *DistVector) {
+	vec.Axpy(y.Data, alpha, x.Data)
+	y.S[0] += alpha * x.S[0]
+}
+
+func (e *rankEngine) xpby(dst, x *DistVector, beta float64, y *DistVector) {
+	vec.Xpby(dst.Data, x.Data, beta, y.Data)
+	dst.S[0] = x.S[0] + beta*y.S[0]
+}
+
+func (e *rankEngine) axpbyInto(dst *DistVector, alpha float64, x *DistVector, beta float64, y *DistVector) {
+	vec.Axpby(dst.Data, alpha, x.Data, beta, y.Data)
+	dst.S[0] = alpha*x.S[0] + beta*y.S[0]
+}
+
+func copyDist(dst, src *DistVector) {
+	copy(dst.Data, src.Data)
+	copy(dst.S, src.S)
+}
+
+func (e *rankEngine) dot(a, b *DistVector) float64 { return GlobalDot(e.c, a, b) }
+
+// dotRaw is the global inner product of a plain local block (BiCGStab's
+// fixed shadow residual) with a distributed vector.
+func (e *rankEngine) dotRaw(a []float64, b *DistVector) float64 {
+	return e.c.AllReduceSum(vec.Dot(a, b.Data))
+}
+
+func (e *rankEngine) norm2(a *DistVector) float64 { return GlobalNorm2(e.c, a) }
+
+// verify checks the global checksum relationship of v. Every rank returns
+// the same verdict because the reductions are replicated-deterministic. A
+// passing verdict re-anchors the carried checksums to the verified data, so
+// recurrence round-off cannot accumulate into a false positive over a long
+// solve; a failing verdict leaves the checksums untouched for diagnosis.
+func (e *rankEngine) verify(v *DistVector) bool {
+	if !VerifyGlobal(e.c, v, e.weights[0], 0, e.lo, e.n, e.tol) {
+		return false
+	}
+	v.LocalChecksums(e.weights, e.lo)
+	return true
+}
+
+// breakdownSuspect reports whether a replicated recurrence scalar is
+// unusable — exactly zero, NaN, or Inf. Under ABFT such a value right after
+// a protected MVM is far more likely a propagated fault than a genuine
+// Lanczos-type breakdown, so the solver loops treat it as a detection and
+// roll back; only an exhausted rollback budget surfaces it as an error.
+func breakdownSuspect(v float64) bool {
+	//lint:ignore floatcmp exact zero is the breakdown condition itself
+	return v == 0 || math.IsNaN(v) || math.IsInf(v, 0)
+}
+
+// innerCheck is the distributed two-level inner level run after a protected
+// MVM out = A·in: global δ1 probe on out, input-purity check on in, lazy
+// δ2/δ3 evaluation, in-place correction by the owner rank. Returns false
+// when a rollback is required. Every rank returns the same verdict.
+func (e *rankEngine) innerCheck(out, in *DistVector) bool {
+	var sum, absSum float64
+	for i, x := range out.Data {
+		t := e.weights[0].At(e.lo+i) * x
+		sum += t
+		absSum += math.Abs(t)
+	}
+	gSum := e.c.AllReduceSum(sum)
+	gAbs := e.c.AllReduceSum(absSum)
+	gS := e.c.AllReduceSum(out.S[0])
+	d1 := gSum - gS
+	if e.tol.ConsistentAbs(d1, e.n, gAbs) {
+		return true
+	}
+	e.res.Detections++
+	// Input purity: a carried inconsistency in the input mimics a single
+	// output error; only a clean input makes the signature trustworthy.
+	if !e.verify(in) {
+		return false
+	}
+	deltas := []float64{d1, 0, 0}
+	absSums := []float64{gAbs, 0, 0}
+	for k, w := range e.diagWeights {
+		var exp, qs, qa float64
+		for i, x := range in.Data {
+			exp += e.diagRows[k][i] * x
+		}
+		for i, x := range out.Data {
+			t := w.At(e.lo+i) * x
+			qs += t
+			qa += math.Abs(t)
+		}
+		deltas[k+1] = e.c.AllReduceSum(qs) - e.c.AllReduceSum(exp)
+		absSums[k+1] = e.c.AllReduceSum(qa)
+	}
+	diag := checksum.Diagnose(deltas, e.n, absSums, e.tol)
+	if diag.Kind != checksum.SingleError {
+		return false
+	}
+	if diag.Pos >= e.lo && diag.Pos < e.hi {
+		out.Data[diag.Pos-e.lo] -= diag.Magnitude
+	}
+	e.res.Corrections++
+	e.c.Barrier() // correction visible before anyone reads out
+	return true
+}
+
+// save snapshots the given tracked vectors (data + checksums) and scalars.
+func (e *rankEngine) save(iter int, vecs map[string]*DistVector, scalars map[string]float64) {
+	data := make(map[string][]float64, len(vecs))
+	sums := make(map[string][]float64, len(vecs))
+	for name, v := range vecs {
+		data[name] = v.Data
+		sums[name] = v.S
+	}
+	e.store.Save(iter, data, scalars, sums)
+	e.res.Checkpoints++
+}
+
+// restore rolls the tracked vectors and scalars back to the latest
+// snapshot, charging one rollback against the budget. The verdict is
+// replicated: every rank holds the same snapshot iteration and budget.
+func (e *rankEngine) restore(vecs map[string]*DistVector, scalars map[string]float64) (int, bool) {
+	e.res.Rollbacks++
+	if e.res.Rollbacks > e.opts.MaxRollbacks {
+		return 0, false
+	}
+	data := make(map[string][]float64, len(vecs))
+	sums := make(map[string][]float64, len(vecs))
+	for name, v := range vecs {
+		data[name] = v.Data
+		sums[name] = v.S
+	}
+	snapIter, err := e.store.Restore(data, scalars, sums)
+	if err != nil {
+		return 0, false
+	}
+	return snapIter, true
+}
+
+// gatherX assembles the full solution vector on every rank.
+func (e *rankEngine) gatherX(x *DistVector) []float64 {
+	e.c.AllGather(e.xg, x.Data, e.lo)
+	out := make([]float64, len(e.xg))
+	copy(out, e.xg)
+	return out
+}

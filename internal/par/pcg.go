@@ -2,62 +2,9 @@ package par
 
 import (
 	"fmt"
-	"math"
-	"sync"
 
-	"newsum/internal/checkpoint"
-	"newsum/internal/checksum"
-	"newsum/internal/precond"
 	"newsum/internal/sparse"
-	"newsum/internal/vec"
 )
-
-// Fault schedules one arithmetic error into the MVM output of a specific
-// rank at a specific iteration of the distributed solve.
-type Fault struct {
-	Iteration int
-	Rank      int
-	// Index is the local index within the rank's block; -1 means 0.
-	Index int
-	// Magnitude is the additive error; 0 selects a large default.
-	Magnitude float64
-}
-
-// Options configures the distributed ABFT PCG.
-type Options struct {
-	// Tol is the relative residual tolerance (default 1e-8).
-	Tol float64
-	// MaxIter caps iterations (default 10·n).
-	MaxIter int
-	// DetectInterval and CheckpointInterval are the paper's d and cd
-	// (defaults 1 and 10; cd is rounded up to a multiple of d).
-	DetectInterval, CheckpointInterval int
-	// Theta is the checksum threshold (default 1e-10).
-	Theta float64
-	// MaxRollbacks bounds recovery attempts (default 100).
-	MaxRollbacks int
-	// TwoLevel enables the inner-level triple-checksum protection after
-	// every distributed MVM (Algorithm 2): the global δ1 probe costs one
-	// extra scalar all-reduce per iteration; on inconsistency the locating
-	// deltas are evaluated lazily (three more all-reduces), the owner rank
-	// corrects a located single error in place, and multiple errors
-	// trigger a coordinated rollback.
-	TwoLevel bool
-	// Faults schedules arithmetic MVM errors.
-	Faults []Fault
-}
-
-// Result reports a distributed solve's outcome.
-type Result struct {
-	X           []float64
-	Iterations  int
-	Converged   bool
-	Residual    float64
-	Rollbacks   int
-	Checkpoints int
-	Detections  int
-	Corrections int
-}
 
 // ABFTPCG runs the basic online ABFT PCG distributed over nranks goroutine
 // ranks with a block-Jacobi ILU(0) preconditioner whose blocks coincide
@@ -65,315 +12,73 @@ type Result struct {
 // state and checkpoints are rank-local; verification needs only scalar
 // all-reductions, reproducing the paper's locality argument.
 func ABFTPCG(a *sparse.CSR, b []float64, nranks int, opts Options) (Result, error) {
-	if a.Rows != a.Cols {
-		return Result{}, fmt.Errorf("par: matrix must be square")
+	if err := validateProblem(a, b, nranks); err != nil {
+		return Result{}, err
 	}
-	if len(b) != a.Rows {
-		return Result{}, fmt.Errorf("par: rhs length %d, want %d", len(b), a.Rows)
-	}
-	if nranks < 1 || nranks > a.Rows {
-		return Result{}, fmt.Errorf("par: nranks %d out of range", nranks)
-	}
-	if opts.Tol <= 0 {
-		opts.Tol = 1e-8
-	}
-	if opts.MaxIter <= 0 {
-		opts.MaxIter = 10 * a.Rows
-	}
-	if opts.DetectInterval < 1 {
-		opts.DetectInterval = 1
-	}
-	if opts.CheckpointInterval < 1 {
-		opts.CheckpointInterval = 10 * opts.DetectInterval
-	}
-	if rem := opts.CheckpointInterval % opts.DetectInterval; rem != 0 {
-		opts.CheckpointInterval += opts.DetectInterval - rem
-	}
-	if opts.Theta <= 0 {
-		opts.Theta = 1e-10
-	}
-	if opts.MaxRollbacks <= 0 {
-		opts.MaxRollbacks = 100
-	}
-
-	comms := NewTeam(nranks)
-	results := make([]Result, nranks)
-	errs := make([]error, nranks)
-	var wg sync.WaitGroup
-	for r := 0; r < nranks; r++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			results[rank], errs[rank] = rankPCG(comms[rank], a, b, opts)
-		}(r)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return results[0], err
-		}
-	}
-	return results[0], nil
+	opts.normalize(a.Rows)
+	part := opts.partition(a, nranks)
+	return runTeam(nranks, opts.Topology, func(c *Comm) (Result, error) {
+		return rankPCG(c, a, b, part, opts)
+	})
 }
 
-// rankPCG is the per-rank solver body.
-func rankPCG(c *Comm, a *sparse.CSR, b []float64, opts Options) (Result, error) {
-	n := a.Rows
-	rank, size := c.Rank(), c.Size()
-	lo, hi := BlockRange(n, size, rank)
-	local := hi - lo
-	dm := Split(a, size, rank)
-	weights := checksum.Single
-	tol := checksum.Tol{Theta: opts.Theta}
-	dScalar := checksum.PracticalD(a)
-
-	// Local block preconditioner: ILU(0) of the diagonal block, exactly
-	// block-Jacobi with blocks = ranks.
-	blk := a.SubMatrix(lo, hi)
-	mLocal, err := precond.ILU0(blk)
+// rankPCG is the per-rank PCG body, written against the rankEngine the same
+// way core's serial solvers are written against *engine.
+func rankPCG(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Options) (res Result, err error) {
+	e, err := newRankEngine(c, a, b, part, &opts, &res, true)
 	if err != nil {
-		return Result{}, fmt.Errorf("par: rank %d ILU(0): %w", rank, err)
+		return res, err
 	}
-	// Shifted weights evaluate the global checksum vector at this rank's
-	// global row indices, so locally encoded stage matrices yield exactly
-	// this rank's slice of the global checksum rows.
-	shifted := make([]checksum.Weight, len(weights))
-	for k, w := range weights {
-		w := w
-		shifted[k] = checksum.Weight{
-			Name: fmt.Sprintf("%s@%d", w.Name, lo),
-			At:   func(i int) float64 { return w.At(lo + i) },
-		}
-	}
-	stages := mLocal.Stages()
-	encStg := make([]*checksum.Matrix, len(stages))
-	for i, st := range stages {
-		encStg[i] = checksum.EncodeMatrix(st.M, shifted, dScalar)
-	}
+	defer e.finish()
 
-	// This rank's slice of checksum(A) = cᵀA − d·cᵀ: partial cᵀA from the
-	// owned rows, all-reduced, then sliced and shifted.
-	full := make([]float64, n)
-	for i := lo; i < hi; i++ {
-		ci := weights[0].At(i)
-		cols, vals := a.RowView(i)
-		for k, j := range cols {
-			full[j] += ci * vals[k]
-		}
-	}
-	c.AllReduceVec(full, full)
-	rowA := make([]float64, local)
-	for j := 0; j < local; j++ {
-		rowA[j] = full[lo+j] - dScalar*weights[0].At(lo+j)
-	}
-
-	// Lazy diagnosis state for the two-level inner check: this rank's
-	// column slices of c_kᵀA for the Linear and Harmonic weights. The
-	// expected checksum of q = A·p is the all-reduced Σ_r slice_r·p_r.
-	diagWeights := []checksum.Weight{checksum.Linear, checksum.Harmonic}
-	var diagRows [][]float64
-	if opts.TwoLevel {
-		diagRows = make([][]float64, len(diagWeights))
-		for k, w := range diagWeights {
-			fullK := make([]float64, n)
-			for i := lo; i < hi; i++ {
-				ci := w.At(i)
-				cols, vals := a.RowView(i)
-				for t, j := range cols {
-					fullK[j] += ci * vals[t]
-				}
-			}
-			c.AllReduceVec(fullK, fullK)
-			diagRows[k] = append([]float64(nil), fullK[lo:hi]...)
-		}
-	}
-
-	newVec := func() *DistVector { return NewDistVector(local, len(weights)) }
-	x := newVec()
-	r := newVec()
-	z := newVec()
-	p := newVec()
-	q := newVec()
-	bL := &DistVector{Data: make([]float64, local), S: make([]float64, len(weights))}
-	copy(bL.Data, b[lo:hi])
-	bL.LocalChecksums(weights, lo)
-
-	xg := make([]float64, n) // gathered global vector buffer
+	x := e.newVec()
+	r := e.newVec()
+	z := e.newVec()
+	p := e.newVec()
+	q := e.newVec()
 
 	// r = b − A·x0 (x0 = 0, so r = b) with exact local checksums.
-	copy(r.Data, bL.Data)
-	r.LocalChecksums(weights, lo)
+	copyDist(r, e.bL)
 
-	normB := GlobalNorm2(c, bL)
+	normB := e.norm2(e.bL)
 	if normB <= 0 {
 		normB = 1
 	}
 
-	res := Result{}
-	relres := GlobalNorm2(c, r) / normB
+	relres := e.norm2(r) / normB
 	if relres <= opts.Tol {
 		res.Converged = true
 		res.Residual = relres
-		res.X = gatherX(c, x, xg, lo)
+		res.X = e.gatherX(x)
 		return res, nil
 	}
 
-	// Instrumented distributed operations. Faults are one-shot: a strike
-	// consumed before a rollback does not re-fire when its iteration
-	// re-executes (the paper's scenarios schedule a fixed set of errors).
-	fired := make([]bool, len(opts.Faults))
-	mvm := func(iter int, dst, src *DistVector) {
-		c.AllGather(xg, src.Data, lo)
-		dm.MulVec(dst.Data, xg)
-		for fi, f := range opts.Faults {
-			if f.Iteration == iter && f.Rank == rank && !fired[fi] {
-				fired[fi] = true
-				idx := f.Index
-				if idx < 0 || idx >= local {
-					idx = 0
-				}
-				mag := f.Magnitude
-				//lint:ignore floatcmp Magnitude == 0 is the unset sentinel selecting the default error
-				if mag == 0 {
-					mag = 1e4
-				}
-				dst.Data[idx] += mag
-			}
-		}
-		// Partial checksum update: this rank's slice of checksum(A)
-		// against its own block of the input, plus d times the carried
-		// partial input checksum. Partials sum to the global Eq. (2).
-		var dot float64
-		for j := 0; j < local; j++ {
-			dot += rowA[j] * src.Data[j]
-		}
-		dst.S[0] = dot + dScalar*src.S[0]
-	}
-	pco := func(dst, src *DistVector) error {
-		in, inS := src.Data, src.S[0]
-		buf := make([]float64, local)
-		bufS := make([]float64, len(weights))
-		for k, st := range stages {
-			if err := st.Apply(buf, in); err != nil {
-				return err
-			}
-			switch st.Op {
-			case precond.StageSolve:
-				encStg[k].UpdatePCO(bufS, buf, []float64{inS})
-			case precond.StageMul:
-				encStg[k].UpdateMVM(bufS, in, []float64{inS})
-			}
-			in, inS = buf, bufS[0]
-			buf = make([]float64, local)
-		}
-		copy(dst.Data, in)
-		dst.S[0] = inS
-		return nil
-	}
-	axpy := func(y *DistVector, alpha float64, xv *DistVector) {
-		vec.Axpy(y.Data, alpha, xv.Data)
-		y.S[0] += alpha * xv.S[0]
-	}
-	xpby := func(dst, xv *DistVector, beta float64, y *DistVector) {
-		vec.Xpby(dst.Data, xv.Data, beta, y.Data)
-		dst.S[0] = xv.S[0] + beta*y.S[0]
-	}
-
-	if err := pco(z, r); err != nil {
+	if err := e.pco(z, r); err != nil {
 		return res, err
 	}
-	copy(p.Data, z.Data)
-	copy(p.S, z.S)
-	rho := GlobalDot(c, r, z)
+	copyDist(p, z)
+	rho := e.dot(r, z)
 
-	var store checkpoint.Store
 	d, cd := opts.DetectInterval, opts.CheckpointInterval
 	save := func(iter int) {
-		store.Save(iter,
-			map[string][]float64{"p": p.Data, "x": x.Data},
-			map[string]float64{"rho": rho},
-			map[string][]float64{"p": p.S, "x": x.S})
-		res.Checkpoints++
+		e.save(iter, map[string]*DistVector{"p": p, "x": x}, map[string]float64{"rho": rho})
 	}
 	rollback := func(iter int) (int, bool) {
-		res.Rollbacks++
-		if res.Rollbacks > opts.MaxRollbacks {
-			return iter, false
-		}
 		scal := map[string]float64{}
-		snapIter, err := store.Restore(
-			map[string][]float64{"p": p.Data, "x": x.Data},
-			scal,
-			map[string][]float64{"p": p.S, "x": x.S})
-		if err != nil {
+		snapIter, ok := e.restore(map[string]*DistVector{"p": p, "x": x}, scal)
+		if !ok {
 			return iter, false
 		}
 		rho = scal["rho"]
-		c.AllGather(xg, x.Data, lo)
-		dm.MulVec(r.Data, xg)
-		vec.Sub(r.Data, bL.Data, r.Data)
-		r.LocalChecksums(weights, lo)
+		e.residualFresh(r, x)
 		return snapIter, true
 	}
 
-	// innerCheck is the distributed two-level inner level: global δ1 probe
-	// on q, input-purity check on p, lazy δ2/δ3 evaluation, in-place
-	// correction by the owner rank. Returns false when a rollback is
-	// required. Every rank returns the same verdict.
-	innerCheck := func(q, p *DistVector) bool {
-		var sum, absSum float64
-		for i, x := range q.Data {
-			t := weights[0].At(lo+i) * x
-			sum += t
-			absSum += math.Abs(t)
-		}
-		gSum := c.AllReduceSum(sum)
-		gAbs := c.AllReduceSum(absSum)
-		gS := c.AllReduceSum(q.S[0])
-		d1 := gSum - gS
-		if tol.ConsistentAbs(d1, n, gAbs) {
-			return true
-		}
-		res.Detections++
-		// Input purity: a carried inconsistency in p mimics a single
-		// output error; only a clean input makes the signature trustworthy.
-		if !VerifyGlobal(c, p, weights[0], 0, lo, n, tol) {
-			return false
-		}
-		deltas := []float64{d1, 0, 0}
-		absSums := []float64{gAbs, 0, 0}
-		for k, w := range diagWeights {
-			var exp, qs, qa float64
-			for i, x := range p.Data {
-				exp += diagRows[k][i] * x
-			}
-			for i, x := range q.Data {
-				t := w.At(lo+i) * x
-				qs += t
-				qa += math.Abs(t)
-			}
-			deltas[k+1] = c.AllReduceSum(qs) - c.AllReduceSum(exp)
-			absSums[k+1] = c.AllReduceSum(qa)
-		}
-		diag := checksum.Diagnose(deltas, n, absSums, tol)
-		if diag.Kind != checksum.SingleError {
-			return false
-		}
-		if diag.Pos >= lo && diag.Pos < hi {
-			q.Data[diag.Pos-lo] -= diag.Magnitude
-		}
-		res.Corrections++
-		c.Barrier() // correction visible before anyone reads q
-		return true
-	}
-
-	maxIter := opts.MaxIter
 	i := 0
-	for i < maxIter {
+	for i < opts.MaxIter {
+		e.beginIter(i)
 		if i > 0 && i%d == 0 {
-			okX := VerifyGlobal(c, x, weights[0], 0, lo, n, tol)
-			okR := VerifyGlobal(c, r, weights[0], 0, lo, n, tol)
-			if !okX || !okR {
+			if !e.verify(x) || !e.verify(r) {
 				res.Detections++
 				var ok bool
 				if i, ok = rollback(i); !ok {
@@ -387,8 +92,8 @@ func rankPCG(c *Comm, a *sparse.CSR, b []float64, opts Options) (Result, error) 
 			save(i)
 		}
 
-		mvm(i, q, p)
-		if opts.TwoLevel && !innerCheck(q, p) {
+		e.mvm(q, p)
+		if opts.TwoLevel && !e.innerCheck(q, p) {
 			var ok bool
 			if i, ok = rollback(i); !ok {
 				res.Residual = relres
@@ -396,23 +101,25 @@ func rankPCG(c *Comm, a *sparse.CSR, b []float64, opts Options) (Result, error) 
 			}
 			continue
 		}
-		pq := GlobalDot(c, p, q)
-		//lint:ignore floatcmp exact zero guards the division below, not a detection decision
-		if pq == 0 {
-			res.Residual = relres
-			return res, fmt.Errorf("par: PCG breakdown at iteration %d", i)
+		pq := e.dot(p, q)
+		if breakdownSuspect(pq) {
+			res.Detections++
+			var ok bool
+			if i, ok = rollback(i); !ok {
+				res.Residual = relres
+				return res, fmt.Errorf("par: PCG breakdown at iteration %d: pᵀAp = %v", i, pq)
+			}
+			continue
 		}
 		alpha := rho / pq
-		axpy(x, alpha, p)
-		axpy(r, -alpha, q)
+		e.axpy(x, alpha, p)
+		e.axpy(r, -alpha, q)
 		i++
 		res.Iterations = i
 
-		relres = GlobalNorm2(c, r) / normB
+		relres = e.norm2(r) / normB
 		if relres <= opts.Tol {
-			okX := VerifyGlobal(c, x, weights[0], 0, lo, n, tol)
-			okR := VerifyGlobal(c, r, weights[0], 0, lo, n, tol)
-			if okX && okR {
+			if e.verify(x) && e.verify(r) {
 				res.Converged = true
 				break
 			}
@@ -424,26 +131,19 @@ func rankPCG(c *Comm, a *sparse.CSR, b []float64, opts Options) (Result, error) 
 			}
 			continue
 		}
-		if err := pco(z, r); err != nil {
+		if err := e.pco(z, r); err != nil {
 			return res, err
 		}
-		rhoNew := GlobalDot(c, r, z)
+		rhoNew := e.dot(r, z)
 		beta := rhoNew / rho
-		xpby(p, z, beta, p)
+		e.xpby(p, z, beta, p)
 		rho = rhoNew
 	}
 
 	res.Residual = relres
-	res.X = gatherX(c, x, xg, lo)
+	res.X = e.gatherX(x)
 	if !res.Converged {
 		return res, fmt.Errorf("par: ABFT PCG did not converge in %d iterations (relres %.3e)", res.Iterations, relres)
 	}
 	return res, nil
-}
-
-func gatherX(c *Comm, x *DistVector, xg []float64, lo int) []float64 {
-	c.AllGather(xg, x.Data, lo)
-	out := make([]float64, len(xg))
-	copy(out, xg)
-	return out
 }

@@ -27,6 +27,9 @@ go run ./cmd/newsum-lint ./...
 echo "== go test =="
 go test ./...
 
+echo "== fuzz seed replay (checksum) =="
+go test -run Fuzz -fuzz='^$' ./internal/checksum/...
+
 echo "== go test -race (par, core) =="
 go test -race ./internal/par/... ./internal/core/...
 
