@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"newsum/internal/accuracy"
 	"newsum/internal/bench"
 	"newsum/internal/core"
 	"newsum/internal/model"
@@ -24,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table3|table4|table5|fig5|fig6|fig7|fig8|fig9|fig10|par|all")
+		exp     = flag.String("exp", "all", "experiment: table3|table4|table5|fig5|fig6|fig7|fig8|fig9|fig10|par|accuracy|all")
 		n       = flag.Int("n", 40000, "target matrix order for empirical experiments")
 		blocks  = flag.Int("blocks", 16, "block-Jacobi block count (stand-in for MPI ranks)")
 		repeats = flag.Int("repeats", 3, "timing repetitions (median reported)")
@@ -204,8 +205,37 @@ func run(exp string, n, blocks, repeats int, seed int64, csvDir string) error {
 		}
 		fmt.Fprintln(os.Stdout)
 	}
+	if all || exp == "accuracy" {
+		// The campaign measures rates, not scale: a modest grid keeps the
+		// full (engine × solver × scheme × model × magnitude) sweep fast.
+		cfg := accuracy.Config{
+			Side:     minInt(isqrt(n), 24),
+			Trials:   3,
+			TwoLevel: true,
+			Seed:     seed,
+		}
+		rep, err := bench.RunAccuracy(cfg)
+		if err != nil {
+			return err
+		}
+		title := fmt.Sprintf("Accuracy: adversarial fault-model campaign, %d² unknowns, %d trials/cell",
+			cfg.Side, cfg.Trials)
+		if err := bench.WriteAccuracyReport(out, title, rep); err != nil {
+			return err
+		}
+		if err := writeCSV("accuracy.csv", func(f *os.File) error { return bench.WriteAccuracyCSV(f, rep) }); err != nil {
+			return err
+		}
+		if err := writeCSV("accuracy_fp.csv", func(f *os.File) error { return bench.WriteAccuracyFPCSV(f, rep) }); err != nil {
+			return err
+		}
+		if err := writeCSV("accuracy_overhead.csv", func(f *os.File) error { return bench.WriteAccuracyOverheadCSV(f, rep) }); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stdout)
+	}
 	switch exp {
-	case "all", "table3", "table4", "table5", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "par":
+	case "all", "table3", "table4", "table5", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "par", "accuracy":
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)

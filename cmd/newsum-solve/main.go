@@ -31,7 +31,8 @@ type injectList []fault.Event
 
 func (l *injectList) String() string { return fmt.Sprint([]fault.Event(*l)) }
 
-// Set parses "iter:site:kind[:count]" with site ∈ {mvm, vlo, pco} and kind
+// Set parses "iter:site:kind[:count]" with site ∈ {mvm, vlo, pco, checksum,
+// checkpoint} and kind
 // ∈ {arith, mem, cache}.
 func (l *injectList) Set(s string) error {
 	parts := strings.Split(s, ":")
@@ -50,8 +51,12 @@ func (l *injectList) Set(s string) error {
 		site = fault.SiteVLO
 	case "pco":
 		site = fault.SitePCO
+	case "checksum":
+		site = fault.SiteChecksum
+	case "checkpoint":
+		site = fault.SiteCheckpoint
 	default:
-		return fmt.Errorf("bad site %q (mvm|vlo|pco)", parts[1])
+		return fmt.Errorf("bad site %q (mvm|vlo|pco|checksum|checkpoint)", parts[1])
 	}
 	var kind fault.Kind
 	bitFlip := false
@@ -100,7 +105,7 @@ func main() {
 		topoN   = flag.String("topo", "tree", "collective topology for -ranks: tree|linear")
 		injects injectList
 	)
-	flag.Var(&injects, "inject", "inject an error: iter:site:kind[:count], kind arith|mem|cache[-bit] (repeatable)")
+	flag.Var(&injects, "inject", "inject an error: iter:site:kind[:count], site mvm|vlo|pco|checksum|checkpoint, kind arith|mem|cache[-bit] (repeatable)")
 	flag.Parse()
 
 	if err := run(*matrix, *n, *solverN, *scheme, *precN, *blocks, *tol, *maxIter, *dIntv, *cdIntv, *seed, *trace, *ranks, *topoN, injects); err != nil {

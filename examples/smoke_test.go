@@ -1,0 +1,50 @@
+package examples
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// Smoke tests for every example program: each must build, and (outside
+// -short mode) run to completion on a small problem. The examples are the
+// repo's public face — a refactor that breaks one breaks the README's
+// promises, so they are exercised like any other code.
+
+var programs = []struct {
+	dir  string
+	args []string // small-problem overrides; nil means run flagless
+}{
+	{dir: "circuit", args: []string{"-n", "900"}},
+	{dir: "convection", args: []string{"-n", "400"}},
+	{dir: "parallel", args: []string{"-ranks", "2", "-n", "900"}},
+	{dir: "latency"},
+	{dir: "quickstart"},
+	{dir: "tuning"},
+}
+
+func TestExamplesBuildAndRun(t *testing.T) {
+	bin := t.TempDir()
+	for _, p := range programs {
+		t.Run(p.dir, func(t *testing.T) {
+			exe := filepath.Join(bin, p.dir)
+			build := exec.Command("go", "build", "-o", exe, "./"+p.dir)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("go build ./%s: %v\n%s", p.dir, err, out)
+			}
+			if testing.Short() {
+				t.Skip("build-only in -short mode")
+			}
+			run := exec.Command(exe, p.args...)
+			run.Env = os.Environ()
+			out, err := run.CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s %v: %v\n%s", p.dir, p.args, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("%s produced no output", p.dir)
+			}
+		})
+	}
+}

@@ -1,0 +1,169 @@
+package accuracy
+
+import (
+	"fmt"
+
+	"newsum/internal/core"
+	"newsum/internal/fault"
+	"newsum/internal/par"
+	"newsum/internal/sparse"
+	"newsum/internal/vec"
+)
+
+// The parallel campaign drives internal/par's distributed solvers through
+// the same fault-model matrix. par.Fault addresses single-bit strikes at a
+// (rank, iteration, MVM) coordinate, so the matrix's multi-bit and burst
+// models are expressed as several correlated single-bit faults sharing one
+// coordinate — which is exactly what they are physically.
+
+// repBit picks the representative bit position of a magnitude class for the
+// single-bit distributed injector: the top exponent bit for the large
+// regime, a mid-mantissa bit near the detection threshold, a low mantissa
+// bit inside the round-off band.
+func repBit(g fault.Magnitude, mantissaOnly bool) int {
+	switch g {
+	case fault.MagNearTau:
+		return 34
+	case fault.MagBelowTau:
+		return 5
+	default:
+		if mantissaOnly {
+			return 48
+		}
+		return 62
+	}
+}
+
+// parFaults expresses one strike of (model, magnitude) as distributed
+// faults at the given coordinate. Checkpoint models return the poisoning
+// strike against the snapshot guarding iter's window plus a detectable
+// trigger at iter.
+func parFaults(model fault.Model, g fault.Magnitude, iter, rank, idx int) []par.Fault {
+	base := par.Fault{Iteration: iter, Rank: rank, Index: idx, BitFlip: true, Bit: repBit(g, false)}
+	switch model {
+	case fault.ModelSingle:
+		return []par.Fault{base}
+	case fault.ModelMultiBit:
+		// Three distinct bits of the same element, descending from the
+		// representative bit.
+		bits := []int{base.Bit, base.Bit - 3, base.Bit - 5}
+		out := make([]par.Fault, len(bits))
+		for i, b := range bits {
+			out[i] = base
+			if b < 0 {
+				b = i // fold underflowing positions into the low mantissa
+			}
+			out[i].Bit = b
+		}
+		return out
+	case fault.ModelBurst:
+		out := make([]par.Fault, 4)
+		for i := range out {
+			out[i] = base
+			out[i].Index = idx + i
+		}
+		return out
+	case fault.ModelSign:
+		base.Bit = 63
+		return []par.Fault{base}
+	case fault.ModelMantissa:
+		base.Bit = repBit(g, true)
+		return []par.Fault{base}
+	case fault.ModelChecksum:
+		base.Target = par.TargetChecksum
+		return []par.Fault{base}
+	case fault.ModelCheckpoint:
+		cpIter := (iter / serialCheckpoint) * serialCheckpoint
+		poison := base
+		poison.Iteration = cpIter
+		poison.Target = par.TargetCheckpoint
+		trigger := par.Fault{Iteration: iter, Rank: rank, Index: idx, BitFlip: true, Bit: 62}
+		return []par.Fault{poison, trigger}
+	default:
+		return []par.Fault{base}
+	}
+}
+
+// parSchemes lists the schemes the distributed campaign runs: every
+// parallel solver supports the two-level inner check.
+func parSchemes(cfg Config) []string {
+	schemes := []string{"basic"}
+	if cfg.TwoLevel {
+		schemes = append(schemes, "two-level")
+	}
+	return schemes
+}
+
+func runParallel(solverName string, a *sparse.CSR, b []float64, ranks int, opts par.Options) (par.Result, error) {
+	switch solverName {
+	case "pcg":
+		return par.ABFTPCG(a, b, ranks, opts)
+	case "bicgstab":
+		return par.ABFTBiCGStab(a, b, ranks, opts)
+	case "cr":
+		return par.ABFTCR(a, b, ranks, opts)
+	default:
+		return par.Result{}, fmt.Errorf("accuracy: unknown parallel solver %q", solverName)
+	}
+}
+
+func parOptions(scheme string) par.Options {
+	return par.Options{
+		Tol:                1e-10,
+		DetectInterval:     serialDetect,
+		CheckpointInterval: serialCheckpoint,
+		MaxRollbacks:       serialRollbacks,
+		TwoLevel:           scheme == "two-level",
+	}
+}
+
+// RunParallel executes the distributed half of the campaign grid.
+func RunParallel(cfg Config) ([]Cell, error) {
+	cfg.normalize()
+	a, b, _ := system(cfg.Side)
+	var cells []Cell
+	for _, sv := range cfg.Solvers {
+		for _, scheme := range parSchemes(cfg) {
+			base, err := runParallel(sv, a, b, cfg.Ranks, parOptions(scheme))
+			if err != nil {
+				return nil, fmt.Errorf("fault-free baseline %s/%s: %w", sv, scheme, err)
+			}
+			for _, model := range cfg.Models {
+				for _, mag := range cfg.Magnitudes {
+					cell := Cell{Engine: "parallel", Solver: sv, Scheme: scheme, Model: model, Magnitude: mag}
+					for trial := 0; trial < cfg.Trials; trial++ {
+						iter := strikeIteration(base.Iterations, trial, cfg.Trials)
+						rank := trial % cfg.Ranks
+						idx := 1 + trial
+						runParallelTrial(&cell, sv, scheme, a, b, cfg.Ranks, base.X, model, mag, iter, rank, idx)
+					}
+					cells = append(cells, cell)
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+func runParallelTrial(cell *Cell, sv, scheme string, a *sparse.CSR, b []float64, ranks int, baseX []float64, model fault.Model, mag fault.Magnitude, iter, rank, idx int) {
+	opts := parOptions(scheme)
+	opts.Faults = parFaults(model, mag, iter, rank, idx)
+	res, err := runParallel(sv, a, b, ranks, opts)
+	fired := res.InjectedFaults > 0
+	detected := res.Detections > 0 || res.Corrections > 0
+	matches := err == nil && vec.Equal(res.X, baseX, 1e-6)
+	o := classify(fired, detected, err, matches)
+	latency, have := 0, false
+	if detected && fired {
+		var alarms []int
+		for _, ev := range res.Trace {
+			if ev.Kind == core.EvDetection || ev.Kind == core.EvCorrection {
+				alarms = append(alarms, ev.Iteration)
+			}
+		}
+		if at, ok := firstAlarm(alarms, iter); ok {
+			latency, have = at-iter, true
+		}
+	}
+	cell.tally(fired, detected, o, latency, have)
+}

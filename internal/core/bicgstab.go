@@ -98,6 +98,7 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 			map[string][]float64{"x": x.s, "p": p.s, "x.eta": x.eta, "p.eta": p.eta},
 		)
 		res.Stats.Checkpoints++
+		e.corruptCheckpoint(iter, &store)
 	}
 	// rollback restores {x, p} and the scalars, then reconstructs
 	// r = b − A·x and v = A·M⁻¹p with fresh checksums (two MVMs + one PCO).
@@ -144,8 +145,12 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 	i := 0
 	for i < maxIter {
 		if i > 0 && i%d == 0 {
-			if !e.verify(x) || !e.verify(r) {
-				opts.Trace.add(i, EvDetection, "outer-level: checksum(x)/checksum(r) mismatch")
+			// v is verified alongside x and r: a huge corruption in v can be
+			// scaled below the detection threshold on its way into s (α =
+			// ρ/r̂ᵀv divides it away), so the MVM output itself must be
+			// checked while the raw inconsistency is still visible.
+			if !e.verify(x) || !e.verify(r) || !e.verify(v) {
+				opts.Trace.add(i, EvDetection, "outer-level: checksum mismatch in {x, r, v}")
 				var ok bool
 				if i, ok = rollback(i); !ok {
 					return storm()
@@ -167,6 +172,15 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 		}
 
 		rho := vec.Dot(rhat, r.data)
+		if suspectScalar(rho) {
+			res.Stats.Detections++
+			opts.Trace.add(i, EvDetection, "suspect recurrence scalar ρ = %g", rho)
+			var ok bool
+			if i, ok = rollback(i); !ok {
+				return storm()
+			}
+			continue
+		}
 		//lint:ignore floatcmp exact zero guards the division below, not a detection decision
 		if rho == 0 {
 			res.Residual = relres
@@ -205,6 +219,15 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 			continue
 		}
 		rhatV := vec.Dot(rhat, v.data)
+		if suspectScalar(rhatV) {
+			res.Stats.Detections++
+			opts.Trace.add(i, EvDetection, "suspect recurrence scalar r̂ᵀv = %g", rhatV)
+			var ok bool
+			if i, ok = rollback(i); !ok {
+				return storm()
+			}
+			continue
+		}
 		//lint:ignore floatcmp exact zero guards the division below, not a detection decision
 		if rhatV == 0 {
 			res.Residual = relres
@@ -257,6 +280,15 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 			continue
 		}
 		tt := vec.Dot(t.data, t.data)
+		if suspectScalar(tt) {
+			res.Stats.Detections++
+			opts.Trace.add(i, EvDetection, "suspect recurrence scalar tᵀt = %g", tt)
+			var ok bool
+			if i, ok = rollback(i); !ok {
+				return storm()
+			}
+			continue
+		}
 		if tt <= 0 {
 			res.Residual = relres
 			return res, breakdownErr("PBiCGSTAB", scheme, i, "tᵀt = 0")

@@ -91,6 +91,7 @@ func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 		e.recompute(ap)
 		res.Stats.RecoveryMVMs += 3
 		res.Stats.WastedIterations += iter - snapIter
+		opts.Trace.add(iter, EvRollback, "restored iteration %d, recomputed r, Ar, Ap", snapIter)
 		return snapIter, true
 	}
 	storm := func() (Result, error) {
@@ -102,7 +103,16 @@ func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 	i := 0
 	for i < maxIter {
 		if i > 0 && i%d == 0 {
-			if !e.verify(x) || !e.verify(r) {
+			// Unlike PCG/BiCGStab there is no preconditioner solve dividing
+			// the carried checksum error back down by d, so the Ar/Ap
+			// recurrences amplify the round-off bound η by ~(d·α + β) per
+			// iteration; left unanchored it swallows genuine corruption
+			// within a few detect windows. Verifying (and thereby
+			// re-anchoring) them at every boundary breaks that growth and
+			// catches a fault while it still lives in the product
+			// recurrences, before it reaches x or r.
+			if !e.verify(x) || !e.verify(r) || !e.verify(ar) || !e.verify(ap) {
+				opts.Trace.add(i, EvDetection, "outer-level: checksum(x)/checksum(r) mismatch")
 				var ok bool
 				if i, ok = rollback(i); !ok {
 					return storm()
@@ -118,14 +128,25 @@ func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 				}
 				continue
 			}
+			opts.Trace.add(i, EvCheckpoint, "snapshot {x, p}")
 			store.Save(i,
 				map[string][]float64{"x": x.data, "p": p.data},
 				map[string]float64{"rAr": rAr},
 				map[string][]float64{"x": x.s, "p": p.s, "x.eta": x.eta, "p.eta": p.eta})
 			res.Stats.Checkpoints++
+			e.corruptCheckpoint(i, &store)
 		}
 
 		apap := vec.Dot(ap.data, ap.data)
+		if suspectScalar(apap) || suspectScalar(rAr) {
+			res.Stats.Detections++
+			opts.Trace.add(i, EvDetection, "suspect recurrence scalar ApᵀAp = %g or rᵀAr = %g", apap, rAr)
+			var ok bool
+			if i, ok = rollback(i); !ok {
+				return storm()
+			}
+			continue
+		}
 		//lint:ignore floatcmp exact zero guards the division below, not a detection decision
 		if apap == 0 || rAr == 0 {
 			res.Residual = relres

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
+	"newsum/internal/checkpoint"
 	"newsum/internal/checksum"
 	"newsum/internal/fault"
 	"newsum/internal/precond"
@@ -154,6 +156,20 @@ func (e *engine) sums(v *tracked, k int) (sum, absSum float64) {
 // windows: without it, the d-amplification cycle (×d at each MVM update,
 // ÷d at each PCO) grows η by roughly (1+α) per iteration until it masks
 // genuine errors.
+// suspectScalar reports whether a recurrence scalar is numerically
+// meaningless — NaN, Inf, or beyond ≈√MaxFloat64 (any product of two such
+// magnitudes overflows). Under ABFT a scalar that size right after a
+// protected MVM is a propagated fault, not a breakdown: an exponent-bit
+// upset scales an iterate element by 2^±1024, and the resulting huge
+// denominator is divided away (α = ρ/pᵀAp collapses toward zero), pushing
+// the corruption below the checksum detection threshold before the next
+// verification boundary can see it. Solver loops treat a suspect scalar as
+// a detection and roll back. Exact zero is deliberately excluded — that is
+// the genuine breakdown condition and keeps its hard-error path.
+func suspectScalar(x float64) bool {
+	return math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e150
+}
+
 func (e *engine) verify(v *tracked) bool {
 	e.stats.Verifications++
 	sum, absSum := e.sums(v, 0)
@@ -192,7 +208,37 @@ func (e *engine) mvm(iter int, dst, src *tracked) {
 	// src from memory — the ordering Lemma 2's proof analyses.
 	e.encA.UpdateMVMBound(dst.s, dst.eta, src.data, src.s, src.eta)
 	e.stats.ChecksumUpdates++
+	// A flip in the checksum accumulator itself (ModelChecksum): the data
+	// stays clean, the carried relationship breaks, and the inconsistency
+	// propagates through every downstream update until a verification
+	// flags it — detection then costs one futile rollback to repair state
+	// that was never wrong.
+	e.inj.InjectOutput(iter, fault.SiteChecksum, dst.s)
 	e.eagerCheck(dst)
+}
+
+// corruptCheckpoint fires pending checkpoint-buffer faults (SiteCheckpoint,
+// Memory kind) into the snapshot just saved. The strike lands in the stored
+// copy, not the live state, so it stays dormant until a rollback restores
+// it — the ModelCheckpoint attack on the recovery machinery. Snapshot
+// vectors are visited in sorted-name order so the struck buffer is
+// deterministic for a seeded injector.
+func (e *engine) corruptCheckpoint(iter int, store *checkpoint.Store) {
+	if e.inj == nil {
+		return
+	}
+	snap := store.Latest()
+	if snap == nil {
+		return
+	}
+	names := make([]string, 0, len(snap.Vectors))
+	for name := range snap.Vectors {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e.inj.InjectMemory(iter, fault.SiteCheckpoint, snap.Vectors[name])
+	}
 }
 
 // pco computes dst := M⁻¹·src stage by stage, carrying checksums through

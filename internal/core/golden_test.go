@@ -1,0 +1,131 @@
+package core
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"newsum/internal/fault"
+	"newsum/internal/precond"
+	"newsum/internal/solver"
+	"newsum/internal/sparse"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden trace files")
+
+// The golden trace tests pin the exact event timeline of deterministic
+// faulty solves. A timeline is the observable story of the ABFT machinery —
+// when it checkpoints, what it detects, where it rolls back to — so any
+// unintended change to detection placement, rollback targets, or event
+// wording shows up as a golden diff. Regenerate intentionally with
+//
+//	go test ./internal/core -run TestGoldenTraces -update
+func TestGoldenTraces(t *testing.T) {
+	a := sparse.Laplacian2D(12, 12)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1 + float64(i%7)
+	}
+	m, err := precond.BlockJacobiILU0(a, 4)
+	if err != nil {
+		t.Fatalf("preconditioner: %v", err)
+	}
+	opts := func(events []fault.Event) Options {
+		return Options{
+			Options:            solver.Options{Tol: 1e-10},
+			DetectInterval:     2,
+			CheckpointInterval: 10,
+			MaxRollbacks:       6,
+			Injector:           fault.NewInjector(events, 7),
+		}
+	}
+	flip := func(iter int) []fault.Event {
+		return []fault.Event{{Iteration: iter, Site: fault.SiteMVM, Kind: fault.Arithmetic, Index: 17, BitFlip: true, Bit: 53}}
+	}
+
+	cases := []struct {
+		name     string
+		events   []fault.Event
+		run      func(o Options) (Result, error)
+		wantFail bool
+	}{
+		{
+			name:   "pcg_basic_flip",
+			events: flip(5),
+			run:    func(o Options) (Result, error) { return BasicPCG(a, m, b, o) },
+		},
+		{
+			name:   "pcg_twolevel_flip",
+			events: flip(5),
+			run:    func(o Options) (Result, error) { return TwoLevelPCG(a, m, b, o) },
+		},
+		{
+			name:   "bicgstab_basic_flip",
+			events: flip(7),
+			run:    func(o Options) (Result, error) { return BasicPBiCGSTAB(a, m, b, o) },
+		},
+		{
+			name: "cr_basic_signflip",
+			events: []fault.Event{
+				{Iteration: 6, Site: fault.SiteMVM, Kind: fault.Arithmetic, Index: 30, BitFlip: true, Bit: 63},
+			},
+			run: func(o Options) (Result, error) { return BasicCR(a, b, o) },
+		},
+		{
+			name: "pcg_checkpoint_attack",
+			events: []fault.Event{
+				{Iteration: 0, Site: fault.SiteCheckpoint, Kind: fault.Memory, Index: 3, BitFlip: true, Bit: 62},
+				{Iteration: 5, Site: fault.SiteMVM, Kind: fault.Arithmetic, Index: 17, BitFlip: true, Bit: 62},
+			},
+			run:      func(o Options) (Result, error) { return BasicPCG(a, m, b, o) },
+			wantFail: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			trace := &Trace{}
+			o := opts(tc.events)
+			o.Trace = trace
+			_, err := tc.run(o)
+			if tc.wantFail && err == nil {
+				t.Fatalf("expected the run to fail")
+			}
+			if !tc.wantFail && err != nil {
+				t.Fatalf("solve: %v", err)
+			}
+			compareGolden(t, filepath.Join("testdata", tc.name+".golden"), formatTrace(trace.Events))
+		})
+	}
+}
+
+// formatTrace renders a timeline one event per line, iteration first.
+func formatTrace(events []TraceEvent) string {
+	var sb strings.Builder
+	for _, ev := range events {
+		fmt.Fprintf(&sb, "%4d  %-10s  %s\n", ev.Iteration, ev.Kind, ev.Detail)
+	}
+	return sb.String()
+}
+
+func compareGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("mkdir: %v", err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run with -update to create): %v", path, err)
+	}
+	if string(want) != got {
+		t.Errorf("trace diverges from %s (run with -update if intended)\n--- want\n%s--- got\n%s", path, want, got)
+	}
+}

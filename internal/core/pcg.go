@@ -97,6 +97,7 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 			map[string][]float64{"p": p.s, "x": x.s, "p.eta": p.eta, "x.eta": x.eta},
 		)
 		res.Stats.Checkpoints++
+		e.corruptCheckpoint(iter, &store)
 	}
 	// rollback restores p, x (and their checksums) and rho, then
 	// reconstructs r = b − A·x and its checksums — the recovery of
@@ -196,6 +197,17 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 		}
 
 		pq := vec.Dot(p.data, q.data)
+		if suspectScalar(pq) {
+			res.Stats.Detections++
+			opts.Trace.add(i, EvDetection, "suspect recurrence scalar pᵀAp = %g", pq)
+			var ok bool
+			if i, ok = rollback(i); !ok {
+				res.Residual = relres
+				res.Stats.InjectedErrors = e.injectedCount()
+				return res, rollbackStormErr("PCG", scheme)
+			}
+			continue
+		}
 		//lint:ignore floatcmp exact zero guards the division below, not a detection decision
 		if pq == 0 {
 			res.Residual = relres

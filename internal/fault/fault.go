@@ -58,6 +58,14 @@ const (
 	SiteVLO
 	// SitePCO strikes the preconditioner solve.
 	SitePCO
+	// SiteChecksum strikes the carried checksum state of an operation's
+	// output instead of the data — an attack on the ABFT machinery itself.
+	// The data stays clean; the carried relationship breaks.
+	SiteChecksum
+	// SiteCheckpoint strikes the checkpoint buffer at snapshot time. The
+	// corruption is dormant until a rollback restores it, which is exactly
+	// what makes it adversarial: it lands in the recovery path.
+	SiteCheckpoint
 )
 
 func (s Site) String() string {
@@ -68,6 +76,10 @@ func (s Site) String() string {
 		return "VLO"
 	case SitePCO:
 		return "PCO"
+	case SiteChecksum:
+		return "checksum"
+	case SiteCheckpoint:
+		return "checkpoint"
 	default:
 		return "unknown-site"
 	}
@@ -87,19 +99,32 @@ type Event struct {
 	// perturbation scaled to the victim's value. Ignored when BitFlip is
 	// set.
 	Magnitude float64
-	// BitFlip, when set, flips one bit of the victim's IEEE-754
+	// BitFlip, when set, flips bits of the victim's IEEE-754
 	// representation instead of adding Magnitude — the literal "bit flip"
 	// of the paper's §3 error model. Bit selects which of the 64 bits
-	// (0 = least significant mantissa bit, 62 = top exponent bit); -1
-	// picks pseudo-randomly among the high mantissa and exponent bits,
-	// where a flip is numerically significant.
+	// (0 = least significant mantissa bit, 62 = top exponent bit, 63 =
+	// sign); -1 picks pseudo-randomly inside the [BitLo, BitHi] window.
 	BitFlip bool
-	// Bit is the bit index for BitFlip events; -1 means random.
+	// Bit is the bit index for BitFlip events; -1 means random within the
+	// window.
 	Bit int
+	// Bits is the number of distinct bits to flip per struck element
+	// (default 1). Bits > 1 is the multi-bit-upset model: a single word
+	// takes several flips at once, so the additive error is not a power of
+	// two times the victim's ULP.
+	Bits int
+	// BitLo, BitHi bound (inclusive) the random bit window used when Bit
+	// is -1. Both zero selects the legacy numerically-significant window
+	// [44, 61] (high mantissa and exponent bits).
+	BitLo, BitHi int
 	// Count is the number of distinct elements to corrupt (default 1).
 	// Count > 1 produces the multiple-error case the triple-checksum
 	// cannot correct.
 	Count int
+	// Burst makes the Count corrupted elements contiguous (wrapping at the
+	// vector end) starting from the base index, modelling a corrupted
+	// cache line rather than independent strikes.
+	Burst bool
 }
 
 // Record describes an injection that actually fired.
@@ -158,27 +183,72 @@ func (in *Injector) matches(iter int, site Site, kind Kind) []int {
 	return out
 }
 
+// flipMask builds the XOR mask for one struck element: Bits distinct bit
+// positions, taken from the explicit Bit when set and otherwise drawn from
+// the [BitLo, BitHi] window (default: the numerically significant
+// high-mantissa/exponent window [44, 61]).
+func (in *Injector) flipMask(e Event) uint64 {
+	lo, hi := e.BitLo, e.BitHi
+	if lo == 0 && hi == 0 {
+		lo, hi = 44, 61
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 63 {
+		hi = 63
+	}
+	if lo > hi {
+		lo = hi
+	}
+	nbits := e.Bits
+	if nbits < 1 {
+		nbits = 1
+	}
+	var mask uint64
+	if e.Bit >= 0 && e.Bit <= 63 {
+		mask = 1 << uint(e.Bit)
+		nbits--
+	}
+	if span := hi - lo + 1; nbits > span {
+		nbits = span
+	}
+	for nbits > 0 {
+		b := lo + in.rng.Intn(hi-lo+1)
+		if mask&(1<<uint(b)) == 0 {
+			mask |= 1 << uint(b)
+			nbits--
+		}
+	}
+	return mask
+}
+
 // perturb corrupts count elements of v for event e and logs the records.
 func (in *Injector) perturb(e Event, iter int, v []float64) {
 	count := e.Count
 	if count < 1 {
 		count = 1
 	}
+	if count > len(v) {
+		count = len(v)
+	}
+	base := e.Index
+	if base < 0 || base >= len(v) {
+		base = in.rng.Intn(len(v))
+	}
 	for c := 0; c < count; c++ {
-		idx := e.Index
-		if idx < 0 || c > 0 {
-			idx = in.rng.Intn(len(v))
+		idx := base
+		if c > 0 {
+			if e.Burst {
+				idx = (base + c) % len(v)
+			} else {
+				idx = in.rng.Intn(len(v))
+			}
 		}
 		var added float64
 		if e.BitFlip {
-			bit := e.Bit
-			if bit < 0 || bit > 62 {
-				// High mantissa / exponent bits (44..61): large enough to
-				// matter, below the sign bit.
-				bit = 44 + in.rng.Intn(18)
-			}
 			old := v[idx]
-			v[idx] = math.Float64frombits(math.Float64bits(old) ^ (1 << uint(bit)))
+			v[idx] = math.Float64frombits(math.Float64bits(old) ^ in.flipMask(e))
 			added = v[idx] - old
 		} else {
 			added = e.Magnitude

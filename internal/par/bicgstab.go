@@ -98,7 +98,7 @@ func rankBiCGStab(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Opti
 			// ρ/r̂ᵀv divides it away), so the MVM output itself must be
 			// checked while the raw inconsistency is still visible.
 			if !e.verify(x) || !e.verify(r) || !e.verify(v) {
-				res.Detections++
+				e.detect(i, "outer-level: checksum mismatch in {x, r, v}")
 				var ok bool
 				if i, ok = rollback(i); !ok {
 					return storm()
@@ -110,7 +110,7 @@ func rankBiCGStab(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Opti
 			// Guard the snapshot: p must verify clean before it becomes
 			// the rollback target.
 			if i > 0 && !e.verify(p) {
-				res.Detections++
+				e.detect(i, "pre-checkpoint: checksum(p) mismatch")
 				var ok bool
 				if i, ok = rollback(i); !ok {
 					return storm()
@@ -122,7 +122,7 @@ func rankBiCGStab(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Opti
 
 		rho := e.dotRaw(rhat, r)
 		if breakdownSuspect(rho) {
-			res.Detections++
+			e.detect(i, "breakdown suspect: ρ = %v", rho)
 			var ok bool
 			if i, ok = rollback(i); !ok {
 				res.Residual = relres
@@ -151,7 +151,7 @@ func rankBiCGStab(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Opti
 		}
 		rhatV := e.dotRaw(rhat, v)
 		if breakdownSuspect(rhatV) {
-			res.Detections++
+			e.detect(i, "breakdown suspect: r̂ᵀv = %v", rhatV)
 			var ok bool
 			if i, ok = rollback(i); !ok {
 				res.Residual = relres
@@ -171,7 +171,7 @@ func rankBiCGStab(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Opti
 				res.Converged = true
 				break
 			}
-			res.Detections++
+			e.detect(i, "converged intermediate residual failed verification")
 			var ok bool
 			if i, ok = rollback(i); !ok {
 				return storm()
@@ -192,7 +192,7 @@ func rankBiCGStab(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Opti
 		}
 		tt := e.dot(t, t)
 		if breakdownSuspect(tt) || tt < 0 {
-			res.Detections++
+			e.detect(i, "breakdown suspect: tᵀt = %v", tt)
 			var ok bool
 			if i, ok = rollback(i); !ok {
 				res.Residual = relres
@@ -202,7 +202,7 @@ func rankBiCGStab(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Opti
 		}
 		omega = e.dot(t, s) / tt
 		if breakdownSuspect(omega) {
-			res.Detections++
+			e.detect(i, "breakdown suspect: ω = %v", omega)
 			var ok bool
 			if i, ok = rollback(i); !ok {
 				res.Residual = relres
@@ -223,7 +223,7 @@ func rankBiCGStab(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Opti
 				res.Converged = true
 				break
 			}
-			res.Detections++
+			e.detect(i, "converged residual failed verification")
 			var ok bool
 			if i, ok = rollback(i); !ok {
 				return storm()

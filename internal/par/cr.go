@@ -90,7 +90,7 @@ func rankCR(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Options) (
 			// boundary breaks that growth and catches a fault while it still
 			// lives in the product recurrences, before it reaches x or r.
 			if !e.verify(x) || !e.verify(r) || !e.verify(ar) || !e.verify(ap) {
-				res.Detections++
+				e.detect(i, "outer-level: checksum mismatch in {x, r, Ar, Ap}")
 				var ok bool
 				if i, ok = rollback(i); !ok {
 					return storm()
@@ -103,7 +103,7 @@ func rankCR(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Options) (
 			// rollback target (Ar, Ap and the rAr scalar were just verified
 			// above — cd is a multiple of d).
 			if i > 0 && !e.verify(p) {
-				res.Detections++
+				e.detect(i, "pre-checkpoint: checksum(p) mismatch")
 				var ok bool
 				if i, ok = rollback(i); !ok {
 					return storm()
@@ -115,7 +115,7 @@ func rankCR(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Options) (
 
 		apap := e.dot(ap, ap)
 		if breakdownSuspect(apap) || breakdownSuspect(rAr) {
-			res.Detections++
+			e.detect(i, "breakdown suspect: ApᵀAp = %v, rᵀAr = %v", apap, rAr)
 			var ok bool
 			if i, ok = rollback(i); !ok {
 				res.Residual = relres
@@ -135,7 +135,7 @@ func rankCR(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Options) (
 				res.Converged = true
 				break
 			}
-			res.Detections++
+			e.detect(i, "converged residual failed verification")
 			var ok bool
 			if i, ok = rollback(i); !ok {
 				return storm()

@@ -3,10 +3,13 @@ package par
 import (
 	"fmt"
 	"math"
+	"sort"
+	"strings"
 	"sync"
 
 	"newsum/internal/checkpoint"
 	"newsum/internal/checksum"
+	"newsum/internal/core"
 	"newsum/internal/precond"
 	"newsum/internal/sparse"
 	"newsum/internal/vec"
@@ -20,6 +23,33 @@ import (
 // replicated verification, and checkpoint/rollback helpers — so adding a new
 // protected solver is one recurrence loop, not a re-derivation of the
 // distribution and protection layers.
+
+// Target selects which state a distributed fault corrupts.
+type Target int
+
+const (
+	// TargetOutput strikes the MVM output data — the baseline model.
+	TargetOutput Target = iota
+	// TargetChecksum strikes the carried checksum scalar of the MVM output
+	// instead of the data: the vector is clean, its protection is not.
+	TargetChecksum
+	// TargetCheckpoint strikes this rank's checkpoint buffer as the snapshot
+	// is taken; the corruption is dormant until a rollback restores it.
+	TargetCheckpoint
+)
+
+func (t Target) String() string {
+	switch t {
+	case TargetOutput:
+		return "output"
+	case TargetChecksum:
+		return "checksum"
+	case TargetCheckpoint:
+		return "checkpoint"
+	default:
+		return "unknown-target"
+	}
+}
 
 // Fault schedules one arithmetic error into the MVM output of a specific
 // rank at a specific iteration of the distributed solve.
@@ -42,6 +72,25 @@ type Fault struct {
 	// Out-of-range values select 62, the high exponent bit, whose flip
 	// always produces a detectable magnitude change.
 	Bit int
+	// Target selects what is struck: the MVM output data (default), the
+	// carried checksum state, or the checkpoint buffer. Checksum strikes
+	// share the (Iteration, Rank, MVM) coordinate; checkpoint strikes fire
+	// at snapshot time, so Iteration must be a checkpoint iteration (a
+	// multiple of cd) and MVM is ignored.
+	Target Target
+}
+
+// CorrelatedFaults replicates one fault across every rank of an nranks-team
+// at the same (iteration, MVM) coordinate — the correlated multi-rank upset
+// a shared power or clock disturbance produces, which no single-rank error
+// model covers.
+func CorrelatedFaults(f Fault, nranks int) []Fault {
+	out := make([]Fault, nranks)
+	for r := range out {
+		out[r] = f
+		out[r].Rank = r
+	}
+	return out
 }
 
 // Options configures a distributed ABFT solve.
@@ -121,6 +170,11 @@ type Result struct {
 	InjectedFaults int
 	// Comm aggregates the collective instrumentation over all ranks.
 	Comm CommStats
+	// Trace is the team's fault-tolerance timeline in core's event
+	// vocabulary, recorded by rank 0 (every verdict driving an event is
+	// replicated-deterministic, so rank 0's log is the team's log). Merged
+	// serial and distributed timelines are therefore directly comparable.
+	Trace []core.TraceEvent
 }
 
 func validateProblem(a *sparse.CSR, b []float64, nranks int) error {
@@ -291,13 +345,32 @@ func (e *rankEngine) beginIter(i int) { e.curIter = i; e.curSeq = 0 }
 // solver bodies defer it so every exit path reports comm stats.
 func (e *rankEngine) finish() { e.res.Comm = e.c.Stats() }
 
-// inject fires any scheduled fault addressed to this rank at the current
-// (iteration, MVM) coordinate. Faults are one-shot: a strike consumed
-// before a rollback does not re-fire when its iteration re-executes (the
-// paper's scenarios schedule a fixed set of errors).
+// strike applies one fault to v[idx] — the flip/additive arithmetic shared
+// by the output, checksum and checkpoint targets.
+func strike(f Fault, v []float64, idx int) {
+	if f.BitFlip {
+		bit := uint(62)
+		if f.Bit >= 0 && f.Bit <= 63 {
+			bit = uint(f.Bit)
+		}
+		v[idx] = math.Float64frombits(math.Float64bits(v[idx]) ^ (1 << bit))
+		return
+	}
+	mag := f.Magnitude
+	//lint:ignore floatcmp Magnitude == 0 is the unset sentinel selecting the default error
+	if mag == 0 {
+		mag = 1e4
+	}
+	v[idx] += mag
+}
+
+// inject fires any scheduled output fault addressed to this rank at the
+// current (iteration, MVM) coordinate. Faults are one-shot: a strike
+// consumed before a rollback does not re-fire when its iteration
+// re-executes (the paper's scenarios schedule a fixed set of errors).
 func (e *rankEngine) inject(dst *DistVector) {
 	for fi, f := range e.opts.Faults {
-		if f.Iteration != e.curIter || f.Rank != e.c.Rank() || f.MVM != e.curSeq || e.fired[fi] {
+		if f.Target != TargetOutput || f.Iteration != e.curIter || f.Rank != e.c.Rank() || f.MVM != e.curSeq || e.fired[fi] {
 			continue
 		}
 		e.fired[fi] = true
@@ -306,21 +379,44 @@ func (e *rankEngine) inject(dst *DistVector) {
 		if idx < 0 || idx >= e.local {
 			idx = 0
 		}
-		if f.BitFlip {
-			bit := uint(62)
-			if f.Bit >= 0 && f.Bit <= 63 {
-				bit = uint(f.Bit)
-			}
-			dst.Data[idx] = math.Float64frombits(math.Float64bits(dst.Data[idx]) ^ (1 << bit))
+		strike(f, dst.Data, idx)
+	}
+}
+
+// injectChecksum fires checksum-state faults at the current (iteration, MVM)
+// coordinate, corrupting the carried partial checksum scalar after the MVM
+// updated it. The output data stays clean; the protection breaks — the
+// false-positive the verifier must charge a rollback for.
+func (e *rankEngine) injectChecksum(dst *DistVector) {
+	for fi, f := range e.opts.Faults {
+		if f.Target != TargetChecksum || f.Iteration != e.curIter || f.Rank != e.c.Rank() || f.MVM != e.curSeq || e.fired[fi] {
 			continue
 		}
-		mag := f.Magnitude
-		//lint:ignore floatcmp Magnitude == 0 is the unset sentinel selecting the default error
-		if mag == 0 {
-			mag = 1e4
-		}
-		dst.Data[idx] += mag
+		e.fired[fi] = true
+		e.res.InjectedFaults++
+		strike(f, dst.S, 0)
 	}
+}
+
+// trace appends one timeline event, recorded by rank 0 only: every verdict
+// that drives an event is replicated-deterministic, so rank 0's log is the
+// team's log, in core's event vocabulary.
+func (e *rankEngine) trace(iter int, kind core.EventKind, format string, args ...any) {
+	if e.c.Rank() != 0 {
+		return
+	}
+	e.res.Trace = append(e.res.Trace, core.TraceEvent{
+		Iteration: iter,
+		Kind:      kind,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}
+
+// detect counts one detection (replicated on every rank) and records it on
+// the team timeline.
+func (e *rankEngine) detect(iter int, format string, args ...any) {
+	e.res.Detections++
+	e.trace(iter, core.EvDetection, format, args...)
 }
 
 // mvmClean computes the local block of dst = A·src with no instrumentation
@@ -343,6 +439,7 @@ func (e *rankEngine) mvm(dst, src *DistVector) {
 		dot += e.rowA[j] * src.Data[j]
 	}
 	dst.S[0] = dot + e.dScalar*src.S[0]
+	e.injectChecksum(dst)
 	e.curSeq++
 }
 
@@ -430,14 +527,24 @@ func (e *rankEngine) verify(v *DistVector) bool {
 	return true
 }
 
+// scalarSanityBound is the largest magnitude a recurrence scalar can take
+// before it is treated as corrupted: beyond ≈√MaxFloat64 any product of two
+// such scalars overflows, and an exponent-bit upset scales an iterate
+// element by 2^±1024 — landing its dot products far past this bound. The
+// guard matters because a huge denominator is then divided away (α = ρ/r̂ᵀv
+// collapses toward zero), scaling the corruption below the checksum
+// detection threshold before the next verification boundary sees it.
+const scalarSanityBound = 1e150
+
 // breakdownSuspect reports whether a replicated recurrence scalar is
-// unusable — exactly zero, NaN, or Inf. Under ABFT such a value right after
-// a protected MVM is far more likely a propagated fault than a genuine
-// Lanczos-type breakdown, so the solver loops treat it as a detection and
-// roll back; only an exhausted rollback budget surfaces it as an error.
+// unusable — exactly zero, NaN, Inf, or absurdly large. Under ABFT such a
+// value right after a protected MVM is far more likely a propagated fault
+// than a genuine Lanczos-type breakdown, so the solver loops treat it as a
+// detection and roll back; only an exhausted rollback budget surfaces it as
+// an error.
 func breakdownSuspect(v float64) bool {
 	//lint:ignore floatcmp exact zero is the breakdown condition itself
-	return v == 0 || math.IsNaN(v) || math.IsInf(v, 0)
+	return v == 0 || math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > scalarSanityBound
 }
 
 // innerCheck is the distributed two-level inner level run after a protected
@@ -458,7 +565,7 @@ func (e *rankEngine) innerCheck(out, in *DistVector) bool {
 	if e.tol.ConsistentAbs(d1, e.n, gAbs) {
 		return true
 	}
-	e.res.Detections++
+	e.detect(e.curIter, "inner-level: MVM output checksum inconsistency")
 	// Input purity: a carried inconsistency in the input mimics a single
 	// output error; only a clean input makes the signature trustworthy.
 	if !e.verify(in) {
@@ -487,20 +594,46 @@ func (e *rankEngine) innerCheck(out, in *DistVector) bool {
 		out.Data[diag.Pos-e.lo] -= diag.Magnitude
 	}
 	e.res.Corrections++
+	e.trace(e.curIter, core.EvCorrection, "inner-level: corrected element %d", diag.Pos)
 	e.c.Barrier() // correction visible before anyone reads out
 	return true
 }
 
-// save snapshots the given tracked vectors (data + checksums) and scalars.
+// save snapshots the given tracked vectors (data + checksums) and scalars,
+// then fires any checkpoint-buffer faults scheduled against this rank at
+// this iteration: the snapshot copy is poisoned, the live state is not, so
+// the corruption stays dormant until a rollback restores it.
 func (e *rankEngine) save(iter int, vecs map[string]*DistVector, scalars map[string]float64) {
 	data := make(map[string][]float64, len(vecs))
 	sums := make(map[string][]float64, len(vecs))
+	names := make([]string, 0, len(vecs))
 	for name, v := range vecs {
 		data[name] = v.Data
 		sums[name] = v.S
+		names = append(names, name)
 	}
+	sort.Strings(names)
 	e.store.Save(iter, data, scalars, sums)
 	e.res.Checkpoints++
+	e.trace(iter, core.EvCheckpoint, "snapshot {%s}", strings.Join(names, ", "))
+	for fi, f := range e.opts.Faults {
+		if f.Target != TargetCheckpoint || f.Iteration != iter || f.Rank != e.c.Rank() || e.fired[fi] {
+			continue
+		}
+		snap := e.store.Latest()
+		e.fired[fi] = true
+		e.res.InjectedFaults++
+		// Strike every snapshotted vector in sorted-name order so the
+		// corruption is deterministic regardless of map iteration.
+		for _, name := range names {
+			buf := snap.Vectors[name]
+			idx := f.Index
+			if idx < 0 || idx >= len(buf) {
+				idx = 0
+			}
+			strike(f, buf, idx)
+		}
+	}
 }
 
 // restore rolls the tracked vectors and scalars back to the latest
@@ -521,6 +654,7 @@ func (e *rankEngine) restore(vecs map[string]*DistVector, scalars map[string]flo
 	if err != nil {
 		return 0, false
 	}
+	e.trace(e.curIter, core.EvRollback, "restored iteration %d", snapIter)
 	return snapIter, true
 }
 

@@ -1,0 +1,102 @@
+package par
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"newsum/internal/core"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden trace files")
+
+// The distributed golden traces pin the team timeline (recorded by rank 0,
+// whose verdicts every rank replicates) of deterministic faulty solves.
+// Regenerate intentionally with
+//
+//	go test ./internal/par -run TestGoldenTraces -update
+func TestGoldenTraces(t *testing.T) {
+	a, b := campaignSystem(t)
+	base := Options{
+		Tol:                1e-10,
+		DetectInterval:     2,
+		CheckpointInterval: 10,
+		MaxRollbacks:       6,
+	}
+	cases := []struct {
+		name     string
+		faults   []Fault
+		run      func(o Options) (Result, error)
+		wantFail bool
+	}{
+		{
+			name:   "pcg_flip",
+			faults: []Fault{{Iteration: 5, Rank: 1, Index: 2, BitFlip: true, Bit: 62}},
+			run:    func(o Options) (Result, error) { return ABFTPCG(a, b, 2, o) },
+		},
+		{
+			name:   "bicgstab_checksum_target",
+			faults: []Fault{{Iteration: 5, Rank: 0, Target: TargetChecksum, BitFlip: true, Bit: 62}},
+			run:    func(o Options) (Result, error) { return ABFTBiCGStab(a, b, 2, o) },
+		},
+		{
+			name:   "cr_correlated",
+			faults: CorrelatedFaults(Fault{Iteration: 4, Index: 1, BitFlip: true, Bit: 62}, 2),
+			run:    func(o Options) (Result, error) { return ABFTCR(a, b, 2, o) },
+		},
+		{
+			name: "pcg_checkpoint_attack",
+			faults: []Fault{
+				{Iteration: 0, Rank: 0, Target: TargetCheckpoint, BitFlip: true, Bit: 62},
+				{Iteration: 7, Rank: 1, BitFlip: true, Bit: 62},
+			},
+			run:      func(o Options) (Result, error) { return ABFTPCG(a, b, 2, o) },
+			wantFail: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := base
+			o.Faults = tc.faults
+			res, err := tc.run(o)
+			if tc.wantFail && err == nil {
+				t.Fatalf("expected the run to fail")
+			}
+			if !tc.wantFail && err != nil {
+				t.Fatalf("solve: %v", err)
+			}
+			compareGolden(t, filepath.Join("testdata", tc.name+".golden"), formatTrace(res.Trace))
+		})
+	}
+}
+
+func formatTrace(events []core.TraceEvent) string {
+	var sb strings.Builder
+	for _, ev := range events {
+		fmt.Fprintf(&sb, "%4d  %-10s  %s\n", ev.Iteration, ev.Kind, ev.Detail)
+	}
+	return sb.String()
+}
+
+func compareGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("mkdir: %v", err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run with -update to create): %v", path, err)
+	}
+	if string(want) != got {
+		t.Errorf("trace diverges from %s (run with -update if intended)\n--- want\n%s--- got\n%s", path, want, got)
+	}
+}

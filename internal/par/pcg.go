@@ -79,7 +79,7 @@ func rankPCG(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Options) 
 		e.beginIter(i)
 		if i > 0 && i%d == 0 {
 			if !e.verify(x) || !e.verify(r) {
-				res.Detections++
+				e.detect(i, "outer-level: checksum(x)/checksum(r) mismatch")
 				var ok bool
 				if i, ok = rollback(i); !ok {
 					res.Residual = relres
@@ -103,7 +103,7 @@ func rankPCG(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Options) 
 		}
 		pq := e.dot(p, q)
 		if breakdownSuspect(pq) {
-			res.Detections++
+			e.detect(i, "breakdown suspect: pᵀAp = %v", pq)
 			var ok bool
 			if i, ok = rollback(i); !ok {
 				res.Residual = relres
@@ -123,7 +123,7 @@ func rankPCG(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Options) 
 				res.Converged = true
 				break
 			}
-			res.Detections++
+			e.detect(i, "converged residual failed verification")
 			var ok bool
 			if i, ok = rollback(i); !ok {
 				res.Residual = relres

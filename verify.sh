@@ -33,4 +33,24 @@ go test -run Fuzz -fuzz='^$' ./internal/checksum/...
 echo "== go test -race (par, core) =="
 go test -race ./internal/par/... ./internal/core/...
 
+echo "== coverage gate (fault, checksum, accuracy >= 80%) =="
+# The packages that decide whether a fault is caught must themselves be
+# thoroughly exercised; docs/testing.md records the baseline figures.
+go test -cover ./internal/fault/ ./internal/checksum/ ./internal/accuracy/ |
+	awk '
+		{ print }
+		/coverage:/ {
+			pct = $0
+			sub(/.*coverage: /, "", pct)
+			sub(/% of statements.*/, "", pct)
+			if (pct + 0 < 80) { below = below "\n  " $2 " at " pct "%" }
+		}
+		END {
+			if (below != "") {
+				printf "coverage gate: below 80%%:%s\n", below > "/dev/stderr"
+				exit 1
+			}
+		}
+	'
+
 echo "verify: OK"
