@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table3|table4|table5|fig5|fig6|fig7|fig8|fig9|fig10|par|accuracy|all")
+		exp     = flag.String("exp", "all", "experiment: table3|table4|table5|fig5|fig6|fig7|fig8|fig9|fig10|par|accuracy|serve|all")
 		n       = flag.Int("n", 40000, "target matrix order for empirical experiments")
 		blocks  = flag.Int("blocks", 16, "block-Jacobi block count (stand-in for MPI ranks)")
 		repeats = flag.Int("repeats", 3, "timing repetitions (median reported)")
@@ -234,8 +234,26 @@ func run(exp string, n, blocks, repeats int, seed int64, csvDir string) error {
 		}
 		fmt.Fprintln(os.Stdout)
 	}
+	if all || exp == "serve" {
+		// The serving-layer sweep: worker-pool width × admission-queue
+		// depth × encoding cache, under closed-loop clients with one chaos
+		// fault per job. Small fixed operators keep the sweep about the
+		// scheduling stack rather than the solves.
+		pts, err := bench.ServeSweep([]int{2, 4, 8}, []int{8, 64}, []bool{true, false}, 8, 64, seed)
+		if err != nil {
+			return err
+		}
+		title := "Serve: solve-service throughput/latency sweep (8 closed-loop clients, 64 jobs, 1 chaos fault/job)"
+		if err := bench.WriteServeTable(out, title, pts); err != nil {
+			return err
+		}
+		if err := writeCSV("serve.csv", func(f *os.File) error { return bench.WriteServeCSV(f, pts) }); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stdout)
+	}
 	switch exp {
-	case "all", "table3", "table4", "table5", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "par", "accuracy":
+	case "all", "table3", "table4", "table5", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "par", "accuracy", "serve":
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)

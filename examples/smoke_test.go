@@ -21,6 +21,7 @@ var programs = []struct {
 	{dir: "parallel", args: []string{"-ranks", "2", "-n", "900"}},
 	{dir: "latency"},
 	{dir: "quickstart"},
+	{dir: "serve", args: []string{"-clients", "8", "-jobs", "16", "-n", "12"}},
 	{dir: "tuning"},
 }
 

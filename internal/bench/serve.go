@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"newsum/internal/service"
+)
+
+// The serve experiment: a closed-loop load generator against the
+// internal/service scheduling stack — worker-pool width × admission-queue
+// depth × encoding cache on/off — reporting throughput, latency quantiles,
+// and the service's own fault-tolerance counters. Every job carries one
+// chaos fault, so the sweep measures the protected serving path, not an
+// idealized fault-free one: retries and detections are part of the cost
+// being characterized. Clients honor backpressure by re-submitting after a
+// rejection, closed-loop style, so the rejection count is the pressure the
+// admission control actually absorbed rather than lost work.
+
+// ServePoint is one (workers, queue, cache) measurement.
+type ServePoint struct {
+	Workers    int
+	QueueDepth int
+	Cache      bool
+	Clients    int
+	Jobs       int
+	Seconds    float64
+	Throughput float64 // completed jobs per second
+	P50Millis  float64
+	P99Millis  float64
+	CacheHits  int64
+	Retries    int64
+	Rejections int64
+	Detections int64
+}
+
+// serveSpecs is the small operator pool the load generator cycles through;
+// repeats are what give the encoding cache its hits.
+func serveSpecs() []service.MatrixSpec {
+	return []service.MatrixSpec{
+		{Kind: "laplace2d", N: 12},
+		{Kind: "laplace2d", N: 16},
+		{Kind: "laplace2d", N: 20},
+	}
+}
+
+// MeasureServePoint drives jobs solve jobs through a freshly started
+// service from clients concurrent closed-loop clients and reports the
+// aggregate.
+func MeasureServePoint(workers, queueDepth int, cache bool, clients, jobs int, seed int64) (ServePoint, error) {
+	cacheSize := 16
+	if !cache {
+		cacheSize = -1
+	}
+	svc := service.New(service.Config{Workers: workers, QueueDepth: queueDepth, CacheSize: cacheSize})
+	defer svc.Close()
+
+	specs := serveSpecs()
+	work := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				req := service.Request{
+					Matrix:      specs[i%len(specs)],
+					ChaosFaults: 1,
+					Seed:        seed + int64(i),
+				}
+				for {
+					_, err := svc.Submit(context.Background(), req)
+					if errors.Is(err, service.ErrOverloaded) {
+						// Closed-loop client: honor the backpressure and
+						// offer the same job again.
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("bench: serve job %d: %w", i, err)
+						}
+						mu.Unlock()
+					}
+					break
+				}
+			}
+		}()
+	}
+	for i := 0; i < jobs; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	if firstErr != nil {
+		return ServePoint{}, firstErr
+	}
+	snap := svc.Stats()
+	p := ServePoint{
+		Workers:    workers,
+		QueueDepth: queueDepth,
+		Cache:      cache,
+		Clients:    clients,
+		Jobs:       jobs,
+		Seconds:    elapsed,
+		CacheHits:  snap.CacheHits,
+		Retries:    snap.Retries,
+		Rejections: snap.Rejected,
+		Detections: snap.Detections,
+		P50Millis:  snap.LatencyP50Millis,
+		P99Millis:  snap.LatencyP99Millis,
+	}
+	if elapsed > 0 {
+		p.Throughput = float64(jobs) / elapsed
+	}
+	return p, nil
+}
+
+// ServeSweep measures every (workers, queue, cache) combination.
+func ServeSweep(workerCounts, queueDepths []int, caches []bool, clients, jobs int, seed int64) ([]ServePoint, error) {
+	var points []ServePoint
+	for _, w := range workerCounts {
+		for _, q := range queueDepths {
+			for _, c := range caches {
+				p, err := MeasureServePoint(w, q, c, clients, jobs, seed)
+				if err != nil {
+					return nil, err
+				}
+				points = append(points, p)
+			}
+		}
+	}
+	return points, nil
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+// WriteServeTable renders the sweep in the standard report format.
+func WriteServeTable(out io.Writer, title string, points []ServePoint) error {
+	var s sink
+	s.println(out, title)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	s.println(tw, "workers\tqueue\tcache\tjobs\ttime(s)\tjobs/s\tp50(ms)\tp99(ms)\thits\tretries\trejections\tdetections")
+	for _, p := range points {
+		s.printf(tw, "%d\t%d\t%s\t%d\t%.3f\t%.1f\t%.2f\t%.2f\t%d\t%d\t%d\t%d\n",
+			p.Workers, p.QueueDepth, onOff(p.Cache), p.Jobs, p.Seconds, p.Throughput,
+			p.P50Millis, p.P99Millis, p.CacheHits, p.Retries, p.Rejections, p.Detections)
+	}
+	s.flush(tw)
+	return s.err
+}
+
+// WriteServeCSV emits the sweep as CSV with one row per point.
+func WriteServeCSV(w io.Writer, points []ServePoint) error {
+	var s sink
+	s.println(w, "workers,queue_depth,cache,clients,jobs,seconds,jobs_per_sec,p50_ms,p99_ms,cache_hits,retries,rejections,detections")
+	for _, p := range points {
+		s.printf(w, "%d,%d,%s,%d,%d,%.6f,%.3f,%.4f,%.4f,%d,%d,%d,%d\n",
+			p.Workers, p.QueueDepth, onOff(p.Cache), p.Clients, p.Jobs, p.Seconds, p.Throughput,
+			p.P50Millis, p.P99Millis, p.CacheHits, p.Retries, p.Rejections, p.Detections)
+	}
+	return s.err
+}

@@ -1,0 +1,93 @@
+package checksum
+
+import (
+	"math"
+	"testing"
+
+	"newsum/internal/sparse"
+)
+
+// TestEncodingBitForBit is the cache-reuse contract: an Encoding derived
+// once and reused must be bit-for-bit identical to the rows a solve would
+// have computed freshly. Any divergence — even one ULP — would make cached
+// and fresh solves follow different verification arithmetic.
+func TestEncodingBitForBit(t *testing.T) {
+	a := sparse.CircuitLike(400, 7)
+	enc := NewEncoding(a, 0)
+	d := PracticalD(a)
+	if math.Float64bits(enc.D) != math.Float64bits(d) {
+		t.Fatalf("Encoding pinned d=%g, fresh derivation gives %g", enc.D, d)
+	}
+
+	for _, ws := range [][]Weight{Single, Double, Triple} {
+		fresh := EncodeMatrix(a, ws, d)
+		cached := enc.Matrix(ws)
+		if len(cached.Rows) != len(fresh.Rows) {
+			t.Fatalf("weight set size %d: cached %d rows, fresh %d", len(ws), len(cached.Rows), len(fresh.Rows))
+		}
+		for k := range fresh.Rows {
+			for i := range fresh.Rows[k] {
+				if math.Float64bits(cached.Rows[k][i]) != math.Float64bits(fresh.Rows[k][i]) {
+					t.Fatalf("weight %s row element %d: cached %x fresh %x",
+						ws[k].Name, i,
+						math.Float64bits(cached.Rows[k][i]), math.Float64bits(fresh.Rows[k][i]))
+				}
+			}
+		}
+	}
+
+	freshDiag := EncodeTraditional(a, []Weight{Linear, Harmonic})
+	for k := range freshDiag.Rows {
+		for i := range freshDiag.Rows[k] {
+			if math.Float64bits(enc.Diag().Rows[k][i]) != math.Float64bits(freshDiag.Rows[k][i]) {
+				t.Fatalf("diag row %d element %d differs from fresh derivation", k, i)
+			}
+		}
+	}
+}
+
+// TestEncodingDeterministic asserts two independent derivations agree via
+// EqualBits — the admission check the service cache runs before trusting a
+// stored encoding.
+func TestEncodingDeterministic(t *testing.T) {
+	a := sparse.Laplacian2D(17, 19)
+	e1 := NewEncoding(a, 0)
+	e2 := NewEncoding(a, 0)
+	if !e1.EqualBits(e2) {
+		t.Fatal("two derivations of the same operator are not bit-for-bit identical")
+	}
+	if e1.EqualBits(nil) {
+		t.Fatal("EqualBits(nil) must be false")
+	}
+	// A single flipped mantissa bit in one row must be caught.
+	e2.mat.Rows[1][5] = math.Float64frombits(math.Float64bits(e2.mat.Rows[1][5]) ^ 1)
+	if e1.EqualBits(e2) {
+		t.Fatal("EqualBits missed a one-ULP corruption in a checksum row")
+	}
+	// Corruption confined to the diagnosis rows must also be caught.
+	e3 := NewEncoding(a, 0)
+	e3.diag.Rows[0][3] = math.Float64frombits(math.Float64bits(e3.diag.Rows[0][3]) ^ 1)
+	if e1.EqualBits(e3) {
+		t.Fatal("EqualBits missed a corruption in the diagnosis rows")
+	}
+	// Different decoupling scalars are different encodings.
+	if e1.EqualBits(NewEncoding(a, 16*e1.D)) {
+		t.Fatal("EqualBits conflated encodings with different d")
+	}
+}
+
+// TestEncodingMatrixValidatesWeights pins the prefix contract: only weight
+// sets that are a prefix of Triple can view the precomputed rows.
+func TestEncodingMatrixValidatesWeights(t *testing.T) {
+	enc := NewEncoding(sparse.Laplacian2D(5, 5), 0)
+	for _, bad := range [][]Weight{nil, {}, {Linear}, {Ones, Harmonic}, {Ones, Linear, Harmonic, Ones}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("weight set %v: expected panic", bad)
+				}
+			}()
+			enc.Matrix(bad)
+		}()
+	}
+}

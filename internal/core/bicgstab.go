@@ -144,6 +144,11 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 
 	i := 0
 	for i < maxIter {
+		if err := opts.ctxErr("PBiCGSTAB"); err != nil {
+			res.Residual = relres
+			res.Stats.InjectedErrors = e.injectedCount()
+			return res, err
+		}
 		if i > 0 && i%d == 0 {
 			// v is verified alongside x and r: a huge corruption in v can be
 			// scaled below the detection threshold on its way into s (α =

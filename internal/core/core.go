@@ -13,9 +13,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"newsum/internal/checksum"
 	"newsum/internal/fault"
 	"newsum/internal/solver"
 	"newsum/internal/sparse"
@@ -154,6 +156,36 @@ type Options struct {
 	// Trace, when non-nil, receives the run's fault-tolerance timeline
 	// (detections, corrections, rollbacks, checkpoints). Cold-path only.
 	Trace *Trace
+	// Encoding, when non-nil, supplies a precomputed checksum encoding of A
+	// (see checksum.NewEncoding) instead of re-deriving cᵀA − d·cᵀ inside the
+	// solve — the paper's offline cost amortized across repeated solves
+	// against the same operator. The encoding pins the decoupling scalar, so
+	// DScalar and UseLemmaD are ignored when it is set. It must have been
+	// derived from the same matrix A that is being solved; the caller (e.g.
+	// the internal/service encoding cache) is responsible for that identity.
+	Encoding *checksum.Encoding
+	// Ctx, when non-nil, is polled at every iteration boundary: a canceled
+	// or expired context aborts the solve with an error wrapping ctx.Err().
+	// This is the only way a caller can stop a diverging or fault-storming
+	// solve mid-flight — long-running services need it for per-job deadlines
+	// and graceful drain. nil means run to completion.
+	Ctx context.Context
+}
+
+// ctxErr reports a pending cancellation of the solve's context, nil when no
+// context was attached or it is still live. Solver loops poll it once per
+// iteration — a non-blocking select, so the fault-free hot path pays one
+// channel poll per iteration.
+func (o *Options) ctxErr(method string) error {
+	if o.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-o.Ctx.Done():
+		return fmt.Errorf("core: %s solve canceled: %w", method, o.Ctx.Err())
+	default:
+		return nil
+	}
 }
 
 func (o *Options) normalize() {

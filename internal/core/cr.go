@@ -102,6 +102,11 @@ func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 
 	i := 0
 	for i < maxIter {
+		if err := opts.ctxErr("CR"); err != nil {
+			res.Residual = relres
+			res.Stats.InjectedErrors = e.injectedCount()
+			return res, err
+		}
 		if i > 0 && i%d == 0 {
 			// Unlike PCG/BiCGStab there is no preconditioner solve dividing
 			// the carried checksum error back down by d, so the Ar/Ap

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"newsum/internal/checksum"
+	"newsum/internal/precond"
+	"newsum/internal/sparse"
+)
+
+// The cancellation contract: a canceled Options.Ctx stops every protected
+// (and unprotected) solver loop at the next iteration boundary with an error
+// wrapping the context's own error — the caller's only handle on a diverging
+// or fault-storming solve.
+
+func ctxSystem(t *testing.T) (*sparse.CSR, []float64) {
+	t.Helper()
+	a := sparse.Laplacian2D(20, 20)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1 + float64(i%13)
+	}
+	return a, b
+}
+
+func TestCtxCancellationStopsSolvers(t *testing.T) {
+	a, b := ctxSystem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: the first boundary check must fire
+	mkOpts := func() Options {
+		return Options{Ctx: ctx}
+	}
+	runs := []struct {
+		name string
+		run  func() error
+	}{
+		{"BasicPCG", func() error { _, err := BasicPCG(a, precond.Identity(a.Rows), b, mkOpts()); return err }},
+		{"TwoLevelPCG", func() error { _, err := TwoLevelPCG(a, precond.Identity(a.Rows), b, mkOpts()); return err }},
+		{"BasicPBiCGSTAB", func() error { _, err := BasicPBiCGSTAB(a, precond.Identity(a.Rows), b, mkOpts()); return err }},
+		{"BasicCR", func() error { _, err := BasicCR(a, b, mkOpts()); return err }},
+		{"BasicGMRES", func() error { _, err := BasicGMRES(a, precond.Identity(a.Rows), b, 10, mkOpts()); return err }},
+		{"BasicJacobi", func() error {
+			d := sparse.DiagDominant(200, 4, 3)
+			bb := make([]float64, 200)
+			for i := range bb {
+				bb[i] = 1
+			}
+			_, err := BasicJacobi(d, bb, mkOpts())
+			return err
+		}},
+		{"OnlineMVPCG", func() error { _, err := OnlineMVPCG(a, precond.Identity(a.Rows), b, mkOpts()); return err }},
+		{"OrthoPCG", func() error { _, err := OrthoPCG(a, precond.Identity(a.Rows), b, mkOpts()); return err }},
+		{"UnprotectedPCG", func() error { _, err := UnprotectedPCG(a, precond.Identity(a.Rows), b, mkOpts()); return err }},
+		{"UnprotectedPBiCGSTAB", func() error { _, err := UnprotectedPBiCGSTAB(a, precond.Identity(a.Rows), b, mkOpts()); return err }},
+	}
+	for _, r := range runs {
+		t.Run(r.name, func(t *testing.T) {
+			err := r.run()
+			if err == nil {
+				t.Fatal("canceled context did not abort the solve")
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("error does not wrap context.Canceled: %v", err)
+			}
+		})
+	}
+}
+
+// TestCtxNilRunsToCompletion pins that the zero-value Options (no context)
+// is unchanged: solves run exactly as before the cancellation hooks.
+func TestCtxNilRunsToCompletion(t *testing.T) {
+	a, b := ctxSystem(t)
+	res, err := BasicPCG(a, precond.Identity(a.Rows), b, Options{})
+	if err != nil || !res.Converged {
+		t.Fatalf("nil-ctx solve failed: converged=%v err=%v", res.Converged, err)
+	}
+}
+
+// TestEncodingReuseMatchesFreshSolve is the serve-path contract: a solve
+// running on a cached checksum.Encoding must follow bit-for-bit the same
+// trajectory as one that derives the encoding itself — same iterate bits,
+// same iteration count, same verification counters.
+func TestEncodingReuseMatchesFreshSolve(t *testing.T) {
+	a, b := ctxSystem(t)
+	enc := checksum.NewEncoding(a, 0)
+	for _, scheme := range []struct {
+		name string
+		run  func(o Options) (Result, error)
+	}{
+		{"basic", func(o Options) (Result, error) { return BasicPCG(a, precond.Identity(a.Rows), b, o) }},
+		{"twolevel", func(o Options) (Result, error) { return TwoLevelPCG(a, precond.Identity(a.Rows), b, o) }},
+	} {
+		t.Run(scheme.name, func(t *testing.T) {
+			fresh, err := scheme.run(Options{})
+			if err != nil {
+				t.Fatalf("fresh solve: %v", err)
+			}
+			cached, err := scheme.run(Options{Encoding: enc})
+			if err != nil {
+				t.Fatalf("cached-encoding solve: %v", err)
+			}
+			if fresh.Iterations != cached.Iterations {
+				t.Fatalf("iteration counts diverge: fresh %d cached %d", fresh.Iterations, cached.Iterations)
+			}
+			if fresh.Stats.Verifications != cached.Stats.Verifications {
+				t.Fatalf("verification counts diverge: fresh %d cached %d",
+					fresh.Stats.Verifications, cached.Stats.Verifications)
+			}
+			for i := range fresh.X {
+				if math.Float64bits(fresh.X[i]) != math.Float64bits(cached.X[i]) {
+					t.Fatalf("x[%d] diverges: fresh %x cached %x",
+						i, math.Float64bits(fresh.X[i]), math.Float64bits(cached.X[i]))
+				}
+			}
+		})
+	}
+}

@@ -57,35 +57,56 @@ type engine struct {
 	scratch    [2][]float64
 	scratchS   [2][]float64
 	scratchEta [2][]float64
+
+	// enc is the caller-supplied precomputed encoding, when one was passed
+	// through Options.Encoding; nil means encA/encDiag were derived here.
+	enc *checksum.Encoding
 }
 
 // initLazyDiag prepares the on-demand diagnosis rows for the lazy two-level
-// scheme.
+// scheme, reusing the precomputed rows when a cached encoding is attached.
 func (e *engine) initLazyDiag() {
+	if e.enc != nil {
+		e.encDiag = e.enc.Diag()
+		return
+	}
 	e.encDiag = checksum.EncodeTraditional(e.a, []checksum.Weight{checksum.Linear, checksum.Harmonic})
 }
 
 // newEngine encodes A and every preconditioner stage once (setup cost, like
-// the paper's offline encoding pass) and prepares scratch storage.
+// the paper's offline encoding pass) and prepares scratch storage. A
+// precomputed Options.Encoding short-circuits the cᵀA − d·cᵀ derivation —
+// the offline pass amortized across solves — and pins the decoupling scalar.
 func newEngine(a *sparse.CSR, m precond.Preconditioner, weights []checksum.Weight, opts *Options, stats *Stats) *engine {
-	d := opts.DScalar
-	//lint:ignore floatcmp DScalar == 0 is the unset sentinel selecting a derived d
-	if d == 0 {
-		if opts.UseLemmaD {
-			d = checksum.LemmaD(a, weights)
-		} else {
-			d = checksum.PracticalD(a)
+	var encA *checksum.Matrix
+	var d float64
+	if opts.Encoding != nil && opts.Encoding.N == a.Rows {
+		encA = opts.Encoding.Matrix(weights)
+		d = opts.Encoding.D
+	} else {
+		d = opts.DScalar
+		//lint:ignore floatcmp DScalar == 0 is the unset sentinel selecting a derived d
+		if d == 0 {
+			if opts.UseLemmaD {
+				d = checksum.LemmaD(a, weights)
+			} else {
+				d = checksum.PracticalD(a)
+			}
 		}
+		encA = checksum.EncodeMatrix(a, weights, d)
 	}
 	e := &engine{
 		n:       a.Rows,
 		a:       a,
 		weights: weights,
-		encA:    checksum.EncodeMatrix(a, weights, d),
+		encA:    encA,
 		tol:     checksum.Tol{Theta: opts.Theta},
 		inj:     opts.Injector,
 		stats:   stats,
 		eager:   opts.EagerDetection,
+	}
+	if opts.Encoding != nil && opts.Encoding.N == a.Rows {
+		e.enc = opts.Encoding
 	}
 	if m != nil {
 		e.stages = m.Stages()

@@ -78,6 +78,11 @@ func BasicGMRES(a *sparse.CSR, m precond.Preconditioner, b []float64, restart in
 	d := opts.DetectInterval
 
 	for total < maxIter {
+		if err := opts.ctxErr("GMRES"); err != nil {
+			res.Residual = relres
+			res.Stats.InjectedErrors = e.injectedCount()
+			return res, err
+		}
 		// Cycle start: x is the only live state. Verify it (it was either
 		// freshly verified last cycle or is the initial guess), snapshot
 		// it, and build the residual.

@@ -79,6 +79,11 @@ func UnprotectedPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts O
 	rho := vec.Dot(r, z)
 
 	for i := 0; i < maxIter; i++ {
+		if err := opts.ctxErr("unprotected PCG"); err != nil {
+			res.Residual = relres
+			res.Stats.InjectedErrors = injCount(inj)
+			return res, err
+		}
 		inj.InjectMemory(i, fault.SiteMVM, p)
 		if restore := inj.CacheWindow(i, fault.SiteMVM, p); restore != nil {
 			a.MulVecStride(q, p, 0, 2)

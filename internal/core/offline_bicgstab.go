@@ -68,6 +68,11 @@ func UnprotectedPBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, 
 
 	rhoPrev, alpha, omega := 1.0, 1.0, 1.0
 	for i := 0; i < maxIter; i++ {
+		if err := opts.ctxErr("unprotected PBiCGSTAB"); err != nil {
+			res.Residual = relres
+			res.Stats.InjectedErrors = injCount(inj)
+			return res, err
+		}
 		rho := vec.Dot(rhat, r)
 		//lint:ignore floatcmp exact zero guards the division below, not a detection decision
 		if rho == 0 {

@@ -257,6 +257,11 @@ func OnlineMVPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opti
 	rho := vec.Dot(r, z)
 
 	for i := 0; i < maxIter; i++ {
+		if err := opts.ctxErr("online-MV PCG"); err != nil {
+			res.Residual = relres
+			res.Stats.InjectedErrors = injCount(opts.Injector)
+			return res, err
+		}
 		o.mvm(i, q, p)
 		pq := vec.Dot(p, q)
 		//lint:ignore floatcmp exact zero guards the division below, not a detection decision
@@ -340,6 +345,11 @@ func OnlineMVPBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opt
 	}
 	rhoPrev, alpha, omega := 1.0, 1.0, 1.0
 	for i := 0; i < maxIter; i++ {
+		if err := opts.ctxErr("online-MV PBiCGSTAB"); err != nil {
+			res.Residual = relres
+			res.Stats.InjectedErrors = injCount(opts.Injector)
+			return res, err
+		}
 		rho := vec.Dot(rhat, r)
 		//lint:ignore floatcmp exact zero guards the division below, not a detection decision
 		if rho == 0 {

@@ -99,6 +99,11 @@ func OrthoPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options
 
 	i := 0
 	for i < maxIter {
+		if err := opts.ctxErr("OrthoPCG"); err != nil {
+			res.Residual = relres
+			res.Stats.InjectedErrors = injCount(opts.Injector)
+			return res, err
+		}
 		if i > 0 && i%d == 0 {
 			// Residual-relationship check: one full MVM.
 			a.MulVec(trueR, x)

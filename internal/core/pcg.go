@@ -128,6 +128,13 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 
 	i := 0
 	for i < maxIter {
+		// Cancellation boundary: a canceled or expired Options.Ctx is the
+		// caller's only handle on a diverging or fault-storming solve.
+		if err := opts.ctxErr("PCG"); err != nil {
+			res.Residual = relres
+			res.Stats.InjectedErrors = e.injectedCount()
+			return res, err
+		}
 		// Outer-level detection every d iterations (Algorithm 1 lines
 		// 5–6): verify only checksum(x) = cᵀx and checksum(r) = cᵀr —
 		// every other vector's error propagates into x or r (Table 2).

@@ -61,6 +61,11 @@ func BasicJacobi(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 
 	i := 0
 	for i < maxIter {
+		if err := opts.ctxErr("Jacobi"); err != nil {
+			res.Residual = relres
+			res.Stats.InjectedErrors = e.injectedCount()
+			return res, err
+		}
 		if i > 0 && i%d == 0 {
 			if !e.verify(x) {
 				res.Stats.Rollbacks++
@@ -213,6 +218,11 @@ func BasicChebyshev(a *sparse.CSR, m precond.Preconditioner, b []float64, lmin, 
 
 	i := 0
 	for i < maxIter {
+		if err := opts.ctxErr("Chebyshev"); err != nil {
+			res.Residual = relres
+			res.Stats.InjectedErrors = e.injectedCount()
+			return res, err
+		}
 		if i > 0 && i%d == 0 {
 			if !e.verify(x) || !e.verify(r) {
 				var ok bool

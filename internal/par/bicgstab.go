@@ -86,12 +86,16 @@ func rankBiCGStab(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Opti
 	}
 	storm := func() (Result, error) {
 		res.Residual = relres
-		return res, fmt.Errorf("par: ABFT BiCGStab rollback limit exceeded")
+		return res, fmt.Errorf("par: ABFT BiCGStab: %w", ErrRollbackStorm)
 	}
 
 	i := 0
 	for i < opts.MaxIter {
 		e.beginIter(i)
+		if e.canceled() {
+			res.Residual = relres
+			return res, e.cancelErr("ABFT BiCGStab")
+		}
 		if i > 0 && i%d == 0 {
 			// v is verified alongside x and r: a huge corruption in v can be
 			// scaled below the detection threshold on its way into s (α =

@@ -76,12 +76,16 @@ func rankCR(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Options) (
 	}
 	storm := func() (Result, error) {
 		res.Residual = relres
-		return res, fmt.Errorf("par: ABFT CR rollback limit exceeded")
+		return res, fmt.Errorf("par: ABFT CR: %w", ErrRollbackStorm)
 	}
 
 	i := 0
 	for i < opts.MaxIter {
 		e.beginIter(i)
+		if e.canceled() {
+			res.Residual = relres
+			return res, e.cancelErr("ABFT CR")
+		}
 		if i > 0 && i%d == 0 {
 			// Unlike PCG/BiCGStab there is no preconditioner solve dividing
 			// the carried checksum error back down by d, so the Ar/Ap

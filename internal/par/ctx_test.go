@@ -1,0 +1,69 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"newsum/internal/sparse"
+)
+
+// Distributed cancellation: the replicated probe must abort every rank at
+// the same iteration (no goroutine stranded in a collective — the test would
+// deadlock otherwise) and surface an error wrapping the context's error.
+
+func ctxProblem() (*sparse.CSR, []float64) {
+	a := sparse.Laplacian2D(16, 16)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1 + float64(i%7)
+	}
+	return a, b
+}
+
+func TestParCancellationAbortsAllRanks(t *testing.T) {
+	a, b := ctxProblem()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, tc := range []struct {
+		name string
+		run  func() (Result, error)
+	}{
+		{"pcg", func() (Result, error) { return ABFTPCG(a, b, 4, Options{Ctx: ctx}) }},
+		{"bicgstab", func() (Result, error) { return ABFTBiCGStab(a, b, 4, Options{Ctx: ctx}) }},
+		{"cr", func() (Result, error) { return ABFTCR(a, b, 4, Options{Ctx: ctx}) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			done := make(chan error, 1)
+			go func() {
+				_, err := tc.run()
+				done <- err
+			}()
+			select {
+			case err := <-done:
+				if err == nil {
+					t.Fatal("canceled context did not abort the distributed solve")
+				}
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("error does not wrap context.Canceled: %v", err)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("distributed solve deadlocked after cancellation (ranks aborted at different collectives)")
+			}
+		})
+	}
+}
+
+// TestParDeadlineExpiry drives a real mid-solve expiry rather than a
+// pre-canceled context.
+func TestParDeadlineExpiry(t *testing.T) {
+	a, b := ctxProblem()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	time.Sleep(5 * time.Millisecond) // let the deadline lapse
+	_, err := ABFTPCG(a, b, 2, Options{Ctx: ctx, Tol: 1e-12})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected DeadlineExceeded, got %v", err)
+	}
+}

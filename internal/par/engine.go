@@ -1,6 +1,8 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -121,7 +123,17 @@ type Options struct {
 	EvenRows bool
 	// Faults schedules arithmetic MVM errors.
 	Faults []Fault
+	// Ctx, when non-nil, lets the caller cancel a running distributed solve.
+	// Cancellation is observed through a replicated probe (one scalar
+	// all-reduce per iteration) so every rank aborts at the same iteration
+	// boundary — a rank noticing ctx.Done() unilaterally would strand its
+	// peers inside a collective. nil means run to completion.
+	Ctx context.Context
 }
+
+// ErrRollbackStorm is wrapped by distributed solves that exhaust their
+// rollback budget — the abort outcome a serving layer treats as retryable.
+var ErrRollbackStorm = errors.New("par: rollback limit exceeded")
 
 func (o *Options) normalize(n int) {
 	if o.Tol <= 0 {
@@ -340,6 +352,35 @@ func (e *rankEngine) newVec() *DistVector { return NewDistVector(e.local, len(e.
 
 // beginIter sets the fault coordinate for the iteration about to run.
 func (e *rankEngine) beginIter(i int) { e.curIter = i; e.curSeq = 0 }
+
+// canceled is the replicated cancellation probe: each rank contributes its
+// local view of Options.Ctx to a scalar all-reduce, so the verdict — and
+// therefore the abort point — is identical on every rank and no rank leaves
+// a peer blocked in a collective. Without a context it costs nothing.
+func (e *rankEngine) canceled() bool {
+	if e.opts.Ctx == nil {
+		return false
+	}
+	flag := 0.0
+	select {
+	case <-e.opts.Ctx.Done():
+		flag = 1
+	default:
+	}
+	return e.c.AllReduceSum(flag) > 0
+}
+
+// cancelErr builds the per-rank abort error after a positive canceled()
+// verdict, wrapping the context's own error so callers can classify it.
+func (e *rankEngine) cancelErr(method string) error {
+	err := e.opts.Ctx.Err()
+	if err == nil {
+		// Replicated verdict but this rank's ctx not yet settled locally —
+		// the cause is still cancellation.
+		err = context.Canceled
+	}
+	return fmt.Errorf("par: %s solve canceled: %w", method, err)
+}
 
 // finish stores the rank's collective instrumentation into the result; the
 // solver bodies defer it so every exit path reports comm stats.

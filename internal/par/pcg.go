@@ -77,13 +77,17 @@ func rankPCG(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Options) 
 	i := 0
 	for i < opts.MaxIter {
 		e.beginIter(i)
+		if e.canceled() {
+			res.Residual = relres
+			return res, e.cancelErr("ABFT PCG")
+		}
 		if i > 0 && i%d == 0 {
 			if !e.verify(x) || !e.verify(r) {
 				e.detect(i, "outer-level: checksum(x)/checksum(r) mismatch")
 				var ok bool
 				if i, ok = rollback(i); !ok {
 					res.Residual = relres
-					return res, fmt.Errorf("par: ABFT PCG rollback limit exceeded")
+					return res, fmt.Errorf("par: ABFT PCG: %w", ErrRollbackStorm)
 				}
 				continue
 			}
@@ -97,7 +101,7 @@ func rankPCG(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Options) 
 			var ok bool
 			if i, ok = rollback(i); !ok {
 				res.Residual = relres
-				return res, fmt.Errorf("par: ABFT PCG rollback limit exceeded")
+				return res, fmt.Errorf("par: ABFT PCG: %w", ErrRollbackStorm)
 			}
 			continue
 		}
@@ -127,7 +131,7 @@ func rankPCG(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Options) 
 			var ok bool
 			if i, ok = rollback(i); !ok {
 				res.Residual = relres
-				return res, fmt.Errorf("par: ABFT PCG rollback limit exceeded")
+				return res, fmt.Errorf("par: ABFT PCG: %w", ErrRollbackStorm)
 			}
 			continue
 		}

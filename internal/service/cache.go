@@ -1,0 +1,96 @@
+package service
+
+import (
+	"container/list"
+	"fmt"
+
+	"newsum/internal/checksum"
+	"newsum/internal/sparse"
+)
+
+// encCache is the service's LRU cache of built operators and their
+// checksum encodings, keyed by the MatrixSpec fingerprint. A hit skips
+// both the O(nnz) matrix construction and the O(nnz·w) offline encoding
+// derivation — the dominant setup cost the paper amortizes over a solve
+// and the service amortizes over many.
+//
+// Admission is guarded the ABFT way: the encoding is derived twice,
+// independently, and admitted only if the two copies agree bit for bit
+// (checksum.Encoding.EqualBits). A soft error striking the offline
+// precompute would otherwise poison every solve served from the cache —
+// the one corruption the online scheme cannot see, because a consistently
+// wrong encoding verifies consistently. On disagreement the entry is not
+// cached and the (known-costlier) per-solve derivation path is used.
+type encCache struct {
+	cap     int
+	order   *list.List               // front = most recently used
+	entries map[uint64]*list.Element // fingerprint -> element holding *encEntry
+}
+
+type encEntry struct {
+	key  uint64
+	spec MatrixSpec
+	a    *sparse.CSR
+	enc  *checksum.Encoding
+}
+
+func newEncCache(capacity int) *encCache {
+	return &encCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[uint64]*list.Element, capacity),
+	}
+}
+
+// get returns the cached operator and encoding for the spec, if present.
+// A fingerprint collision (same hash, different spec) is treated as a miss
+// and reported so the stats layer can count it.
+func (c *encCache) get(key uint64, spec *MatrixSpec) (*encEntry, bool, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false, false
+	}
+	e := el.Value.(*encEntry)
+	if !equalSpec(&e.spec, spec) {
+		return nil, false, true
+	}
+	c.order.MoveToFront(el)
+	return e, true, false
+}
+
+// put stores an admitted matrix + encoding, evicting the LRU entry at
+// capacity. The caller performs the double-derivation admission check
+// (deriveChecked) outside the cache lock; put only installs the result.
+func (c *encCache) put(key uint64, spec *MatrixSpec, a *sparse.CSR, enc *checksum.Encoding) {
+	e := &encEntry{key: key, spec: *spec, a: a, enc: enc}
+	if el, ok := c.entries[key]; ok {
+		el.Value = e
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.cap {
+		lru := c.order.Back()
+		if lru == nil {
+			break
+		}
+		c.order.Remove(lru)
+		delete(c.entries, lru.Value.(*encEntry).key)
+	}
+	c.entries[key] = c.order.PushFront(e)
+}
+
+// deriveChecked derives the checksum encoding of a twice, independently,
+// and returns it only if the two copies agree bit for bit — the admission
+// integrity check described on encCache. The error carries the fingerprint
+// for the stats layer; the caller falls back to per-solve derivation.
+func deriveChecked(key uint64, a *sparse.CSR) (*checksum.Encoding, error) {
+	enc := checksum.NewEncoding(a, 0)
+	check := checksum.NewEncoding(a, 0)
+	if !enc.EqualBits(check) {
+		return nil, fmt.Errorf("service: encoding admission check failed for fingerprint %016x: independent derivations disagree", key)
+	}
+	return enc, nil
+}
+
+// len reports the number of cached entries.
+func (c *encCache) len() int { return c.order.Len() }

@@ -1,0 +1,257 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("post %s: %v", url, err)
+	}
+	return resp
+}
+
+func TestHTTPSolveRoundTrip(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 8})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp := postJSON(t, srv.URL+"/solve", Request{
+		Matrix:      laplaceSpec(),
+		ChaosFaults: 1,
+		Seed:        42,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var out Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	if !out.Converged || out.N != 144 {
+		t.Fatalf("converged=%v n=%d", out.Converged, out.N)
+	}
+	if out.VerifiedResidual > sdcTolFactor*1e-8 {
+		t.Fatalf("verified residual %.3e", out.VerifiedResidual)
+	}
+}
+
+func TestHTTPValidationAndMethodErrors(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 2})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	t.Run("bad json", func(t *testing.T) {
+		resp, err := http.Post(srv.URL+"/solve", "application/json", strings.NewReader("{nope"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400", resp.StatusCode)
+		}
+	})
+
+	t.Run("unknown field", func(t *testing.T) {
+		resp, err := http.Post(srv.URL+"/solve", "application/json", strings.NewReader(`{"sovler":"pcg"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400", resp.StatusCode)
+		}
+	})
+
+	t.Run("bad request semantics", func(t *testing.T) {
+		resp := postJSON(t, srv.URL+"/solve", Request{Solver: "sor", Matrix: laplaceSpec()})
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400", resp.StatusCode)
+		}
+		var e httpError
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+			t.Fatalf("error body missing: %v %+v", err, e)
+		}
+	})
+
+	t.Run("solve method", func(t *testing.T) {
+		resp, err := http.Get(srv.URL + "/solve")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("status = %d, want 405", resp.StatusCode)
+		}
+	})
+
+	t.Run("stats method", func(t *testing.T) {
+		resp := postJSON(t, srv.URL+"/stats", map[string]string{})
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("status = %d, want 405", resp.StatusCode)
+		}
+	})
+
+	t.Run("deadline maps to 504", func(t *testing.T) {
+		resp := postJSON(t, srv.URL+"/solve", Request{
+			Matrix:        MatrixSpec{Kind: "laplace2d", N: 100},
+			Tol:           1e-12,
+			TimeoutMillis: 1,
+		})
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusGatewayTimeout {
+			t.Fatalf("status = %d, want 504", resp.StatusCode)
+		}
+	})
+}
+
+func TestHTTPStatsAndHealth(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 8})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp := postJSON(t, srv.URL+"/solve", Request{Matrix: laplaceSpec()})
+	resp.Body.Close()
+	resp = postJSON(t, srv.URL+"/solve", Request{Matrix: laplaceSpec()})
+	resp.Body.Close()
+
+	statsResp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(statsResp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	if snap.Completed != 2 || snap.CacheHits != 1 {
+		t.Fatalf("completed=%d cacheHits=%d, want 2 and 1", snap.Completed, snap.CacheHits)
+	}
+
+	health, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health.Body.Close()
+	if health.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", health.StatusCode)
+	}
+
+	s.Close()
+	health, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health.Body.Close()
+	if health.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after Close = %d, want 503", health.StatusCode)
+	}
+}
+
+// TestHTTPStream exercises the NDJSON streaming path on a retried job: a
+// sequence of progress lines followed by exactly one result line carrying
+// the final response.
+func TestHTTPStream(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4, MaxRetries: 1})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp := postJSON(t, srv.URL+"/solve?stream=1", Request{
+		Matrix:       laplaceSpec(),
+		MaxRollbacks: 1,
+		Faults:       []FaultSpec{{Iteration: 2, Index: -1}, {Iteration: 12, Index: -1}},
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	var progress, results int
+	var final *Response
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line streamLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch line.Event {
+		case "progress":
+			progress++
+		case "result":
+			results++
+			final = line.Result
+		default:
+			t.Fatalf("unexpected stream event %q (error: %s)", line.Event, line.Error)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if results != 1 || final == nil {
+		t.Fatalf("results = %d, want exactly 1", results)
+	}
+	if progress < 4 {
+		t.Fatalf("progress lines = %d, want the retried job's full timeline", progress)
+	}
+	if !final.Converged || final.Attempts != 2 {
+		t.Fatalf("final converged=%v attempts=%d", final.Converged, final.Attempts)
+	}
+}
+
+// TestHTTPBackpressure drives the 429 path through the full HTTP stack.
+func TestHTTPBackpressure(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1, CacheSize: -1})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	slow := Request{Matrix: MatrixSpec{Kind: "laplace2d", N: 100}, Tol: 1e-10}
+	const burst = 12
+	var wg sync.WaitGroup
+	codes := make(chan int, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := postJSON(t, srv.URL+"/solve", slow)
+			defer resp.Body.Close()
+			codes <- resp.StatusCode
+		}()
+	}
+	wg.Wait()
+	close(codes)
+
+	overloaded := 0
+	for code := range codes {
+		if code == http.StatusTooManyRequests {
+			overloaded++
+		} else if code != http.StatusOK {
+			t.Fatalf("unexpected status %d", code)
+		}
+	}
+	if overloaded == 0 {
+		t.Fatal("no 429 from a 12-job burst against workers=1 queue=1")
+	}
+}

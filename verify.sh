@@ -30,13 +30,15 @@ go test ./...
 echo "== fuzz seed replay (checksum) =="
 go test -run Fuzz -fuzz='^$' ./internal/checksum/...
 
-echo "== go test -race (par, core) =="
-go test -race ./internal/par/... ./internal/core/...
+echo "== go test -race (par, core, service) =="
+go test -race ./internal/par/... ./internal/core/... ./internal/service/...
 
-echo "== coverage gate (fault, checksum, accuracy >= 80%) =="
-# The packages that decide whether a fault is caught must themselves be
-# thoroughly exercised; docs/testing.md records the baseline figures.
-go test -cover ./internal/fault/ ./internal/checksum/ ./internal/accuracy/ |
+echo "== coverage gate (fault, checksum, accuracy, service >= 80%) =="
+# The packages that decide whether a fault is caught — and the service
+# layer that promises retry-to-convergence and server-side verification —
+# must themselves be thoroughly exercised; docs/testing.md records the
+# baseline figures.
+go test -cover ./internal/fault/ ./internal/checksum/ ./internal/accuracy/ ./internal/service/ |
 	awk '
 		{ print }
 		/coverage:/ {
