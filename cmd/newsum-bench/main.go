@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"newsum/internal/accuracy"
 	"newsum/internal/bench"
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table3|table4|table5|fig5|fig6|fig7|fig8|fig9|fig10|par|accuracy|serve|all")
+		exp     = flag.String("exp", "all", "experiment: table3|table4|table5|fig5|fig6|fig7|fig8|fig9|fig10|par|accuracy|serve|kernels|all")
 		n       = flag.Int("n", 40000, "target matrix order for empirical experiments")
 		blocks  = flag.Int("blocks", 16, "block-Jacobi block count (stand-in for MPI ranks)")
 		repeats = flag.Int("repeats", 3, "timing repetitions (median reported)")
@@ -252,8 +253,30 @@ func run(exp string, n, blocks, repeats int, seed int64, csvDir string) error {
 		}
 		fmt.Fprintln(os.Stdout)
 	}
+	if all || exp == "kernels" {
+		// Shared-memory kernel sweep: workers × n × kernel over the
+		// internal/kernel layer, with an in-benchmark bitwise check that
+		// every parallel result reproduces the serial bits (the
+		// determinism contract). Sizes straddle the pool's serial
+		// cutover so the table shows both regimes.
+		nsides := []int{10, 17, 24}
+		workers := []int{1, 2, 4, 8}
+		pts := bench.KernelsSweep(nsides, workers, 10*repeats)
+		if err := bench.VerifyKernelsBitwise(pts); err != nil {
+			return err
+		}
+		title := fmt.Sprintf("Kernels: deterministic shared-memory sweep on 3D Laplacians (GOMAXPROCS=%d; bitwise column is checked, not assumed)",
+			runtime.GOMAXPROCS(0))
+		if err := bench.WriteKernelsTable(out, title, pts); err != nil {
+			return err
+		}
+		if err := writeCSV("kernels.csv", func(f *os.File) error { return bench.WriteKernelsCSV(f, pts) }); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stdout)
+	}
 	switch exp {
-	case "all", "table3", "table4", "table5", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "par", "accuracy", "serve":
+	case "all", "table3", "table4", "table5", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "par", "accuracy", "serve", "kernels":
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)

@@ -30,6 +30,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "solve workers (0 = default 4)")
+	kernelWorkers := flag.Int("kernel-workers", 0, "shared-memory kernel threads per solve worker (0 = GOMAXPROCS/workers, min 1)")
 	queue := flag.Int("queue", 0, "admission queue depth (0 = default 64)")
 	cacheSize := flag.Int("cache-size", 0, "encoding cache entries (0 = default 16, negative disables)")
 	retries := flag.Int("retries", 0, "max automatic retries per job (0 = default 2, negative disables)")
@@ -40,6 +41,7 @@ func main() {
 
 	svc := service.New(service.Config{
 		Workers:        *workers,
+		KernelWorkers:  *kernelWorkers,
 		QueueDepth:     *queue,
 		CacheSize:      *cacheSize,
 		MaxRetries:     *retries,

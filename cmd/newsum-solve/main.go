@@ -20,6 +20,7 @@ import (
 
 	"newsum/internal/core"
 	"newsum/internal/fault"
+	"newsum/internal/kernel"
 	"newsum/internal/mmio"
 	"newsum/internal/par"
 	"newsum/internal/precond"
@@ -102,13 +103,14 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generator/injector seed")
 		trace   = flag.Bool("trace", false, "print the fault-tolerance event timeline")
 		ranks   = flag.Int("ranks", 0, "run the distributed engine over this many goroutine ranks (0 = serial)")
+		workers = flag.Int("workers", 1, "shared-memory kernel threads for the serial engine (bitwise-identical at any count)")
 		topoN   = flag.String("topo", "tree", "collective topology for -ranks: tree|linear")
 		injects injectList
 	)
 	flag.Var(&injects, "inject", "inject an error: iter:site:kind[:count], site mvm|vlo|pco|checksum|checkpoint, kind arith|mem|cache[-bit] (repeatable)")
 	flag.Parse()
 
-	if err := run(*matrix, *n, *solverN, *scheme, *precN, *blocks, *tol, *maxIter, *dIntv, *cdIntv, *seed, *trace, *ranks, *topoN, injects); err != nil {
+	if err := run(*matrix, *n, *solverN, *scheme, *precN, *blocks, *tol, *maxIter, *dIntv, *cdIntv, *seed, *trace, *ranks, *topoN, *workers, injects); err != nil {
 		fmt.Fprintln(os.Stderr, "newsum-solve:", err)
 		os.Exit(1)
 	}
@@ -164,7 +166,7 @@ func buildPrecond(kind string, a *sparse.CSR, blocks int) (precond.Preconditione
 	}
 }
 
-func run(matrix string, n int, solverN, scheme, precN string, blocks int, tol float64, maxIter, d, cd int, seed int64, trace bool, ranks int, topoN string, injects injectList) error {
+func run(matrix string, n int, solverN, scheme, precN string, blocks int, tol float64, maxIter, d, cd int, seed int64, trace bool, ranks int, topoN string, workers int, injects injectList) error {
 	a, err := buildMatrix(matrix, n, seed)
 	if err != nil {
 		return err
@@ -194,12 +196,15 @@ func run(matrix string, n int, solverN, scheme, precN string, blocks int, tol fl
 	if trace {
 		tr = &core.Trace{}
 	}
+	pool := kernel.NewPool(workers)
+	defer pool.Close()
 	opts := core.Options{
 		Options:            solver.Options{Tol: tol, MaxIter: maxIter},
 		DetectInterval:     d,
 		CheckpointInterval: cd,
 		Injector:           inj,
 		Trace:              tr,
+		Pool:               pool,
 	}
 
 	var res core.Result

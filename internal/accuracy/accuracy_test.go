@@ -68,6 +68,33 @@ func TestNoFalsePositivesAtDefaultTheta(t *testing.T) {
 	}
 }
 
+// The blocked pairwise reductions cut the accumulation round-off from
+// O(n·ε) to O((block + log n)·ε), and the carried η bounds now track that
+// tighter depth (checksum.ReduceEps). The re-baselined near-τ contract:
+// the sweep stays alarm-free three decades below the default θ = 1e-10.
+// Before the rewrite this margin was unavailable — the naive-accumulation
+// η at the campaign's n would swamp a 1e-13 threshold, making any tighter
+// θ indistinguishable from round-off.
+func TestNoFalsePositivesAtTightenedTheta(t *testing.T) {
+	cfg := Config{Thetas: []float64{1e-12, 1e-13}}
+	points, err := FalsePositiveSweep(cfg)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if len(points) != 12 { // 3 solvers × 2 engines × 2 θ
+		t.Fatalf("sweep produced %d points, want 12", len(points))
+	}
+	for _, p := range points {
+		if p.FalsePositive() {
+			t.Errorf("%s/%s θ=%g: %d false alarms on a fault-free run",
+				p.Engine, p.Solver, p.Theta, p.Detections)
+		}
+		if p.Iterations == 0 {
+			t.Errorf("%s/%s θ=%g: run made no progress", p.Engine, p.Solver, p.Theta)
+		}
+	}
+}
+
 // Detection latency for above-threshold strikes is bounded by one
 // checkpoint window: huge flips trip the recurrence-scalar guard at the
 // strike iteration itself, moderate ones surface through checksum

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+	"time"
+
+	"newsum/internal/checksum"
+	"newsum/internal/kernel"
+	"newsum/internal/sparse"
+)
+
+// The kernels experiment: workers × n × kernel sweep over the
+// internal/kernel shared-memory layer, measuring wall time against the
+// serial baseline and verifying — inside the benchmark itself — that every
+// parallel result is bitwise-identical to the serial one (the determinism
+// contract the ABFT checksum comparison depends on). Speedups are real
+// thread-level parallelism: on a single-core machine expect ≈1× with a
+// small scheduling overhead, never different bits.
+
+// KernelPoint is one (kernel, n, workers) measurement.
+type KernelPoint struct {
+	Kernel  string
+	N       int
+	NNZ     int
+	Workers int
+	Reps    int
+	Seconds float64 // total for Reps repetitions
+	Serial  float64 // serial seconds for the same Reps
+	Speedup float64
+	Bitwise bool // parallel result identical to serial, bit for bit
+}
+
+// kernelCase is one benchmarked kernel: run executes one repetition on
+// the pool and returns a result fingerprint (a value or a checksum over
+// an output vector) used for the bitwise comparison against serial.
+type kernelCase struct {
+	name string
+	run  func(p *kernel.Pool) uint64
+}
+
+// fingerprint folds a float64 slice into a 64-bit FNV-1a over the raw
+// bit patterns, so any single-bit divergence flips the fingerprint.
+func fingerprint(xs []float64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, x := range xs {
+		b := math.Float64bits(x)
+		for s := 0; s < 64; s += 8 {
+			h ^= (b >> s) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// kernelCases builds the benchmark set for one operator size: SpMV, Dot,
+// fused SpMV+Dot (the PCG hot pair), axpy and norm2 over the 3D Laplacian.
+func kernelCases(a *sparse.CSR, x, y, z []float64) []kernelCase {
+	n := a.Rows
+	enc := checksum.EncodeMatrix(a, checksum.Single, checksum.PracticalD(a))
+	su := checksum.Checksums(x, checksum.Single)
+	eta := make([]float64, 1)
+	sOut := make([]float64, 1)
+	etaOut := make([]float64, 1)
+	return []kernelCase{
+		{name: "spmv", run: func(p *kernel.Pool) uint64 {
+			p.MulVec(a, y, x)
+			return fingerprint(y[:min(n, 1024)])
+		}},
+		{name: "dot", run: func(p *kernel.Pool) uint64 {
+			return math.Float64bits(p.Dot(x, z))
+		}},
+		{name: "spmv+dot", run: func(p *kernel.Pool) uint64 {
+			// The PCG inner step: q := A·p, then pᵀq, plus the Eq. (2)
+			// checksum update — the single hottest sequence in the repo.
+			p.MulVec(a, y, x)
+			p.UpdateMVMBound(enc, sOut, etaOut, x, su, eta)
+			return math.Float64bits(p.Dot(x, y)) ^ math.Float64bits(sOut[0])
+		}},
+		{name: "axpby", run: func(p *kernel.Pool) uint64 {
+			// Overwriting form (dst = αx + βz) so repetitions are
+			// stateless and serial/parallel fingerprints comparable.
+			p.Axpby(y, 1e-9, x, 0.5, z)
+			return math.Float64bits(y[n/2])
+		}},
+		{name: "norm2", run: func(p *kernel.Pool) uint64 {
+			return math.Float64bits(p.Norm2(x))
+		}},
+	}
+}
+
+// MeasureKernels sweeps kernel × workers at one operator size nside³
+// (3D Laplacian) and returns one point per combination, including the
+// workers=1 serial baselines.
+func MeasureKernels(nside int, workerCounts []int, reps int) []KernelPoint {
+	a := sparse.Laplacian3D(nside, nside, nside)
+	n := a.Rows
+	x := make([]float64, n)
+	z := make([]float64, n)
+	for i := range x {
+		x[i] = 1 + float64(i%13)/13
+		z[i] = 1 - float64(i%7)/14
+	}
+	y := make([]float64, n)
+
+	var points []KernelPoint
+	for _, kc := range kernelCases(a, x, y, z) {
+		// Serial reference: timing baseline and bitwise fingerprint.
+		var serialFP uint64
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			serialFP = kc.run(nil)
+		}
+		serialSec := time.Since(start).Seconds()
+
+		for _, workers := range workerCounts {
+			if workers <= 1 {
+				points = append(points, KernelPoint{
+					Kernel: kc.name, N: n, NNZ: a.NNZ(), Workers: 1, Reps: reps,
+					Seconds: serialSec, Serial: serialSec, Speedup: 1, Bitwise: true,
+				})
+				continue
+			}
+			p := kernel.NewPool(workers)
+			var fp uint64
+			start := time.Now()
+			for r := 0; r < reps; r++ {
+				fp = kc.run(p)
+			}
+			sec := time.Since(start).Seconds()
+			p.Close()
+			pt := KernelPoint{
+				Kernel: kc.name, N: n, NNZ: a.NNZ(), Workers: workers, Reps: reps,
+				Seconds: sec, Serial: serialSec, Bitwise: fp == serialFP,
+			}
+			if sec > 0 {
+				pt.Speedup = serialSec / sec
+			}
+			points = append(points, pt)
+		}
+	}
+	return points
+}
+
+// KernelsSweep runs MeasureKernels for every operator size.
+func KernelsSweep(nsides, workerCounts []int, reps int) []KernelPoint {
+	var points []KernelPoint
+	for _, ns := range nsides {
+		points = append(points, MeasureKernels(ns, workerCounts, reps)...)
+	}
+	return points
+}
+
+// VerifyKernelsBitwise reports an error naming the first sweep point
+// whose parallel result diverged from serial — the hard failure mode the
+// determinism contract forbids.
+func VerifyKernelsBitwise(points []KernelPoint) error {
+	for _, p := range points {
+		if !p.Bitwise {
+			return fmt.Errorf("bench: kernel %s n=%d workers=%d diverged from serial bits",
+				p.Kernel, p.N, p.Workers)
+		}
+	}
+	return nil
+}
+
+// WriteKernelsTable renders the sweep in the standard report format.
+func WriteKernelsTable(out io.Writer, title string, points []KernelPoint) error {
+	var s sink
+	s.println(out, title)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	s.println(tw, "kernel\tn\tnnz\tworkers\treps\ttime(s)\tserial(s)\tspeedup\tbitwise")
+	for _, p := range points {
+		s.printf(tw, "%s\t%d\t%d\t%d\t%d\t%.4f\t%.4f\t%.2f\t%s\n",
+			p.Kernel, p.N, p.NNZ, p.Workers, p.Reps, p.Seconds, p.Serial, p.Speedup, yesNo(p.Bitwise))
+	}
+	s.flush(tw)
+	return s.err
+}
+
+// WriteKernelsCSV emits the sweep as CSV with one row per point.
+func WriteKernelsCSV(w io.Writer, points []KernelPoint) error {
+	var s sink
+	s.println(w, "kernel,n,nnz,workers,reps,seconds,serial_seconds,speedup,bitwise")
+	for _, p := range points {
+		s.printf(w, "%s,%d,%d,%d,%d,%.6f,%.6f,%.4f,%s\n",
+			p.Kernel, p.N, p.NNZ, p.Workers, p.Reps, p.Seconds, p.Serial, p.Speedup, yesNo(p.Bitwise))
+	}
+	return s.err
+}

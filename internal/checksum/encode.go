@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"newsum/internal/sparse"
+	"newsum/internal/vec"
 )
 
 // Matrix holds the new-sum encoding of a square matrix A for a set of
@@ -69,11 +70,7 @@ func (m *Matrix) UpdateMVM(dst []float64, u []float64, su []float64) {
 		panic("checksum: checksum slot mismatch in UpdateMVM")
 	}
 	for k, row := range m.Rows {
-		var s float64
-		for i, v := range u {
-			s += row[i] * v
-		}
-		dst[k] = s + m.D*su[k]
+		dst[k] = vec.Dot(row, u) + m.D*su[k]
 	}
 }
 
@@ -90,11 +87,7 @@ func (m *Matrix) UpdatePCO(dst []float64, w []float64, su []float64) {
 		panic("checksum: checksum slot mismatch in UpdatePCO")
 	}
 	for k, row := range m.Rows {
-		var s float64
-		for i, v := range w {
-			s += row[i] * v
-		}
-		dst[k] = (su[k] - s) / m.D
+		dst[k] = (su[k] - vec.Dot(row, w)) / m.D
 	}
 }
 
@@ -135,15 +128,35 @@ const Eps = 2.220446049250313e-16
 
 // The Bound variants of the update rules additionally propagate a
 // first-order round-off bound η for each checksum, following the standard
-// model |fl(Σaᵢ) − Σaᵢ| ≤ n·ε·Σ|aᵢ|. The decoupling scalar d amplifies the
-// update's round-off (the d·cᵀu terms cancel analytically but not in
-// floating point), so a fixed θ threshold misfires once n·ε·d approaches θ;
-// verifying against max(θ·scale, K·η) keeps detection sound at any n and d.
-// This running-bound machinery is an extension over the paper's fixed
+// model |fl(Σaᵢ) − Σaᵢ| ≤ depth·ε·Σ|aᵢ| where depth is the length of the
+// longest accumulation chain. With vec's fixed-block pairwise reductions
+// the chain is Block + ⌈log₂ blocks⌉ rather than n, so the η band — and
+// with it the near-τ false-positive zone — stops growing linearly in n.
+// The decoupling scalar d amplifies the update's round-off (the d·cᵀu
+// terms cancel analytically but not in floating point), so a fixed θ
+// threshold misfires once depth·ε·d approaches θ; verifying against
+// max(θ·scale, K·η) keeps detection sound at any n and d. This
+// running-bound machinery is an extension over the paper's fixed
 // θ = 1e-10 rule (see DESIGN.md §2).
 
+// ReduceEps returns depth·ε for a length-n blocked pairwise reduction:
+// depth = Block + ⌈log₂ Blocks(n)⌉ + 2 (the naive chain inside a leaf
+// block, the pairwise tree above it, one rounding for the elementwise
+// product, and one slack level), capped at n so the bound never exceeds
+// the classical naive-summation bound at small n.
+func ReduceEps(n int) float64 {
+	depth := vec.Block + 2
+	for b := vec.Blocks(n); b > 1; b = (b + 1) / 2 {
+		depth++
+	}
+	if depth > n {
+		depth = n
+	}
+	return float64(depth) * Eps
+}
+
 // UpdateMVMBound is UpdateMVM plus η propagation:
-// η_out = |d|·η_in + n·ε·(Σ|row_i·u_i| + |d·su|).
+// η_out = |d|·η_in + depth·ε·(Σ|row_i·u_i| + |d·su|).
 func (m *Matrix) UpdateMVMBound(dst, etaDst []float64, u []float64, su, etaSrc []float64) {
 	if len(u) != m.N {
 		panic("checksum: vector length mismatch in UpdateMVMBound")
@@ -152,21 +165,39 @@ func (m *Matrix) UpdateMVMBound(dst, etaDst []float64, u []float64, su, etaSrc [
 		len(etaDst) != len(m.Weights) || len(etaSrc) != len(m.Weights) {
 		panic("checksum: checksum slot mismatch in UpdateMVMBound")
 	}
-	nEps := float64(m.N) * Eps
 	for k, row := range m.Rows {
-		var s, abs float64
-		for i, v := range u {
-			t := row[i] * v
-			s += t
-			abs += math.Abs(t)
-		}
-		dst[k] = s + m.D*su[k]
-		etaDst[k] = math.Abs(m.D)*etaSrc[k] + nEps*(abs+math.Abs(m.D*su[k]))
+		s, abs := vec.DotAbs(row, u)
+		m.foldMVMBound(k, dst, etaDst, s, abs, su, etaSrc)
+	}
+}
+
+// foldMVMBound folds one weight's precomputed row reduction (s, abs) =
+// (Rows[k]·u, Σ|Rows[k]_i·u_i|) into the Eq. (2) update and its η bound.
+// The accumulation-depth term uses the blocked pairwise bound
+// (Block + ⌈log₂ blocks⌉)·ε rather than n·ε: vec's reductions guarantee it.
+func (m *Matrix) foldMVMBound(k int, dst, etaDst []float64, s, abs float64, su, etaSrc []float64) {
+	dst[k] = s + m.D*su[k]
+	etaDst[k] = math.Abs(m.D)*etaSrc[k] + ReduceEps(m.N)*(abs+math.Abs(m.D*su[k]))
+}
+
+// UpdateMVMBoundFrom is UpdateMVMBound with the O(n) row reductions already
+// in hand — rowSum[k] and rowAbs[k] must be exactly vec.DotAbs(Rows[k], u).
+// internal/kernel computes them with its worker pool (bitwise-identical to
+// the serial reduction by the vec block-tree contract) and feeds them
+// through the same bound formulas here.
+func (m *Matrix) UpdateMVMBoundFrom(dst, etaDst, rowSum, rowAbs, su, etaSrc []float64) {
+	if len(dst) != len(m.Weights) || len(su) != len(m.Weights) ||
+		len(etaDst) != len(m.Weights) || len(etaSrc) != len(m.Weights) ||
+		len(rowSum) != len(m.Weights) || len(rowAbs) != len(m.Weights) {
+		panic("checksum: checksum slot mismatch in UpdateMVMBoundFrom")
+	}
+	for k := range m.Rows {
+		m.foldMVMBound(k, dst, etaDst, rowSum[k], rowAbs[k], su, etaSrc)
 	}
 }
 
 // UpdatePCOBound is UpdatePCO plus η propagation:
-// η_out = (η_in + n·ε·(Σ|row_i·w_i| + |su|)) / |d|.
+// η_out = (η_in + depth·ε·(Σ|row_i·w_i| + |su|)) / |d|.
 func (m *Matrix) UpdatePCOBound(dst, etaDst []float64, w []float64, su, etaSrc []float64) {
 	if len(w) != m.N {
 		panic("checksum: vector length mismatch in UpdatePCOBound")
@@ -175,16 +206,29 @@ func (m *Matrix) UpdatePCOBound(dst, etaDst []float64, w []float64, su, etaSrc [
 		len(etaDst) != len(m.Weights) || len(etaSrc) != len(m.Weights) {
 		panic("checksum: checksum slot mismatch in UpdatePCOBound")
 	}
-	nEps := float64(m.N) * Eps
 	for k, row := range m.Rows {
-		var s, abs float64
-		for i, v := range w {
-			t := row[i] * v
-			s += t
-			abs += math.Abs(t)
-		}
-		dst[k] = (su[k] - s) / m.D
-		etaDst[k] = (etaSrc[k] + nEps*(abs+math.Abs(su[k]))) / math.Abs(m.D)
+		s, abs := vec.DotAbs(row, w)
+		m.foldPCOBound(k, dst, etaDst, s, abs, su, etaSrc)
+	}
+}
+
+// foldPCOBound folds one weight's precomputed row reduction into the
+// Eq. (4) update and its η bound.
+func (m *Matrix) foldPCOBound(k int, dst, etaDst []float64, s, abs float64, su, etaSrc []float64) {
+	dst[k] = (su[k] - s) / m.D
+	etaDst[k] = (etaSrc[k] + ReduceEps(m.N)*(abs+math.Abs(su[k]))) / math.Abs(m.D)
+}
+
+// UpdatePCOBoundFrom is UpdatePCOBound with the row reductions precomputed;
+// rowSum[k] and rowAbs[k] must be exactly vec.DotAbs(Rows[k], w).
+func (m *Matrix) UpdatePCOBoundFrom(dst, etaDst, rowSum, rowAbs, su, etaSrc []float64) {
+	if len(dst) != len(m.Weights) || len(su) != len(m.Weights) ||
+		len(etaDst) != len(m.Weights) || len(etaSrc) != len(m.Weights) ||
+		len(rowSum) != len(m.Weights) || len(rowAbs) != len(m.Weights) {
+		panic("checksum: checksum slot mismatch in UpdatePCOBoundFrom")
+	}
+	for k := range m.Rows {
+		m.foldPCOBound(k, dst, etaDst, rowSum[k], rowAbs[k], su, etaSrc)
 	}
 }
 

@@ -1,6 +1,9 @@
 package checksum
 
-import "newsum/internal/sparse"
+import (
+	"newsum/internal/sparse"
+	"newsum/internal/vec"
+)
 
 // Traditional is the Huang–Abraham column-checksum encoding (§2): the matrix
 // is augmented with the row cᵀA, so an encoded MVM computes
@@ -46,11 +49,7 @@ func (t *Traditional) ExpectedMVM(dst []float64, x []float64) {
 		panic("checksum: checksum slot mismatch in ExpectedMVM")
 	}
 	for k, row := range t.Rows {
-		var s float64
-		for i, v := range x {
-			s += row[i] * v
-		}
-		dst[k] = s
+		dst[k] = vec.Dot(row, x)
 	}
 }
 

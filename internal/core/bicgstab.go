@@ -59,12 +59,12 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 	shat := e.newTracked("shat")
 	bT := e.wrap("b", b)
 
-	a.MulVec(r.data, x.data)
+	e.mulVec(r.data, x.data)
 	vec.Sub(r.data, bT.data, r.data)
 	e.recompute(r)
 	rhat := vec.Clone(r.data) // shadow residual, fixed for the whole solve
 
-	normB := vec.Norm2(b)
+	normB := e.norm2(b)
 	if normB <= 0 {
 		normB = 1
 	}
@@ -78,7 +78,7 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 	}
 
 	res.X = x.data
-	relres := vec.Norm2(r.data) / normB
+	relres := e.norm2(r.data) / normB
 	if relres <= tolRes {
 		res.Converged = true
 		res.Residual = relres
@@ -117,7 +117,7 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 			return iter, false
 		}
 		rhoPrev, alpha, omega = scal["rhoPrev"], scal["alpha"], scal["omega"]
-		a.MulVec(r.data, x.data)
+		e.mulVec(r.data, x.data)
 		vec.Sub(r.data, bT.data, r.data)
 		e.recompute(r)
 		res.Stats.RecoveryMVMs++
@@ -127,7 +127,7 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 				return iter, false
 			}
 			e.recompute(phat)
-			a.MulVec(v.data, phat.data)
+			e.mulVec(v.data, phat.data)
 			e.recompute(v)
 			res.Stats.RecoveryMVMs++
 		}
@@ -176,7 +176,7 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 			saveCheckpoint(i)
 		}
 
-		rho := vec.Dot(rhat, r.data)
+		rho := e.dot(rhat, r.data)
 		if suspectScalar(rho) {
 			res.Stats.Detections++
 			opts.Trace.add(i, EvDetection, "suspect recurrence scalar ρ = %g", rho)
@@ -223,7 +223,7 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 			}
 			continue
 		}
-		rhatV := vec.Dot(rhat, v.data)
+		rhatV := e.dot(rhat, v.data)
 		if suspectScalar(rhatV) {
 			res.Stats.Detections++
 			opts.Trace.add(i, EvDetection, "suspect recurrence scalar r̂ᵀv = %g", rhatV)
@@ -241,7 +241,7 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 		alpha = rho / rhatV
 		e.axpbyInto(i, s, 1, r, -alpha, v)
 
-		if rel := vec.Norm2(s.data) / normB; rel <= tolRes {
+		if rel := e.norm2(s.data) / normB; rel <= tolRes {
 			e.axpy(i, x, alpha, phat)
 			i++
 			res.Iterations = i
@@ -284,7 +284,7 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 			}
 			continue
 		}
-		tt := vec.Dot(t.data, t.data)
+		tt := e.dot(t.data, t.data)
 		if suspectScalar(tt) {
 			res.Stats.Detections++
 			opts.Trace.add(i, EvDetection, "suspect recurrence scalar tᵀt = %g", tt)
@@ -298,7 +298,7 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 			res.Residual = relres
 			return res, breakdownErr("PBiCGSTAB", scheme, i, "tᵀt = 0")
 		}
-		omega = vec.Dot(t.data, s.data) / tt
+		omega = e.dot(t.data, s.data) / tt
 		//lint:ignore floatcmp exact zero guards the division below, not a detection decision
 		if omega == 0 {
 			res.Residual = relres
@@ -318,7 +318,7 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 		i++
 		res.Iterations = i
 
-		relres = vec.Norm2(r.data) / normB
+		relres = e.norm2(r.data) / normB
 		if opts.RecordResiduals {
 			res.History = append(res.History, relres)
 		}

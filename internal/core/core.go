@@ -19,6 +19,7 @@ import (
 
 	"newsum/internal/checksum"
 	"newsum/internal/fault"
+	"newsum/internal/kernel"
 	"newsum/internal/solver"
 	"newsum/internal/sparse"
 )
@@ -164,6 +165,14 @@ type Options struct {
 	// derived from the same matrix A that is being solved; the caller (e.g.
 	// the internal/service encoding cache) is responsible for that identity.
 	Encoding *checksum.Encoding
+	// Pool, when non-nil, runs the solve's hot loops — SpMV, the blocked
+	// pairwise reductions and the fused VLO/checksum updates — on a
+	// shared-memory worker pool. Results are bitwise-identical to the
+	// serial solve at any worker count (the kernel determinism contract),
+	// so enabling a pool never changes iterates, detections or rollbacks.
+	// The pool's scratch is reused across calls: one concurrent solve per
+	// pool. nil runs serially.
+	Pool *kernel.Pool
 	// Ctx, when non-nil, is polled at every iteration boundary: a canceled
 	// or expired context aborts the solve with an error wrapping ctx.Err().
 	// This is the only way a caller can stop a diverging or fault-storming

@@ -36,15 +36,15 @@ func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 	ap := e.newTracked("ap")
 	bT := e.wrap("b", b)
 
-	a.MulVec(r.data, x.data)
+	e.mulVec(r.data, x.data)
 	vec.Sub(r.data, bT.data, r.data)
 	e.recompute(r)
 	copyTracked(p, r)
-	a.MulVec(ar.data, r.data)
+	e.mulVec(ar.data, r.data)
 	e.recompute(ar)
 	copyTracked(ap, ar)
 
-	normB := vec.Norm2(b)
+	normB := e.norm2(b)
 	if normB <= 0 {
 		normB = 1
 	}
@@ -58,13 +58,13 @@ func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 	}
 
 	res.X = x.data
-	relres := vec.Norm2(r.data) / normB
+	relres := e.norm2(r.data) / normB
 	if relres <= tolRes {
 		res.Converged = true
 		res.Residual = relres
 		return res, nil
 	}
-	rAr := vec.Dot(r.data, ar.data)
+	rAr := e.dot(r.data, ar.data)
 
 	var store checkpoint.Store
 	d, cd := opts.DetectInterval, opts.CheckpointInterval
@@ -82,12 +82,12 @@ func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 			return iter, false
 		}
 		rAr = scal["rAr"]
-		a.MulVec(r.data, x.data)
+		e.mulVec(r.data, x.data)
 		vec.Sub(r.data, bT.data, r.data)
 		e.recompute(r)
-		a.MulVec(ar.data, r.data)
+		e.mulVec(ar.data, r.data)
 		e.recompute(ar)
-		a.MulVec(ap.data, p.data)
+		e.mulVec(ap.data, p.data)
 		e.recompute(ap)
 		res.Stats.RecoveryMVMs += 3
 		res.Stats.WastedIterations += iter - snapIter
@@ -142,7 +142,7 @@ func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 			e.corruptCheckpoint(i, &store)
 		}
 
-		apap := vec.Dot(ap.data, ap.data)
+		apap := e.dot(ap.data, ap.data)
 		if suspectScalar(apap) || suspectScalar(rAr) {
 			res.Stats.Detections++
 			opts.Trace.add(i, EvDetection, "suspect recurrence scalar ApᵀAp = %g or rᵀAr = %g", apap, rAr)
@@ -170,7 +170,7 @@ func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 		i++
 		res.Iterations = i
 
-		relres = vec.Norm2(r.data) / normB
+		relres = e.norm2(r.data) / normB
 		if opts.RecordResiduals {
 			res.History = append(res.History, relres)
 		}
@@ -187,7 +187,7 @@ func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 		}
 
 		e.mvm(i-1, ar, r)
-		rArNew := vec.Dot(r.data, ar.data)
+		rArNew := e.dot(r.data, ar.data)
 		beta := rArNew / rAr
 		e.xpby(i-1, p, r, beta, p)
 		e.xpby(i-1, ap, ar, beta, ap)

@@ -8,9 +8,9 @@ import (
 	"newsum/internal/checkpoint"
 	"newsum/internal/checksum"
 	"newsum/internal/fault"
+	"newsum/internal/kernel"
 	"newsum/internal/precond"
 	"newsum/internal/sparse"
-	"newsum/internal/vec"
 )
 
 // tracked pairs a vector with its carried checksum slots (one per weight),
@@ -39,6 +39,11 @@ type engine struct {
 	tol     checksum.Tol
 	inj     *fault.Injector
 	stats   *Stats
+
+	// pool runs the hot loops on shared-memory workers; nil is the serial
+	// pool (every kernel method falls through to the single-threaded
+	// implementation, bitwise-identically).
+	pool *kernel.Pool
 
 	// eager enables per-operation output verification (the paper's eager
 	// detection mode); flagged latches a failed eager check until the
@@ -103,6 +108,7 @@ func newEngine(a *sparse.CSR, m precond.Preconditioner, weights []checksum.Weigh
 		tol:     checksum.Tol{Theta: opts.Theta},
 		inj:     opts.Injector,
 		stats:   stats,
+		pool:    opts.Pool,
 		eager:   opts.EagerDetection,
 	}
 	if opts.Encoding != nil && opts.Encoding.N == a.Rows {
@@ -153,20 +159,24 @@ func (e *engine) recompute(v *tracked) {
 	for k := range e.weights {
 		sum, absSum := e.sums(v, k)
 		v.s[k] = sum
-		v.eta[k] = float64(e.n) * checksum.Eps * absSum
+		v.eta[k] = checksum.ReduceEps(e.n) * absSum
 	}
 }
 
-// sums returns cᵀv and Σ|c_i·v_i| for weight k in one pass.
+// sums returns cᵀv and Σ|c_i·v_i| for weight k in one blocked pairwise
+// pass on the pool.
 func (e *engine) sums(v *tracked, k int) (sum, absSum float64) {
-	w := e.weights[k]
-	for i, val := range v.data {
-		t := w.At(i) * val
-		sum += t
-		absSum += math.Abs(t)
-	}
-	return sum, absSum
+	return e.pool.WeightedSumAbs(v.data, e.weights[k].At)
 }
+
+// dot, norm2 and mulVec route the solver loops' reductions and SpMVs
+// through the pool; with a nil pool they are exactly vec.Dot, vec.Norm2
+// and a.MulVec.
+func (e *engine) dot(u, v []float64) float64 { return e.pool.Dot(u, v) }
+
+func (e *engine) norm2(u []float64) float64 { return e.pool.Norm2(u) }
+
+func (e *engine) mulVec(y, x []float64) { e.pool.MulVec(e.a, y, x) }
 
 // verify checks v's first checksum relationship — the outer-level
 // verification of Algorithm 1 line 6 (one weighted sum, O(n)).
@@ -200,7 +210,7 @@ func (e *engine) verify(v *tracked) bool {
 		return false
 	}
 	v.s[0] = sum
-	v.eta[0] = float64(e.n) * checksum.Eps * absSum
+	v.eta[0] = checksum.ReduceEps(e.n) * absSum
 	return true
 }
 
@@ -222,12 +232,12 @@ func (e *engine) mvm(iter int, dst, src *tracked) {
 		restore()
 		e.a.MulVecStride(dst.data, src.data, 1, 2)
 	} else {
-		e.a.MulVec(dst.data, src.data)
+		e.pool.MulVec(e.a, dst.data, src.data)
 	}
 	e.inj.InjectOutput(iter, fault.SiteMVM, dst.data)
 	// The update runs after the operation (and after any fault), reading
 	// src from memory — the ordering Lemma 2's proof analyses.
-	e.encA.UpdateMVMBound(dst.s, dst.eta, src.data, src.s, src.eta)
+	e.pool.UpdateMVMBound(e.encA, dst.s, dst.eta, src.data, src.s, src.eta)
 	e.stats.ChecksumUpdates++
 	// A flip in the checksum accumulator itself (ModelChecksum): the data
 	// stays clean, the carried relationship breaks, and the inconsistency
@@ -291,9 +301,9 @@ func (e *engine) pco(iter int, dst, src *tracked) error {
 		}
 		switch st.Op {
 		case precond.StageSolve:
-			e.encStg[k].UpdatePCOBound(outS, outEta, out, inS, inEta)
+			e.pool.UpdatePCOBound(e.encStg[k], outS, outEta, out, inS, inEta)
 		case precond.StageMul:
-			e.encStg[k].UpdateMVMBound(outS, outEta, in, inS, inEta)
+			e.pool.UpdateMVMBound(e.encStg[k], outS, outEta, in, inS, inEta)
 		}
 		e.stats.ChecksumUpdates++
 		in, inS, inEta = out, outS, outEta
@@ -313,7 +323,7 @@ func (e *engine) pco(iter int, dst, src *tracked) error {
 func (e *engine) axpy(iter int, y *tracked, alpha float64, x *tracked) {
 	e.inj.InjectMemory(iter, fault.SiteVLO, x.data)
 	restore := e.inj.CacheWindow(iter, fault.SiteVLO, x.data)
-	vec.Axpy(y.data, alpha, x.data)
+	e.pool.Axpy(y.data, alpha, x.data)
 	if restore != nil {
 		restore()
 	}
@@ -325,8 +335,7 @@ func (e *engine) axpy(iter int, y *tracked, alpha float64, x *tracked) {
 
 // xpby computes dst := x + beta·y (dst may alias y) with checksum update.
 func (e *engine) xpby(iter int, dst, x *tracked, beta float64, y *tracked) {
-	vec.Xpby(dst.data, x.data, beta, y.data)
-	checksum.UpdateVLOAxpbyBound(dst.s, dst.eta, 1, x.s, x.eta, beta, y.s, y.eta)
+	e.pool.XpbyVLO(dst.data, x.data, beta, y.data, dst.s, dst.eta, x.s, x.eta, y.s, y.eta)
 	e.stats.ChecksumUpdates++
 	e.inj.InjectOutput(iter, fault.SiteVLO, dst.data)
 	e.eagerCheck(dst)
@@ -334,8 +343,7 @@ func (e *engine) xpby(iter int, dst, x *tracked, beta float64, y *tracked) {
 
 // axpbyInto computes dst := alpha·x + beta·y with checksum update.
 func (e *engine) axpbyInto(iter int, dst *tracked, alpha float64, x *tracked, beta float64, y *tracked) {
-	vec.Axpby(dst.data, alpha, x.data, beta, y.data)
-	checksum.UpdateVLOAxpbyBound(dst.s, dst.eta, alpha, x.s, x.eta, beta, y.s, y.eta)
+	e.pool.AxpbyVLO(dst.data, alpha, x.data, beta, y.data, dst.s, dst.eta, x.s, x.eta, y.s, y.eta)
 	e.stats.ChecksumUpdates++
 	e.inj.InjectOutput(iter, fault.SiteVLO, dst.data)
 	e.eagerCheck(dst)
@@ -361,7 +369,7 @@ func (e *engine) takeFlag() bool {
 
 // scaleInto computes dst := alpha·src with the Eq. (3) scaling update.
 func (e *engine) scaleInto(iter int, dst *tracked, alpha float64, src *tracked) {
-	vec.Scale(dst.data, alpha, src.data)
+	e.pool.Scale(dst.data, alpha, src.data)
 	checksum.UpdateVLOScale(dst.s, alpha, src.s)
 	for k := range dst.eta {
 		dst.eta[k] = math.Abs(alpha)*src.eta[k] + 2*checksum.Eps*math.Abs(dst.s[k])
@@ -414,7 +422,7 @@ func (e *engine) innerCheckLazy(q, src *tracked) checksum.TripleDiagnosis {
 	d1 := sum1 - q.s[0]
 	if e.tol.ConsistentBound(d1, e.n, abs1, q.eta[0]) {
 		q.s[0] = sum1
-		q.eta[0] = float64(e.n) * checksum.Eps * abs1
+		q.eta[0] = checksum.ReduceEps(e.n) * abs1
 		return checksum.TripleDiagnosis{Kind: checksum.NoError}
 	}
 	e.stats.Detections++
@@ -427,17 +435,8 @@ func (e *engine) innerCheckLazy(q, src *tracked) checksum.TripleDiagnosis {
 	deltas := []float64{d1, 0, 0}
 	absSums := []float64{abs1, 0, 0}
 	for k, w := range e.encDiag.Weights {
-		row := e.encDiag.Rows[k]
-		var exp float64
-		for i, v := range src.data {
-			exp += row[i] * v
-		}
-		var sum, abs float64
-		for i, v := range q.data {
-			t := w.At(i) * v
-			sum += t
-			abs += math.Abs(t)
-		}
+		exp := e.pool.Dot(e.encDiag.Rows[k], src.data)
+		sum, abs := e.pool.WeightedSumAbs(q.data, w.At)
 		deltas[k+1] = sum - exp
 		absSums[k+1] = abs
 		e.stats.Verifications += 2
@@ -457,7 +456,7 @@ func (e *engine) innerCheckEager(q, src *tracked) checksum.TripleDiagnosis {
 	if e.tol.ConsistentBound(d1, e.n, abs1, q.eta[0]) {
 		// Refresh the probed checksum (see verify) so η stays anchored.
 		q.s[0] = sum1
-		q.eta[0] = float64(e.n) * checksum.Eps * abs1
+		q.eta[0] = checksum.ReduceEps(e.n) * abs1
 		return checksum.TripleDiagnosis{Kind: checksum.NoError}
 	}
 	e.stats.Detections++

@@ -43,7 +43,7 @@ func BasicGMRES(a *sparse.CSR, m precond.Preconditioner, b []float64, restart in
 	}
 	bT := e.wrap("b", b)
 
-	normB := vec.Norm2(b)
+	normB := e.norm2(b)
 	if normB <= 0 {
 		normB = 1
 	}
@@ -100,10 +100,10 @@ func BasicGMRES(a *sparse.CSR, m precond.Preconditioner, b []float64, restart in
 		copyTracked(xSave, x)
 		res.Stats.Checkpoints++
 
-		a.MulVec(w.data, x.data)
+		e.mulVec(w.data, x.data)
 		vec.Sub(w.data, bT.data, w.data)
 		e.recompute(w)
-		beta := vec.Norm2(w.data)
+		beta := e.norm2(w.data)
 		relres = beta / normB
 		if relres <= tolRes {
 			res.Converged = true
@@ -126,10 +126,10 @@ func BasicGMRES(a *sparse.CSR, m precond.Preconditioner, b []float64, restart in
 			// Modified Gram–Schmidt: dots are unprotected scalars (§3),
 			// the axpys carry checksums.
 			for i := 0; i <= k; i++ {
-				h[i][k] = vec.Dot(w.data, v[i].data)
+				h[i][k] = e.dot(w.data, v[i].data)
 				e.axpy(total-1, w, -h[i][k], v[i])
 			}
-			h[k+1][k] = vec.Norm2(w.data)
+			h[k+1][k] = e.norm2(w.data)
 			if h[k+1][k] > 0 {
 				e.scaleInto(total-1, v[k+1], 1/h[k+1][k], w)
 			}
@@ -223,9 +223,9 @@ func BasicGMRES(a *sparse.CSR, m precond.Preconditioner, b []float64, restart in
 
 		if relres <= tolRes {
 			// Confirm with the true residual (restart drift).
-			a.MulVec(w.data, x.data)
+			e.mulVec(w.data, x.data)
 			vec.Sub(w.data, bT.data, w.data)
-			relres = vec.Norm2(w.data) / normB
+			relres = e.norm2(w.data) / normB
 			if relres <= tolRes*10 {
 				res.Converged = true
 				break

@@ -55,11 +55,11 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 	// r = b − A·x0 via instrumented ops would charge a fault to setup;
 	// initialization is performed cleanly (the paper injects errors only
 	// into the iteration loop).
-	a.MulVec(r.data, x.data)
+	e.mulVec(r.data, x.data)
 	vec.Sub(r.data, bT.data, r.data)
 	e.recompute(r)
 
-	normB := vec.Norm2(b)
+	normB := e.norm2(b)
 	if normB <= 0 {
 		normB = 1
 	}
@@ -73,7 +73,7 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 	}
 
 	res.X = x.data
-	relres := vec.Norm2(r.data) / normB
+	relres := e.norm2(r.data) / normB
 	if relres <= tolRes {
 		res.Converged = true
 		res.Residual = relres
@@ -84,7 +84,7 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 		return res, err
 	}
 	copyTracked(p, z)
-	rho := vec.Dot(r.data, z.data)
+	rho := e.dot(r.data, z.data)
 
 	var store checkpoint.Store
 	d, cd := opts.DetectInterval, opts.CheckpointInterval
@@ -117,7 +117,7 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 			return iter, false
 		}
 		rho = scal["rho"]
-		a.MulVec(r.data, x.data)
+		e.mulVec(r.data, x.data)
 		vec.Sub(r.data, bT.data, r.data)
 		e.recompute(r)
 		res.Stats.RecoveryMVMs++
@@ -203,7 +203,7 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 			continue
 		}
 
-		pq := vec.Dot(p.data, q.data)
+		pq := e.dot(p.data, q.data)
 		if suspectScalar(pq) {
 			res.Stats.Detections++
 			opts.Trace.add(i, EvDetection, "suspect recurrence scalar pᵀAp = %g", pq)
@@ -235,7 +235,7 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 		i++
 		res.Iterations = i
 
-		relres = vec.Norm2(r.data) / normB
+		relres = e.norm2(r.data) / normB
 		if opts.RecordResiduals {
 			res.History = append(res.History, relres)
 		}
@@ -258,7 +258,7 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 		if err := e.pco(i-1, z, r); err != nil {
 			return res, err
 		}
-		rhoNew := vec.Dot(r.data, z.data)
+		rhoNew := e.dot(r.data, z.data)
 		beta := rhoNew / rho
 		e.xpby(i-1, p, z, beta, p)
 		rho = rhoNew

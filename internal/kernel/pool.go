@@ -1,0 +1,167 @@
+// Package kernel is the shared-memory parallel kernel layer behind the
+// repo's hot paths: sparse matrix–vector products, the blocked pairwise
+// reductions (dot, sum, weighted checksum sums, norms) and the fused
+// VLO/MVM/PCO checksum-update kernels the serial engine in internal/core
+// iterates over.
+//
+// Determinism contract. Every kernel produces a result bitwise-identical
+// to its serial counterpart in internal/vec, internal/sparse and
+// internal/checksum, for ANY worker count — including a nil *Pool, which
+// runs everything serially. The reductions achieve this by construction:
+// the reduction tree is the fixed-block pairwise tree of internal/vec,
+// a pure function of the vector length and never of the worker count.
+// Workers fill disjoint ranges of per-block leaf partials; a single
+// combiner (vec.PairwiseSum / vec.PairwiseNorm2) then folds the leaves
+// with exactly the serial tree. SpMV and the element-wise VLOs write
+// disjoint output elements, so their results are trivially order-free.
+// ABFT relies on this: a recomputed checksum is compared against a
+// carried one under a round-off threshold, and a reduction whose value
+// depended on scheduling would smear that comparison band.
+//
+// A Pool serves one solve at a time: its scratch buffers are reused
+// across calls and are not safe for concurrent kernel invocations.
+// internal/service gives each job its own pool (see Config.KernelWorkers)
+// so concurrent jobs cannot oversubscribe the machine or share scratch.
+package kernel
+
+import "sync"
+
+// minParallel is the element count below which kernels take the serial
+// path: at small n the pointer-chase through the task channel costs more
+// than the loop. The cutover is invisible in results — both paths produce
+// bitwise-identical values by the determinism contract.
+const minParallel = 4096
+
+// Pool is a persistent worker pool. NewPool(w) spawns w−1 helper
+// goroutines once; every kernel call partitions its work into w parts,
+// hands w−1 parts to the helpers and runs part 0 on the calling
+// goroutine, so steady-state solves spawn no goroutines at all.
+//
+// A nil *Pool is valid and means "serial": every method falls through to
+// the single-threaded implementation, which lets callers thread an
+// optional pool without branching.
+type Pool struct {
+	workers int
+	tasks   chan func()
+	exited  sync.WaitGroup
+	closed  sync.Once
+
+	// scratch for reduction leaf partials and SpMV row bounds; grown on
+	// demand, reused across calls. One solve at a time — see package doc.
+	buf1, buf2 []float64
+	bounds     []int
+	wsum, wabs []float64
+}
+
+// NewPool returns a pool with the given total worker count (the caller
+// counts as one). workers <= 1 returns nil, the serial pool.
+func NewPool(workers int) *Pool {
+	if workers <= 1 {
+		return nil
+	}
+	p := &Pool{workers: workers, tasks: make(chan func(), workers)}
+	p.exited.Add(workers - 1)
+	for i := 1; i < workers; i++ {
+		//lint:ignore goroutineguard persistent pool workers by design: spawned once per pool to avoid per-call goroutine churn, they drain p.tasks until Close closes the channel and joins them via p.exited — the join is in Close, not this function.
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.exited.Done()
+	for f := range p.tasks {
+		f()
+	}
+}
+
+// Workers returns the pool's total worker count; 1 for the nil (serial)
+// pool.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Close shuts the helper goroutines down and waits for them to exit.
+// Safe on a nil pool and safe to call twice.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.closed.Do(func() {
+		close(p.tasks)
+		p.exited.Wait()
+	})
+}
+
+// run executes f(part) for part = 0..workers-1, parts 1.. on the helper
+// goroutines and part 0 on the caller, returning when all parts finish.
+// Kernels validate slice lengths before calling run so that f cannot
+// panic on a helper goroutine (which would crash the process rather than
+// unwind the caller).
+func (p *Pool) run(f func(part int)) {
+	var wg sync.WaitGroup
+	wg.Add(p.workers - 1)
+	for part := 1; part < p.workers; part++ {
+		part := part
+		p.tasks <- func() {
+			defer wg.Done()
+			f(part)
+		}
+	}
+	f(0)
+	wg.Wait()
+}
+
+// runRange splits [0, n) into workers contiguous element ranges and runs
+// f on each. Used by the element-wise VLO kernels, where any partition is
+// bitwise-safe because outputs are disjoint.
+func (p *Pool) runRange(n int, f func(lo, hi int)) {
+	p.run(func(part int) {
+		f(n*part/p.workers, n*(part+1)/p.workers)
+	})
+}
+
+// runBlocks splits the reduction blocks [0, nb) into workers contiguous
+// ranges and calls leaf(b) for every block. The partition affects only
+// which goroutine computes a leaf, never the combine tree.
+func (p *Pool) runBlocks(nb int, leaf func(b int)) {
+	p.run(func(part int) {
+		lo := nb * part / p.workers
+		hi := nb * (part + 1) / p.workers
+		for b := lo; b < hi; b++ {
+			leaf(b)
+		}
+	})
+}
+
+// grow1 returns a length-n scratch slice, reusing the pool's buffer.
+func (p *Pool) grow1(n int) []float64 {
+	if cap(p.buf1) < n {
+		p.buf1 = make([]float64, n)
+	}
+	return p.buf1[:n]
+}
+
+// grow2 returns two length-n scratch slices.
+func (p *Pool) grow2(n int) ([]float64, []float64) {
+	if cap(p.buf1) < n {
+		p.buf1 = make([]float64, n)
+	}
+	if cap(p.buf2) < n {
+		p.buf2 = make([]float64, n)
+	}
+	return p.buf1[:n], p.buf2[:n]
+}
+
+// growW returns two length-k scratch slices for per-weight row
+// reductions (k is the checksum weight count, typically 1–3).
+func (p *Pool) growW(k int) ([]float64, []float64) {
+	if cap(p.wsum) < k {
+		p.wsum = make([]float64, k)
+		p.wabs = make([]float64, k)
+	}
+	return p.wsum[:k], p.wabs[:k]
+}

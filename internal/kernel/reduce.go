@@ -1,0 +1,85 @@
+package kernel
+
+import "newsum/internal/vec"
+
+// The reductions below all follow the same shape: workers fill disjoint
+// ranges of per-block leaf partials (the exact leaves the serial
+// reductions in internal/vec compute), then a single combiner folds them
+// with the serial pairwise tree. The result is bitwise-identical to the
+// serial call for any worker count; see the package doc.
+
+// Dot returns u·v, bitwise-equal to vec.Dot.
+func (p *Pool) Dot(u, v []float64) float64 {
+	if len(u) != len(v) {
+		panic("kernel: length mismatch in Dot")
+	}
+	if p == nil || len(u) < minParallel {
+		return vec.Dot(u, v)
+	}
+	nb := vec.Blocks(len(u))
+	part := p.grow1(nb)
+	p.runBlocks(nb, func(b int) { part[b] = vec.DotBlock(u, v, b) })
+	return vec.PairwiseSum(part)
+}
+
+// DotAbs returns u·v and Σ|u_i·v_i|, bitwise-equal to vec.DotAbs.
+func (p *Pool) DotAbs(u, v []float64) (sum, abs float64) {
+	if len(u) != len(v) {
+		panic("kernel: length mismatch in DotAbs")
+	}
+	if p == nil || len(u) < minParallel {
+		return vec.DotAbs(u, v)
+	}
+	nb := vec.Blocks(len(u))
+	sums, abss := p.grow2(nb)
+	p.runBlocks(nb, func(b int) { sums[b], abss[b] = vec.DotAbsBlock(u, v, b) })
+	return vec.PairwiseSum(sums), vec.PairwiseSum(abss)
+}
+
+// Sum returns Σu_i, bitwise-equal to vec.Sum.
+func (p *Pool) Sum(u []float64) float64 {
+	if p == nil || len(u) < minParallel {
+		return vec.Sum(u)
+	}
+	nb := vec.Blocks(len(u))
+	part := p.grow1(nb)
+	p.runBlocks(nb, func(b int) { part[b] = vec.SumBlock(u, b) })
+	return vec.PairwiseSum(part)
+}
+
+// WeightedSum returns Σ w(i)·u_i, bitwise-equal to vec.WeightedSum.
+func (p *Pool) WeightedSum(u []float64, w func(i int) float64) float64 {
+	if p == nil || len(u) < minParallel {
+		return vec.WeightedSum(u, w)
+	}
+	nb := vec.Blocks(len(u))
+	part := p.grow1(nb)
+	p.runBlocks(nb, func(b int) { part[b] = vec.WeightedSumBlock(u, w, b) })
+	return vec.PairwiseSum(part)
+}
+
+// WeightedSumAbs returns Σ w(i)·u_i and Σ|w(i)·u_i| — the checksum
+// verifier's (measured sum, round-off scale) pair — bitwise-equal to
+// vec.WeightedSumAbs.
+func (p *Pool) WeightedSumAbs(u []float64, w func(i int) float64) (sum, abs float64) {
+	if p == nil || len(u) < minParallel {
+		return vec.WeightedSumAbs(u, w)
+	}
+	nb := vec.Blocks(len(u))
+	sums, abss := p.grow2(nb)
+	p.runBlocks(nb, func(b int) { sums[b], abss[b] = vec.WeightedSumAbsBlock(u, w, b) })
+	return vec.PairwiseSum(sums), vec.PairwiseSum(abss)
+}
+
+// Norm2 returns ‖u‖₂ with dnrm2-style overflow guarding, bitwise-equal
+// to vec.Norm2. Workers fill per-block (scale, ssq) partials; the serial
+// tree merges them with vec.CombineNorm2.
+func (p *Pool) Norm2(u []float64) float64 {
+	if p == nil || len(u) < minParallel {
+		return vec.Norm2(u)
+	}
+	nb := vec.Blocks(len(u))
+	scales, ssqs := p.grow2(nb)
+	p.runBlocks(nb, func(b int) { scales[b], ssqs[b] = vec.Norm2Block(u, b) })
+	return vec.PairwiseNorm2(scales, ssqs)
+}

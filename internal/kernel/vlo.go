@@ -1,0 +1,132 @@
+package kernel
+
+import (
+	"newsum/internal/checksum"
+	"newsum/internal/vec"
+)
+
+// Element-wise VLO kernels. Outputs are disjoint per element, so any
+// partition reproduces the serial result bitwise. The *VLO variants fuse
+// the O(#weights) Eq. (3) checksum+η update onto the parallel sweep —
+// one call site updates data and carried checksums together, the pairing
+// the engine's instrumented operations are built on.
+
+// Axpy computes y := y + alpha·x, bitwise-equal to vec.Axpy.
+func (p *Pool) Axpy(y []float64, alpha float64, x []float64) {
+	if len(y) != len(x) {
+		panic("kernel: length mismatch in Axpy")
+	}
+	if p == nil || len(y) < minParallel {
+		vec.Axpy(y, alpha, x)
+		return
+	}
+	p.runRange(len(y), func(lo, hi int) {
+		yy, xx := y[lo:hi], x[lo:hi]
+		for i, v := range xx {
+			yy[i] += alpha * v
+		}
+	})
+}
+
+// Axpby computes dst := alpha·x + beta·y, bitwise-equal to vec.Axpby.
+func (p *Pool) Axpby(dst []float64, alpha float64, x []float64, beta float64, y []float64) {
+	if len(dst) != len(x) || len(dst) != len(y) {
+		panic("kernel: length mismatch in Axpby")
+	}
+	if p == nil || len(dst) < minParallel {
+		vec.Axpby(dst, alpha, x, beta, y)
+		return
+	}
+	p.runRange(len(dst), func(lo, hi int) {
+		dd, xx, yy := dst[lo:hi], x[lo:hi], y[lo:hi]
+		for i := range dd {
+			dd[i] = alpha*xx[i] + beta*yy[i]
+		}
+	})
+}
+
+// Xpby computes dst := x + beta·y, bitwise-equal to vec.Xpby.
+func (p *Pool) Xpby(dst, x []float64, beta float64, y []float64) {
+	if len(dst) != len(x) || len(dst) != len(y) {
+		panic("kernel: length mismatch in Xpby")
+	}
+	if p == nil || len(dst) < minParallel {
+		vec.Xpby(dst, x, beta, y)
+		return
+	}
+	p.runRange(len(dst), func(lo, hi int) {
+		dd, xx, yy := dst[lo:hi], x[lo:hi], y[lo:hi]
+		for i := range dd {
+			dd[i] = xx[i] + beta*yy[i]
+		}
+	})
+}
+
+// Scale computes dst := alpha·u, bitwise-equal to vec.Scale.
+func (p *Pool) Scale(dst []float64, alpha float64, u []float64) {
+	if len(dst) != len(u) {
+		panic("kernel: length mismatch in Scale")
+	}
+	if p == nil || len(dst) < minParallel {
+		vec.Scale(dst, alpha, u)
+		return
+	}
+	p.runRange(len(dst), func(lo, hi int) {
+		dd, uu := dst[lo:hi], u[lo:hi]
+		for i, v := range uu {
+			dd[i] = alpha * v
+		}
+	})
+}
+
+// AxpyVLO fuses the parallel axpy with the Eq. (3) in-place checksum+η
+// update on (sy, etaY).
+func (p *Pool) AxpyVLO(y []float64, alpha float64, x []float64, sy, etaY, sx, etaX []float64) {
+	p.Axpy(y, alpha, x)
+	checksum.UpdateVLOAxpyBound(sy, etaY, alpha, sx, etaX)
+}
+
+// AxpbyVLO fuses the parallel axpby with the Eq. (3) checksum+η update.
+func (p *Pool) AxpbyVLO(dst []float64, alpha float64, x []float64, beta float64, y []float64,
+	sDst, etaDst, sx, etaX, sy, etaY []float64) {
+	p.Axpby(dst, alpha, x, beta, y)
+	checksum.UpdateVLOAxpbyBound(sDst, etaDst, alpha, sx, etaX, beta, sy, etaY)
+}
+
+// XpbyVLO fuses the parallel xpby with the Eq. (3) checksum+η update
+// (alpha = 1 case).
+func (p *Pool) XpbyVLO(dst, x []float64, beta float64, y []float64,
+	sDst, etaDst, sx, etaX, sy, etaY []float64) {
+	p.Xpby(dst, x, beta, y)
+	checksum.UpdateVLOAxpbyBound(sDst, etaDst, 1, sx, etaX, beta, sy, etaY)
+}
+
+// UpdateMVMBound is the parallel form of (*checksum.Matrix).UpdateMVMBound:
+// the O(n) dense row reductions run on the pool (bitwise-equal to
+// vec.DotAbs by the reduction contract) and feed the serial Eq. (2) fold
+// via UpdateMVMBoundFrom.
+func (p *Pool) UpdateMVMBound(m *checksum.Matrix, dst, etaDst, u, su, etaSrc []float64) {
+	if p == nil {
+		m.UpdateMVMBound(dst, etaDst, u, su, etaSrc)
+		return
+	}
+	sums, abss := p.growW(len(m.Weights))
+	for k, row := range m.Rows {
+		sums[k], abss[k] = p.DotAbs(row, u)
+	}
+	m.UpdateMVMBoundFrom(dst, etaDst, sums, abss, su, etaSrc)
+}
+
+// UpdatePCOBound is the parallel form of (*checksum.Matrix).UpdatePCOBound,
+// the Eq. (4) preconditioner-solve update.
+func (p *Pool) UpdatePCOBound(m *checksum.Matrix, dst, etaDst, w, su, etaSrc []float64) {
+	if p == nil {
+		m.UpdatePCOBound(dst, etaDst, w, su, etaSrc)
+		return
+	}
+	sums, abss := p.growW(len(m.Weights))
+	for k, row := range m.Rows {
+		sums[k], abss[k] = p.DotAbs(row, w)
+	}
+	m.UpdatePCOBoundFrom(dst, etaDst, sums, abss, su, etaSrc)
+}

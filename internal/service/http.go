@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 )
 
 // maxBodyBytes bounds a /solve request body: an inline 262144-row operator
@@ -79,12 +81,32 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		status := statusFor(err)
 		if status == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		}
 		writeJSON(w, status, httpError{Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// retryAfterSeconds estimates when a rejected client should come back:
+// the time for the workers to drain the current queue at the observed
+// mean service time, ⌈(queued+1)·mean / workers⌉, clamped to [1, 30]s.
+// A fixed "1" (the old behavior) made every rejected client of a
+// saturated service retry into the same full queue once a second; tying
+// the hint to measured load spreads the herd across the drain window.
+// Before any job has completed the mean is unknown and the floor applies.
+func (s *Service) retryAfterSeconds() int {
+	mean := s.stats.meanSolveMillis()
+	queued := len(s.queue)
+	secs := int(math.Ceil(float64(queued+1) * mean / 1000 / float64(s.cfg.Workers)))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
 }
 
 // streamLine is one NDJSON line of a streamed solve: a progress event, the

@@ -255,3 +255,63 @@ func TestHTTPBackpressure(t *testing.T) {
 		t.Fatal("no 429 from a 12-job burst against workers=1 queue=1")
 	}
 }
+
+// TestRetryAfterDerivedFromLoad drives a saturated queue and checks the
+// 429 Retry-After header is the drain estimate ⌈(queued+1)·mean/workers⌉
+// clamped to [1, 30], not the old hardcoded "1". The service is built as
+// a literal — no workers running — so the queue stays exactly as stuffed
+// and the observed mean is exactly what the test seeds.
+func TestRetryAfterDerivedFromLoad(t *testing.T) {
+	mk := func(workers, queueDepth int) *Service {
+		return &Service{
+			cfg:   Config{Workers: workers, QueueDepth: queueDepth, MaxMatrixRows: 262144, KernelWorkers: 1}.normalized(),
+			queue: make(chan *job, queueDepth),
+		}
+	}
+	saturate := func(s *Service) {
+		for i := 0; i < cap(s.queue); i++ {
+			s.queue <- &job{}
+		}
+	}
+	post := func(t *testing.T, s *Service) *http.Response {
+		t.Helper()
+		srv := httptest.NewServer(s.Handler())
+		defer srv.Close()
+		resp := postJSON(t, srv.URL+"/solve", Request{Matrix: laplaceSpec()})
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("status = %d, want 429", resp.StatusCode)
+		}
+		return resp
+	}
+
+	t.Run("derived from queue and mean", func(t *testing.T) {
+		s := mk(2, 8)
+		saturate(s)
+		// Seed an observed mean of 3000 ms per job.
+		for i := 0; i < 4; i++ {
+			s.stats.recordSolve(&Response{}, 3000)
+		}
+		// (8 queued + 1) × 3 s / 2 workers = 13.5 → ceil 14.
+		if got := post(t, s).Header.Get("Retry-After"); got != "14" {
+			t.Fatalf("Retry-After = %q, want 14", got)
+		}
+	})
+
+	t.Run("clamped to 30s", func(t *testing.T) {
+		s := mk(1, 4)
+		saturate(s)
+		s.stats.recordSolve(&Response{}, 60_000)
+		if got := post(t, s).Header.Get("Retry-After"); got != "30" {
+			t.Fatalf("Retry-After = %q, want 30 (clamp)", got)
+		}
+	})
+
+	t.Run("floor of 1s before any sample", func(t *testing.T) {
+		s := mk(4, 2)
+		saturate(s)
+		if got := post(t, s).Header.Get("Retry-After"); got != "1" {
+			t.Fatalf("Retry-After = %q, want 1 (cold floor)", got)
+		}
+	})
+}

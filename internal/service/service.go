@@ -8,9 +8,12 @@ import (
 	"sync"
 	"time"
 
+	"runtime"
+
 	"newsum/internal/checksum"
 	"newsum/internal/core"
 	"newsum/internal/fault"
+	"newsum/internal/kernel"
 	"newsum/internal/par"
 	"newsum/internal/precond"
 	"newsum/internal/solver"
@@ -66,6 +69,14 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxMatrixRows is the admission bound on operator size (default 262144).
 	MaxMatrixRows int
+	// KernelWorkers is the per-job shared-memory kernel budget for the
+	// serial engine: each service worker owns one kernel.Pool of this size,
+	// so Workers concurrent jobs use at most Workers×KernelWorkers threads
+	// for hot loops. 0 derives max(1, GOMAXPROCS/Workers) — the whole
+	// machine split evenly across concurrent jobs, never oversubscribed.
+	// Negative forces serial kernels. Results are bitwise-independent of
+	// this setting (the kernel determinism contract).
+	KernelWorkers int
 }
 
 func (c Config) normalized() Config {
@@ -85,6 +96,12 @@ func (c Config) normalized() Config {
 	}
 	if c.MaxMatrixRows <= 0 {
 		c.MaxMatrixRows = 262144
+	}
+	if c.KernelWorkers == 0 {
+		c.KernelWorkers = runtime.GOMAXPROCS(0) / c.Workers
+	}
+	if c.KernelWorkers < 1 {
+		c.KernelWorkers = 1
 	}
 	return c
 }
@@ -246,15 +263,22 @@ func (s *Service) Stats() Snapshot {
 	snap.Workers = s.cfg.Workers
 	snap.QueueDepth = s.cfg.QueueDepth
 	snap.QueueLen = len(s.queue)
+	snap.KernelWorkers = s.cfg.KernelWorkers
 	snap.InFlight = snap.Accepted - snap.Completed - snap.Failed - snap.Canceled
 	return snap
 }
 
-// worker drains the queue until Close closes it.
+// worker drains the queue until Close closes it. Each worker owns one
+// persistent kernel pool for its jobs' hot loops: pools are per-worker
+// because their scratch buffers serve one solve at a time, and sizing
+// them at Config.KernelWorkers keeps Workers concurrent jobs from
+// oversubscribing the machine.
 func (s *Service) worker() {
 	defer s.wg.Done()
+	pool := kernel.NewPool(s.cfg.KernelWorkers)
+	defer pool.Close()
 	for j := range s.queue {
-		s.run(j)
+		s.run(j, pool)
 	}
 }
 
@@ -331,7 +355,7 @@ type attemptResult struct {
 
 // run executes one job end to end: resolve, attempt loop with retry, SDC
 // verification, stats, events.
-func (s *Service) run(j *job) {
+func (s *Service) run(j *job, pool *kernel.Pool) {
 	defer close(j.done)
 	if j.cancel != nil {
 		defer j.cancel()
@@ -408,7 +432,7 @@ func (s *Service) run(j *job) {
 	for attempt := 0; ; attempt++ {
 		d := detectIntervalFor(req, attempt)
 		s.emit(j, "attempt", attempt, fmt.Sprintf("d=%d", d))
-		ar, err := s.dispatch(j.ctx, req, a, enc, m, b, attempt, d)
+		ar, err := s.dispatch(j.ctx, req, a, enc, m, b, attempt, d, pool)
 		resp.Attempts = attempt + 1
 		resp.Detections += ar.detections
 		resp.Corrections += ar.corrections
@@ -574,7 +598,7 @@ func parFaultsFor(req *Request, attempt int) []par.Fault {
 
 // dispatch runs one attempt on the engine the request names.
 func (s *Service) dispatch(ctx context.Context, req *Request, a *sparse.CSR, enc *checksum.Encoding,
-	m precond.Preconditioner, b []float64, attempt, d int) (attemptResult, error) {
+	m precond.Preconditioner, b []float64, attempt, d int, pool *kernel.Pool) (attemptResult, error) {
 	if req.engine() == "par" {
 		popts := par.Options{
 			Tol:            req.Tol,
@@ -623,6 +647,7 @@ func (s *Service) dispatch(ctx context.Context, req *Request, a *sparse.CSR, enc
 		Injector:       inj,
 		Trace:          tr,
 		Encoding:       enc,
+		Pool:           pool,
 		Ctx:            ctx,
 	}
 	var res core.Result

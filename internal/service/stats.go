@@ -79,9 +79,10 @@ type Snapshot struct {
 	LatencySamples   int     `json:"latency_samples"`
 
 	// Static configuration, for dashboards.
-	Workers    int `json:"workers"`
-	QueueDepth int `json:"queue_depth"`
-	QueueLen   int `json:"queue_len"`
+	Workers       int `json:"workers"`
+	QueueDepth    int `json:"queue_depth"`
+	QueueLen      int `json:"queue_len"`
+	KernelWorkers int `json:"kernel_workers"`
 }
 
 func (s *stats) add(f func(*stats)) {
@@ -105,6 +106,22 @@ func (s *stats) recordSolve(resp *Response, solveMillis float64) {
 		s.sampleCount++
 	}
 	s.mu.Unlock()
+}
+
+// meanSolveMillis returns the mean service time over the sample ring, or
+// 0 before any job has completed. The backpressure Retry-After derivation
+// uses it as the per-job drain estimate.
+func (s *stats) meanSolveMillis() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sampleCount == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.solveMillisSamples[:s.sampleCount] {
+		sum += v
+	}
+	return sum / float64(s.sampleCount)
 }
 
 // quantile returns the q-quantile (0..1) of sorted, by nearest rank.

@@ -1,0 +1,141 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// The kernel layer's parallel SpMV is built on one property: because
+// MulVec computes each row independently, any partition of the row space
+// into MulVecRange tiles (or MulVecStride combs) composes to a result
+// that is bitwise-identical to the single MulVec call — not merely close.
+// This is what makes nnz-balanced chunking free of determinism cost. The
+// property test here exercises random partitions, including empty and
+// single-row tiles, on matrices with empty rows, dense rows, and extreme
+// value magnitudes.
+
+// bitsEqual reports a[i] and b[i] identical as IEEE-754 bit patterns.
+func bitsEqual(a, b []float64) (int, bool) {
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return i, false
+		}
+	}
+	return -1, true
+}
+
+// randomPartition draws a sorted list of cut points 0 = c₀ ≤ … ≤ cₖ = rows;
+// duplicates produce empty tiles on purpose (lo == hi is a valid range).
+func randomPartition(rng *rand.Rand, rows, tiles int) []int {
+	cuts := make([]int, tiles+1)
+	for i := 1; i < tiles; i++ {
+		cuts[i] = rng.Intn(rows + 1)
+	}
+	cuts[tiles] = rows
+	sort.Ints(cuts)
+	return cuts
+}
+
+// adversarialCSR stacks the structures that break naive tiling schemes:
+// empty rows, one dense row, huge/tiny magnitudes mixed per row.
+func adversarialCSR(rng *rand.Rand, rows, cols int) *CSR {
+	c := NewCOO(rows, cols)
+	for i := 0; i < rows; i++ {
+		if i%7 == 3 {
+			continue // empty row
+		}
+		nnz := 1 + rng.Intn(6)
+		if i == rows/2 {
+			nnz = cols // one dense row skews nnz balance
+		}
+		for k := 0; k < nnz; k++ {
+			v := rng.NormFloat64() * math.Exp2(float64(rng.Intn(60)-30))
+			c.Add(i, rng.Intn(cols), v)
+		}
+	}
+	return c.ToCSR()
+}
+
+func TestMulVecRangeTilesComposeBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		rows := 1 + rng.Intn(200)
+		cols := 1 + rng.Intn(200)
+		a := adversarialCSR(rng, rows, cols)
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64() * math.Exp2(float64(rng.Intn(40)-20))
+		}
+		want := make([]float64, rows)
+		a.MulVec(want, x)
+
+		tiles := 1 + rng.Intn(rows+3) // may exceed rows: forces empty tiles
+		cuts := randomPartition(rng, rows, tiles)
+		got := make([]float64, rows)
+		for i := range got {
+			got[i] = math.NaN() // any row a tile misses must be caught
+		}
+		for k := 0; k+1 < len(cuts); k++ {
+			a.MulVecRange(got, x, cuts[k], cuts[k+1])
+		}
+		if i, ok := bitsEqual(got, want); !ok {
+			t.Fatalf("trial %d cuts %v: row %d = %x, MulVec %x",
+				trial, cuts, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+		}
+	}
+}
+
+func TestMulVecStrideCombsComposeBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 30; trial++ {
+		rows := 1 + rng.Intn(150)
+		cols := 1 + rng.Intn(150)
+		a := adversarialCSR(rng, rows, cols)
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, rows)
+		a.MulVec(want, x)
+
+		stride := 1 + rng.Intn(rows+2) // may exceed rows: trailing combs empty
+		got := make([]float64, rows)
+		for i := range got {
+			got[i] = math.NaN()
+		}
+		for start := 0; start < stride; start++ {
+			a.MulVecStride(got, x, start, stride)
+		}
+		if i, ok := bitsEqual(got, want); !ok {
+			t.Fatalf("trial %d stride %d: row %d = %x, MulVec %x",
+				trial, stride, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+		}
+	}
+}
+
+// TestRangeAndStrideAgree closes the triangle: a range tiling and a stride
+// combing of the same operator agree bitwise with each other (not just
+// with MulVec), so the engine may mix the two access patterns — the cache
+// fault-model path uses strides, the kernel pool uses ranges — without
+// perturbing a single bit.
+func TestRangeAndStrideAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	a := adversarialCSR(rng, 97, 97)
+	x := make([]float64, 97)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	byRange := make([]float64, 97)
+	for _, cut := range [][2]int{{0, 13}, {13, 13}, {13, 60}, {60, 97}} {
+		a.MulVecRange(byRange, x, cut[0], cut[1])
+	}
+	byStride := make([]float64, 97)
+	for s := 0; s < 5; s++ {
+		a.MulVecStride(byStride, x, s, 5)
+	}
+	if i, ok := bitsEqual(byRange, byStride); !ok {
+		t.Fatalf("row %d: range %x vs stride %x", i, math.Float64bits(byRange[i]), math.Float64bits(byStride[i]))
+	}
+}

@@ -94,45 +94,178 @@ func Xpby(dst, x []float64, beta float64, y []float64) {
 	}
 }
 
-// Dot returns the inner product u·v (the paper's VDP operation).
+// Reductions (Dot, Sum, WeightedSum, Norm2 and their Abs variants) use
+// fixed-block pairwise summation: the vector is cut into blocks of Block
+// elements, each block is accumulated left-to-right, and the block partials
+// are combined by a balanced pairwise tree. Naive left-to-right accumulation
+// has a worst-case error of O(n·ε)·Σ|terms|; at n ≈ 10⁶ that crowds the
+// near-τ band the checksum comparison verifies in, inflating false
+// positives. The blocked form tightens the bound to O((Block + log n)·ε),
+// independent of worker count.
+//
+// The reduction tree is a pure function of n — NEVER of how the leaves were
+// computed — so a parallel evaluation that computes leaf partials with any
+// number of workers and combines them with PairwiseSum reproduces the
+// serial result bit for bit. internal/kernel relies on this contract; do
+// not change the split rule or the leaf accumulation order without updating
+// it (and docs/kernels.md) in lockstep.
+
+// Block is the fixed leaf size of every blocked pairwise reduction.
+const Block = 128
+
+// Blocks returns the number of reduction blocks covering n elements.
+func Blocks(n int) int {
+	return (n + Block - 1) / Block
+}
+
+// blockBounds returns the element range [lo, hi) of block b in a vector of
+// length n.
+func blockBounds(n, b int) (lo, hi int) {
+	lo = b * Block
+	hi = lo + Block
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// pairwise combines leaf values over the block-index range [lo, hi) with
+// the canonical split rule mid = lo + ceil((hi-lo)/2). PairwiseSum and the
+// serial reductions below share this exact tree.
+func pairwise(lo, hi int, leaf func(b int) float64) float64 {
+	if hi <= lo {
+		return 0
+	}
+	if hi-lo == 1 {
+		return leaf(lo)
+	}
+	mid := lo + (hi-lo+1)/2
+	return pairwise(lo, mid, leaf) + pairwise(mid, hi, leaf)
+}
+
+// pairwise2 is pairwise for paired accumulators (value, |value|); combining
+// the pair in one descent is arithmetically identical to two separate trees.
+func pairwise2(lo, hi int, leaf func(b int) (float64, float64)) (float64, float64) {
+	if hi <= lo {
+		return 0, 0
+	}
+	if hi-lo == 1 {
+		return leaf(lo)
+	}
+	mid := lo + (hi-lo+1)/2
+	s1, a1 := pairwise2(lo, mid, leaf)
+	s2, a2 := pairwise2(mid, hi, leaf)
+	return s1 + s2, a1 + a2
+}
+
+// PairwiseSum combines precomputed block partials with the same tree the
+// serial reductions use. kernel workers fill p[b] for disjoint block ranges
+// and a single combiner calls this; the result is bitwise-identical to the
+// serial reduction for any worker count.
+func PairwiseSum(p []float64) float64 {
+	return pairwise(0, len(p), func(b int) float64 { return p[b] })
+}
+
+// DotBlock returns the naive left-to-right partial of u·v over block b —
+// the leaf of the blocked pairwise dot.
+func DotBlock(u, v []float64, b int) float64 {
+	lo, hi := blockBounds(len(u), b)
+	var s float64
+	for i := lo; i < hi; i++ {
+		s += u[i] * v[i]
+	}
+	return s
+}
+
+// DotAbsBlock returns the block-b partials of u·v and Σ|u_i·v_i| in one
+// pass — the leaf of the checksum verifier's (sum, absSum) evaluation.
+func DotAbsBlock(u, v []float64, b int) (sum, abs float64) {
+	lo, hi := blockBounds(len(u), b)
+	for i := lo; i < hi; i++ {
+		t := u[i] * v[i]
+		sum += t
+		abs += math.Abs(t)
+	}
+	return sum, abs
+}
+
+// SumBlock returns the naive partial of Σu_i over block b.
+func SumBlock(u []float64, b int) float64 {
+	lo, hi := blockBounds(len(u), b)
+	var s float64
+	for i := lo; i < hi; i++ {
+		s += u[i]
+	}
+	return s
+}
+
+// WeightedSumBlock returns the naive partial of Σ w(i)·u_i over block b.
+func WeightedSumBlock(u []float64, w func(i int) float64, b int) float64 {
+	lo, hi := blockBounds(len(u), b)
+	var s float64
+	for i := lo; i < hi; i++ {
+		s += w(i) * u[i]
+	}
+	return s
+}
+
+// WeightedSumAbsBlock returns the block-b partials of Σ w(i)·u_i and
+// Σ|w(i)·u_i| in one pass.
+func WeightedSumAbsBlock(u []float64, w func(i int) float64, b int) (sum, abs float64) {
+	lo, hi := blockBounds(len(u), b)
+	for i := lo; i < hi; i++ {
+		t := w(i) * u[i]
+		sum += t
+		abs += math.Abs(t)
+	}
+	return sum, abs
+}
+
+// Dot returns the inner product u·v (the paper's VDP operation), blocked
+// pairwise.
 func Dot(u, v []float64) float64 {
 	if len(u) != len(v) {
 		panic("vec: length mismatch in Dot")
 	}
-	var s float64
-	for i, x := range u {
-		s += x * v[i]
+	return pairwise(0, Blocks(len(u)), func(b int) float64 { return DotBlock(u, v, b) })
+}
+
+// DotAbs returns u·v and Σ|u_i·v_i| in one blocked pairwise pass — the pair
+// the checksum round-off bounds need.
+func DotAbs(u, v []float64) (sum, abs float64) {
+	if len(u) != len(v) {
+		panic("vec: length mismatch in DotAbs")
 	}
-	return s
+	return pairwise2(0, Blocks(len(u)), func(b int) (float64, float64) { return DotAbsBlock(u, v, b) })
 }
 
 // Sum returns the sum of the elements of u, i.e. the inner product with the
-// all-ones checksum vector c1.
+// all-ones checksum vector c1, blocked pairwise.
 func Sum(u []float64) float64 {
-	var s float64
-	for _, x := range u {
-		s += x
-	}
-	return s
+	return pairwise(0, Blocks(len(u)), func(b int) float64 { return SumBlock(u, b) })
 }
 
 // WeightedSum returns sum_i w(i)*u[i] for a functional weight, used by the
 // checksum package to evaluate c2 = (1..n) and c3 = (1, 1/2, ..., 1/n)
-// inner products without materializing the weight vectors.
+// inner products without materializing the weight vectors. Blocked pairwise.
 func WeightedSum(u []float64, w func(i int) float64) float64 {
-	var s float64
-	for i, x := range u {
-		s += w(i) * x
-	}
-	return s
+	return pairwise(0, Blocks(len(u)), func(b int) float64 { return WeightedSumBlock(u, w, b) })
 }
 
-// Norm2 returns the Euclidean norm of u, guarding against overflow for
-// large magnitudes by scaling, in the manner of LAPACK's dnrm2.
-func Norm2(u []float64) float64 {
-	var scale, ssq float64
+// WeightedSumAbs returns Σ w(i)·u_i and Σ|w(i)·u_i| in one blocked pairwise
+// pass — the checksum verification's (measured sum, round-off scale) pair.
+func WeightedSumAbs(u []float64, w func(i int) float64) (sum, abs float64) {
+	return pairwise2(0, Blocks(len(u)), func(b int) (float64, float64) { return WeightedSumAbsBlock(u, w, b) })
+}
+
+// Norm2Block returns block b's (scale, ssq) partial of the overflow-guarded
+// Euclidean norm, in the manner of LAPACK's dnrm2: the block's contribution
+// is scale·√ssq. An all-zero block reports (0, 1).
+func Norm2Block(u []float64, b int) (scale, ssq float64) {
+	lo, hi := blockBounds(len(u), b)
 	ssq = 1
-	for _, x := range u {
+	for i := lo; i < hi; i++ {
+		x := u[i]
 		//lint:ignore floatcmp exact-zero sparsity skip only avoids no-op work
 		if x == 0 {
 			continue
@@ -147,7 +280,52 @@ func Norm2(u []float64) float64 {
 			ssq += r * r
 		}
 	}
-	return scale * math.Sqrt(ssq)
+	return scale, ssq
+}
+
+// CombineNorm2 merges two (scale, ssq) partials into one, rescaling the
+// smaller onto the larger. It is the interior node of the blocked pairwise
+// norm; kernel combiners must use it verbatim to reproduce serial results.
+func CombineNorm2(s1, q1, s2, q2 float64) (scale, ssq float64) {
+	if s1 < s2 {
+		s1, q1, s2, q2 = s2, q2, s1, q1
+	}
+	//lint:ignore floatcmp a zero scale marks an all-zero partial, an exact sentinel
+	if s2 == 0 {
+		return s1, q1
+	}
+	r := s2 / s1
+	return s1, q1 + q2*r*r
+}
+
+// pairwiseNorm2 combines (scale, ssq) leaves over blocks [lo, hi) with the
+// canonical split rule.
+func pairwiseNorm2(lo, hi int, leaf func(b int) (float64, float64)) (scale, ssq float64) {
+	if hi <= lo {
+		return 0, 1
+	}
+	if hi-lo == 1 {
+		return leaf(lo)
+	}
+	mid := lo + (hi-lo+1)/2
+	s1, q1 := pairwiseNorm2(lo, mid, leaf)
+	s2, q2 := pairwiseNorm2(mid, hi, leaf)
+	return CombineNorm2(s1, q1, s2, q2)
+}
+
+// PairwiseNorm2 combines precomputed per-block (scale, ssq) partials with
+// the serial norm's tree and returns the norm scale·√ssq.
+func PairwiseNorm2(scales, ssqs []float64) float64 {
+	s, q := pairwiseNorm2(0, len(scales), func(b int) (float64, float64) { return scales[b], ssqs[b] })
+	return s * math.Sqrt(q)
+}
+
+// Norm2 returns the Euclidean norm of u, guarding against overflow for
+// large magnitudes by scaling, in the manner of LAPACK's dnrm2. Blocked
+// pairwise, like every other reduction in this package.
+func Norm2(u []float64) float64 {
+	s, q := pairwiseNorm2(0, Blocks(len(u)), func(b int) (float64, float64) { return Norm2Block(u, b) })
+	return s * math.Sqrt(q)
 }
 
 // NormInf returns the maximum absolute element of u.

@@ -30,15 +30,17 @@ go test ./...
 echo "== fuzz seed replay (checksum) =="
 go test -run Fuzz -fuzz='^$' ./internal/checksum/...
 
-echo "== go test -race (par, core, service) =="
-go test -race ./internal/par/... ./internal/core/... ./internal/service/...
+echo "== go test -race (par, core, service, kernel) =="
+go test -race ./internal/par/... ./internal/core/... ./internal/service/... ./internal/kernel/...
 
-echo "== coverage gate (fault, checksum, accuracy, service >= 80%) =="
+echo "== coverage gate (fault, checksum, accuracy, service, kernel >= 80%) =="
 # The packages that decide whether a fault is caught — and the service
 # layer that promises retry-to-convergence and server-side verification —
 # must themselves be thoroughly exercised; docs/testing.md records the
-# baseline figures.
-go test -cover ./internal/fault/ ./internal/checksum/ ./internal/accuracy/ ./internal/service/ |
+# baseline figures. internal/kernel joins the gate because a silent hole
+# in its reduction coverage could hide a determinism break that the
+# checksum comparisons would then misread as a fault.
+go test -cover ./internal/fault/ ./internal/checksum/ ./internal/accuracy/ ./internal/service/ ./internal/kernel/ |
 	awk '
 		{ print }
 		/coverage:/ {
