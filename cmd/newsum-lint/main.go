@@ -9,12 +9,21 @@
 // Patterns are package directories; a trailing /... recurses ("./..." is
 // the default). Flags:
 //
-//	-json          emit findings as a JSON array instead of text
-//	-only cat,cat  run only the named analyzers
-//	-list          print the analyzer set and exit
+//	-json           emit findings as a JSON array instead of text
+//	-only cat,cat   run only the named analyzers
+//	-list           print the analyzer set and exit
+//	-baseline file  filter findings against a committed JSON baseline
 //
-// Exit status is 0 when no findings survive //lint:ignore suppression, 1
-// when findings remain, and 2 on usage or load errors.
+// A baseline file is a JSON array of {file, category, message} entries
+// (no line numbers, so unrelated edits cannot churn it): findings matching
+// an entry are grandfathered and filtered out, and entries matching no
+// finding are themselves reported as stale so the baseline can only
+// shrink. The repo commits an empty baseline (lint.baseline.json) — the
+// mechanism exists for bootstrapping new analyzers over a large tree.
+//
+// Exit status is 0 when no findings survive //lint:ignore suppression and
+// the baseline has no stale entries, 1 when findings or stale entries
+// remain, and 2 on usage or load errors.
 package main
 
 import (
@@ -61,6 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
 	only := fs.String("only", "", "comma-separated analyzer allowlist (default: all)")
 	list := fs.Bool("list", false, "print the analyzer set and exit")
+	baselinePath := fs.String("baseline", "", "JSON baseline of grandfathered findings; stale entries are reported")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -103,6 +113,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	stale := 0
+	if *baselinePath != "" {
+		var staleEntries []baselineEntry
+		diags, staleEntries, err = applyBaseline(diags, *baselinePath)
+		if err != nil {
+			fprintln(stderr, err)
+			return 2
+		}
+		stale = len(staleEntries)
+		for _, e := range staleEntries {
+			fprintf(stderr, "newsum-lint: stale baseline entry (no matching finding): %s: %s: %s\n", e.File, e.Category, e.Message)
+		}
+	}
+
 	if *jsonOut {
 		out := make([]finding, len(diags))
 		for i, d := range diags {
@@ -119,10 +143,51 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fprintln(stdout, d)
 		}
 	}
-	if len(diags) > 0 {
+	if len(diags) > 0 || stale > 0 {
 		return 1
 	}
 	return 0
+}
+
+// baselineEntry is one grandfathered finding. Line numbers are deliberately
+// absent: a baseline should pin a known debt, not a file layout.
+type baselineEntry struct {
+	File     string `json:"file"`
+	Category string `json:"category"`
+	Message  string `json:"message"`
+}
+
+// applyBaseline splits diags into surviving findings and reports baseline
+// entries that matched nothing (stale debt that must be deleted).
+func applyBaseline(diags []analysis.Diagnostic, path string) (kept []analysis.Diagnostic, staleEntries []baselineEntry, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("newsum-lint: reading baseline: %w", err)
+	}
+	var entries []baselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, nil, fmt.Errorf("newsum-lint: parsing baseline %s: %w", path, err)
+	}
+	matched := make([]bool, len(entries))
+	kept = diags[:0]
+	for _, d := range diags {
+		grandfathered := false
+		for i, e := range entries {
+			if d.Pos.Filename == e.File && d.Category == e.Category && d.Message == e.Message {
+				matched[i] = true
+				grandfathered = true
+			}
+		}
+		if !grandfathered {
+			kept = append(kept, d)
+		}
+	}
+	for i, e := range entries {
+		if !matched[i] {
+			staleEntries = append(staleEntries, e)
+		}
+	}
+	return kept, staleEntries, nil
 }
 
 // absPattern makes a pattern absolute while preserving a /... suffix.

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"newsum/internal/analysis"
 )
 
 // chdir switches the working directory for one test and restores it.
@@ -26,14 +28,24 @@ func chdir(t *testing.T, dir string) {
 	})
 }
 
+// TestList pins -list as the authoritative analyzer inventory: every
+// analyzer the registry knows (including any future addition) must appear,
+// with its doc line.
 func TestList(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("run(-list) = %d, stderr %q", code, errOut.String())
 	}
-	for _, name := range []string{"floatcmp", "errdrop", "bannedcall", "goroutineguard"} {
-		if !strings.Contains(out.String(), name) {
-			t.Errorf("-list output missing %s:\n%s", name, out.String())
+	all := analysis.All()
+	if len(all) < 7 {
+		t.Errorf("registry lists %d analyzers, expected at least the 7 of this tier", len(all))
+	}
+	for _, az := range all {
+		if !strings.Contains(out.String(), az.Name()) {
+			t.Errorf("-list output missing %s:\n%s", az.Name(), out.String())
+		}
+		if !strings.Contains(out.String(), az.Doc()) {
+			t.Errorf("-list output missing doc for %s", az.Name())
 		}
 	}
 }
@@ -103,13 +115,82 @@ func Equal(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
 	}
 }
 
+// TestBaseline drives the -baseline mode over a synthetic dirty module:
+// a matching entry grandfathers its finding, a stale entry fails the run,
+// and a missing baseline file is a usage error.
+func TestBaseline(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module blmod\n\ngo 1.22\n")
+	write("internal/num/num.go", `package num
+
+func Equal(a, b float64) bool { return a == b }
+`)
+	chdir(t, dir)
+
+	// Discover the real finding, then grandfather it.
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("run on dirty module = %d, want 1 (stderr %q)", code, errOut.String())
+	}
+	var findings []finding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil || len(findings) != 1 {
+		t.Fatalf("want 1 JSON finding, got %v (%s)", err, out.String())
+	}
+	bl, err := json.Marshal([]baselineEntry{{File: findings[0].File, Category: findings[0].Category, Message: findings[0].Message}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	write("lint.baseline.json", string(bl))
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", "lint.baseline.json", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("baselined run = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if strings.TrimSpace(out.String()) != "" {
+		t.Errorf("grandfathered finding still printed: %q", out.String())
+	}
+
+	// Fix the code: the baseline entry goes stale and must fail the run.
+	write("internal/num/num.go", `package num
+
+import "math"
+
+func Equal(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+`)
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", "lint.baseline.json", "./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("run with stale baseline = %d, want 1 (stderr %q)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "stale baseline entry") {
+		t.Errorf("stderr should report the stale entry, got %q", errOut.String())
+	}
+
+	if code := run([]string{"-baseline", "no-such-file.json", "./..."}, &out, &errOut); code != 2 {
+		t.Fatalf("run with missing baseline file = %d, want 2", code)
+	}
+}
+
 // TestRepoClean is the standing invariant of this PR: the lint gate stays
-// green over the whole module. If this fails, fix the finding or add a
+// green over the whole module — with the full analyzer inventory of
+// analysis.All() (what -list prints) and the committed baseline, which is
+// expected to stay empty. If this fails, fix the finding or add a
 // justified //lint:ignore — do not delete the test.
 func TestRepoClean(t *testing.T) {
 	chdir(t, filepath.Join("..", ".."))
 	var out, errOut bytes.Buffer
-	if code := run([]string{"./..."}, &out, &errOut); code != 0 {
-		t.Fatalf("newsum-lint ./... = %d; findings:\n%s%s", code, out.String(), errOut.String())
+	if code := run([]string{"-baseline", "lint.baseline.json", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("newsum-lint -baseline lint.baseline.json ./... = %d; findings:\n%s%s", code, out.String(), errOut.String())
 	}
 }

@@ -111,27 +111,50 @@ type ignoreDirective struct {
 	categories []string // nil means the directive is malformed
 }
 
-// suppressions indexes //lint:ignore directives by filename and line. A
-// directive suppresses matching diagnostics on its own line (trailing
-// comment) and on the line below it (comment-above style).
-type suppressions map[string]map[int][]string
-
-func (s suppressions) add(file string, line int, categories []string) {
-	m := s[file]
-	if m == nil {
-		m = map[int][]string{}
-		s[file] = m
-	}
-	m[line] = append(m[line], categories...)
+// ignoreRecord is one well-formed //lint:ignore directive with its usage
+// state: matches marks it used the first time it suppresses a finding, and
+// the stalesuppress analyzer reports the records that never fire.
+type ignoreRecord struct {
+	pos        token.Position
+	categories []string
+	used       bool
 }
 
-func (s suppressions) matches(d Diagnostic) bool {
-	for _, cat := range s[d.Pos.Filename][d.Pos.Line] {
-		if cat == d.Category {
-			return true
+// suppressions indexes //lint:ignore directives by filename and line. A
+// directive suppresses matching diagnostics on its own line (trailing
+// comment) and on the line below it (comment-above style); both index
+// entries share one record, so usage is tracked per directive.
+type suppressions struct {
+	byLine map[string]map[int][]*ignoreRecord
+	all    []*ignoreRecord
+}
+
+func newSuppressions() *suppressions {
+	return &suppressions{byLine: map[string]map[int][]*ignoreRecord{}}
+}
+
+func (s *suppressions) add(rec *ignoreRecord) {
+	s.all = append(s.all, rec)
+	m := s.byLine[rec.pos.Filename]
+	if m == nil {
+		m = map[int][]*ignoreRecord{}
+		s.byLine[rec.pos.Filename] = m
+	}
+	m[rec.pos.Line] = append(m[rec.pos.Line], rec)
+	m[rec.pos.Line+1] = append(m[rec.pos.Line+1], rec)
+}
+
+func (s *suppressions) matches(d Diagnostic) bool {
+	hit := false
+	for _, rec := range s.byLine[d.Pos.Filename][d.Pos.Line] {
+		for _, cat := range rec.categories {
+			if cat == d.Category {
+				rec.used = true
+				hit = true
+			}
 		}
 	}
-	return false
+	return hit
 }
 
 const ignorePrefix = "//lint:ignore"
@@ -140,7 +163,7 @@ const ignorePrefix = "//lint:ignore"
 // formed directives ("//lint:ignore cat[,cat...] reason") are indexed into
 // sup; malformed ones (missing category or reason) are returned so the
 // runner can report them under the "lint" category.
-func parseIgnores(fset *token.FileSet, file *ast.File, sup suppressions) []ignoreDirective {
+func parseIgnores(fset *token.FileSet, file *ast.File, sup *suppressions) []ignoreDirective {
 	var malformed []ignoreDirective
 	for _, group := range file.Comments {
 		for _, c := range group.List {
@@ -158,8 +181,7 @@ func parseIgnores(fset *token.FileSet, file *ast.File, sup suppressions) []ignor
 				continue
 			}
 			cats := strings.Split(fields[0], ",")
-			sup.add(pos.Filename, pos.Line, cats)
-			sup.add(pos.Filename, pos.Line+1, cats)
+			sup.add(&ignoreRecord{pos: pos, categories: cats})
 		}
 	}
 	return malformed
@@ -167,9 +189,11 @@ func parseIgnores(fset *token.FileSet, file *ast.File, sup suppressions) []ignor
 
 // Analyze runs the given analyzers over one loaded package and returns the
 // surviving (unsuppressed) diagnostics, sorted by position. Malformed
-// //lint:ignore directives are reported under the "lint" category.
+// //lint:ignore directives are reported under the "lint" category. When
+// the stalesuppress analyzer is part of the set it runs last, over the
+// usage state the suppression filter just produced.
 func Analyze(pkg *Package, analyzers []Analyzer) []Diagnostic {
-	sup := suppressions{}
+	sup := newSuppressions()
 	var diags []Diagnostic
 	for _, f := range pkg.Files {
 		for _, bad := range parseIgnores(pkg.Fset, f, sup) {
@@ -179,6 +203,10 @@ func Analyze(pkg *Package, analyzers []Analyzer) []Diagnostic {
 				Message:  "malformed //lint:ignore directive; want //lint:ignore <category>[,<category>] <reason>",
 			})
 		}
+	}
+	ran := map[string]bool{}
+	for _, az := range analyzers {
+		ran[az.Name()] = true
 	}
 	for _, az := range analyzers {
 		pass := &Pass{
@@ -200,6 +228,19 @@ func Analyze(pkg *Package, analyzers []Analyzer) []Diagnostic {
 	for _, d := range diags {
 		if !sup.matches(d) {
 			kept = append(kept, d)
+		}
+	}
+	// Stale-suppression detection needs the post-filter usage state, so it
+	// runs after the loop above; its own findings remain suppressible.
+	for _, az := range analyzers {
+		ss, ok := az.(*StaleSuppress)
+		if !ok {
+			continue
+		}
+		for _, d := range ss.findings(sup, ran) {
+			if !sup.matches(d) {
+				kept = append(kept, d)
+			}
 		}
 	}
 	sortDiagnostics(kept)

@@ -42,12 +42,18 @@ func golden(diags []analysis.Diagnostic) string {
 func TestGolden(t *testing.T) {
 	cases := []struct {
 		dir string
-		az  analysis.Analyzer
+		azs []analysis.Analyzer
 	}{
-		{"floatcmp", analysis.NewFloatCmp()},
-		{"errdrop", analysis.NewErrDrop()},
-		{"bannedcall", analysis.NewBannedCall()},
-		{"goroutineguard", analysis.NewGoroutineGuard()},
+		{"floatcmp", []analysis.Analyzer{analysis.NewFloatCmp()}},
+		{"errdrop", []analysis.Analyzer{analysis.NewErrDrop()}},
+		{"bannedcall", []analysis.Analyzer{analysis.NewBannedCall()}},
+		{"goroutineguard", []analysis.Analyzer{analysis.NewGoroutineGuard()}},
+		{"hotalloc", []analysis.Analyzer{analysis.NewHotAlloc()}},
+		{"checksumguard", []analysis.Analyzer{analysis.NewChecksumGuard()}},
+		// stalesuppress judges directive usage against the analyzers that
+		// ran, so its golden case runs the full registry — the way the
+		// repo gate does.
+		{"stalesuppress", analysis.All()},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {
@@ -58,7 +64,7 @@ func TestGolden(t *testing.T) {
 			if !pkg.Internal {
 				t.Fatalf("testdata package %s should count as internal, got Path=%s", tc.dir, pkg.Path)
 			}
-			got := golden(analysis.Analyze(pkg, []analysis.Analyzer{tc.az}))
+			got := golden(analysis.Analyze(pkg, tc.azs))
 			expPath := filepath.Join("testdata", tc.dir, "expected.txt")
 			if *update {
 				if err := os.WriteFile(expPath, []byte(got), 0o644); err != nil {
@@ -168,6 +174,39 @@ func cmp(a, b, c, d float64) bool {
 	}
 	if diags := analysis.Analyze(pkg, []analysis.Analyzer{analysis.NewFloatCmp()}); len(diags) != 0 {
 		t.Errorf("both placements should suppress, got %v", diags)
+	}
+}
+
+// TestStaleSuppressOnlyScope checks the -only interaction: a directive for
+// an analyzer that did not run is undecidable and must not be reported,
+// while an unused directive for an analyzer that did run is stale.
+func TestStaleSuppressOnlyScope(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module stalemod\n\ngo 1.22\n")
+	pkgDir := filepath.Join(dir, "internal", "s")
+	writeFile(t, filepath.Join(pkgDir, "s.go"), `package s
+
+func a() int {
+	//lint:ignore errdrop errdrop did not run, so this is undecidable
+	return 1
+}
+
+func b() int {
+	//lint:ignore floatcmp floatcmp ran and found nothing: stale
+	return 2
+}
+`)
+	l, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := l.LoadDir(pkgDir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	diags := analysis.Analyze(pkg, []analysis.Analyzer{analysis.NewFloatCmp(), analysis.NewStaleSuppress()})
+	if len(diags) != 1 || diags[0].Category != "stalesuppress" || diags[0].Pos.Line != 9 {
+		t.Errorf("want exactly the floatcmp directive reported stale at line 9, got %v", diags)
 	}
 }
 

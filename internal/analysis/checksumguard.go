@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ChecksumGuard enforces the paper's checksum-coverage invariant inside
+// //hot:protected regions: every write to a declared protected vector must
+// flow through a call (the internal/vec, internal/kernel and
+// internal/checksum operations, which maintain the cᵀv checksum and its
+// η error bound alongside the data — Eqs. 2–4), never through raw
+// element syntax. A raw write desynchronizes vector and checksum, which
+// either masks a real fault or triggers a false detection and a wasted
+// rollback. Four findings:
+//
+//   - an indexed write v[i] = ..., v.data[i] -= ... to a protected vector;
+//   - a builtin copy into a protected vector;
+//   - a direct assignment replacing a protected vector or one of its
+//     fields (v = ..., v.data = ...);
+//   - a re-slice of a protected vector (v.data[a:b]) — the alias escapes
+//     the guard, so later writes through it would be invisible.
+//
+// Calls receiving protected vectors as arguments are the sanctioned path
+// and always pass; the one raw anchor write lives in checksum.Anchor,
+// which re-derives the checksum from a fresh reduction. Regions are
+// declared with //hot:protected on the solver loops (x, r, p, ... of PCG,
+// BiCGStab, CR) and on the engine's operation methods (see hot.go for the
+// directive language).
+type ChecksumGuard struct {
+	Base
+}
+
+// NewChecksumGuard constructs the checksumguard analyzer.
+func NewChecksumGuard() *ChecksumGuard {
+	return &ChecksumGuard{Base: NewBase("checksumguard",
+		"flags raw writes and aliasing re-slices of //hot:protected vectors that bypass the checksum-maintaining ops")}
+}
+
+// RunPackage implements Analyzer. Protected regions are resolved from the
+// same directive model hotalloc uses.
+func (a *ChecksumGuard) RunPackage(pass *Pass) {
+	model := buildHotModel(pass)
+	for _, r := range model.protRegions {
+		objs, missing := model.protObjects(r)
+		for _, name := range missing {
+			pass.Reportf(r.pos, "//hot:protected name %q does not resolve to a variable in its region", name)
+		}
+		if len(objs) == 0 {
+			continue
+		}
+		g := &guardWalker{pass: pass, objs: objs}
+		model.walkProtected(r, g.visit)
+	}
+}
+
+// guardWalker checks one protected region against one protected-object set.
+type guardWalker struct {
+	pass *Pass
+	objs map[types.Object]string
+}
+
+func (g *guardWalker) visit(n ast.Node) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			g.checkWrite(lhs)
+		}
+	case *ast.IncDecStmt:
+		g.checkWrite(n.X)
+	case *ast.CallExpr:
+		if calleeBuiltin(g.pass, n) == "copy" && len(n.Args) == 2 {
+			if name, ok := g.protected(n.Args[0]); ok {
+				g.pass.Reportf(n.Pos(),
+					"copy into protected vector %q bypasses checksum maintenance; use the vec/kernel/checksum ops", name)
+			}
+		}
+	case *ast.SliceExpr:
+		if name, ok := g.protected(n.X); ok {
+			g.pass.Reportf(n.Pos(),
+				"re-slice aliases protected vector %q; writes through the alias escape the checksum guard", name)
+		}
+	case *ast.UnaryExpr:
+		// &v.data[i] or &v would let the write happen through a pointer
+		// the guard cannot see.
+		if n.Op == token.AND {
+			if name, ok := g.protected(n.X); ok {
+				g.pass.Reportf(n.Pos(),
+					"taking the address of protected vector %q lets writes escape the checksum guard", name)
+			}
+		}
+	}
+}
+
+// checkWrite reports a raw assignment target rooted at a protected object.
+func (g *guardWalker) checkWrite(lhs ast.Expr) {
+	name, ok := g.protected(lhs)
+	if !ok {
+		return
+	}
+	if _, isIndex := ast.Unparen(lhs).(*ast.IndexExpr); isIndex {
+		g.pass.Reportf(lhs.Pos(),
+			"raw indexed write to protected vector %q bypasses checksum maintenance; route it through the vec/kernel/checksum ops", name)
+		return
+	}
+	g.pass.Reportf(lhs.Pos(),
+		"direct assignment to protected vector %q bypasses checksum maintenance; route it through the vec/kernel/checksum ops", name)
+}
+
+// protected resolves e's base variable against the protected set.
+func (g *guardWalker) protected(e ast.Expr) (string, bool) {
+	obj := baseObject(g.pass, e)
+	if obj == nil {
+		return "", false
+	}
+	name, ok := g.objs[obj]
+	return name, ok
+}

@@ -1,0 +1,465 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hot.go implements the //hot: directive language shared by the hotalloc
+// and checksumguard analyzers. Directives are ordinary comments attached to
+// the statement or declaration that starts on the line after their comment
+// group (so they compose with //lint:ignore lines in the same group):
+//
+//	//hot:loop <reason>        on a for/range statement or a func decl:
+//	                           the subtree is a hot region — code on the
+//	                           steady-state per-iteration budget.
+//	//hot:cold <reason>        on any statement inside a hot region: the
+//	                           statement's subtree is excluded (it rides
+//	                           the recovery/once-per-solve budget), and
+//	                           any func literal defined by it is never
+//	                           followed. On a func decl: the whole body
+//	                           is excluded.
+//	//hot:protected <name>...  on a hot loop: the named vectors may only
+//	                           be written through calls inside the loop
+//	                           subtree (minus cold). On a func decl: the
+//	                           whole body is protected regardless of
+//	                           hotness.
+//
+// Hotness propagates through the package's static call graph: a function
+// whose declaration lives in the same package becomes hot when a hot
+// region calls it, as does the body of a func literal bound to a local
+// variable that is assigned exactly once (the checkpoint/rollback closure
+// idiom). Cross-package and interface calls are the analysis boundary —
+// callees behind them carry their own //hot:loop annotations (the kernel
+// ops, the checksum update/anchor entry points) or are deliberately out of
+// scope (internal/vec's leaf closures never escape).
+
+const hotPrefix = "//hot:"
+
+// hotDirective is one parsed //hot: comment.
+type hotDirective struct {
+	kind string // "loop", "cold", "protected"
+	args string // reason text, or the protected name list
+	pos  token.Pos
+}
+
+// hotLoop is one //hot:loop region rooted at a for or range statement.
+type hotLoop struct {
+	stmt   ast.Stmt // *ast.ForStmt or *ast.RangeStmt
+	reason string
+	pos    token.Pos
+}
+
+// hotFunc is one //hot:loop region rooted at a function declaration.
+type hotFunc struct {
+	decl   *ast.FuncDecl
+	reason string
+	pos    token.Pos
+}
+
+// protRegion is one //hot:protected region: a root node plus the declared
+// vector names. For loop roots the region is the subtree minus cold; for
+// func roots it is the whole body.
+type protRegion struct {
+	root   ast.Node // *ast.ForStmt, *ast.RangeStmt or *ast.FuncDecl
+	isFunc bool
+	names  []string
+	pos    token.Pos
+}
+
+// badDirective is a //hot: comment the model could not honor. The hotalloc
+// analyzer reports these (running only checksumguard skips them).
+type badDirective struct {
+	pos     token.Pos
+	message string
+}
+
+// hotModel is the resolved directive set of one package.
+type hotModel struct {
+	pass        *Pass
+	loops       []hotLoop
+	funcs       []hotFunc
+	protRegions []protRegion
+	coldStmts   map[ast.Stmt]bool
+	coldFuncs   map[*ast.FuncDecl]bool
+	coldLits    map[*ast.FuncLit]bool
+	funcDecls   map[*types.Func]*ast.FuncDecl
+	litOf       map[types.Object]*ast.FuncLit
+	bad         []badDirective
+}
+
+// buildHotModel parses every //hot: directive of the package's non-test
+// files and resolves the call-graph facts reachability needs.
+func buildHotModel(pass *Pass) *hotModel {
+	m := &hotModel{
+		pass:      pass,
+		coldStmts: map[ast.Stmt]bool{},
+		coldFuncs: map[*ast.FuncDecl]bool{},
+		coldLits:  map[*ast.FuncLit]bool{},
+		funcDecls: map[*types.Func]*ast.FuncDecl{},
+		litOf:     map[types.Object]*ast.FuncLit{},
+	}
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass.Pkg.Fset, f) {
+			continue
+		}
+		m.collectFile(f)
+	}
+	m.resolveClosureBindings()
+	return m
+}
+
+// collectFile attaches the file's directives and indexes its declarations.
+func (m *hotModel) collectFile(file *ast.File) {
+	fset := m.pass.Pkg.Fset
+
+	// Index the outermost statement and any func decl starting on each
+	// line. Preorder traversal sees enclosing statements first, so the
+	// first statement recorded for a line is the outermost one. Block
+	// statements are skipped: `for ... {` puts a BlockStmt on the same
+	// line as the loop header, and directives never target bare blocks.
+	stmtAt := map[int]ast.Stmt{}
+	funcAt := map[int]*ast.FuncDecl{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			line := fset.Position(n.Pos()).Line
+			if funcAt[line] == nil {
+				funcAt[line] = n
+			}
+			if n.Name != nil {
+				if fn, ok := m.pass.Pkg.Info.Defs[n.Name].(*types.Func); ok {
+					m.funcDecls[fn] = n
+				}
+			}
+		case ast.Stmt:
+			if _, isBlock := n.(*ast.BlockStmt); isBlock {
+				break
+			}
+			line := fset.Position(n.Pos()).Line
+			if stmtAt[line] == nil {
+				stmtAt[line] = n
+			}
+		}
+		return true
+	})
+
+	for _, group := range file.Comments {
+		var directives []hotDirective
+		for _, c := range group.List {
+			if !strings.HasPrefix(c.Text, hotPrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, hotPrefix)
+			kind, args, _ := strings.Cut(rest, " ")
+			directives = append(directives, hotDirective{
+				kind: kind,
+				args: strings.TrimSpace(args),
+				pos:  c.Pos(),
+			})
+		}
+		if len(directives) == 0 {
+			continue
+		}
+		// The directive's target starts on the line after the comment
+		// group; a trailing (same-line) group falls back to the statement
+		// the group follows.
+		primary := fset.Position(group.End()).Line + 1
+		fallback := fset.Position(group.Pos()).Line
+		for _, d := range directives {
+			m.attach(d, stmtAt, funcAt, primary, fallback)
+		}
+	}
+}
+
+// attach binds one directive to its target node.
+func (m *hotModel) attach(d hotDirective, stmtAt map[int]ast.Stmt, funcAt map[int]*ast.FuncDecl, primary, fallback int) {
+	var stmt ast.Stmt
+	var fn *ast.FuncDecl
+	if fn = funcAt[primary]; fn == nil {
+		if stmt = stmtAt[primary]; stmt == nil {
+			if fn = funcAt[fallback]; fn == nil {
+				stmt = stmtAt[fallback]
+			}
+		}
+	}
+	switch d.kind {
+	case "loop":
+		switch {
+		case fn != nil:
+			if fn.Body == nil {
+				m.badf(d.pos, "//hot:loop on a function with no body")
+				return
+			}
+			m.funcs = append(m.funcs, hotFunc{decl: fn, reason: d.args, pos: d.pos})
+		case isLoop(stmt):
+			m.loops = append(m.loops, hotLoop{stmt: stmt, reason: d.args, pos: d.pos})
+		default:
+			m.badf(d.pos, "//hot:loop must annotate a for/range statement or a function declaration")
+		}
+	case "cold":
+		switch {
+		case fn != nil:
+			m.coldFuncs[fn] = true
+		case stmt != nil:
+			m.coldStmts[stmt] = true
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					m.coldLits[lit] = true
+				}
+				return true
+			})
+		default:
+			m.badf(d.pos, "//hot:cold does not attach to any statement or declaration")
+		}
+	case "protected":
+		names := strings.Fields(d.args)
+		if len(names) == 0 {
+			m.badf(d.pos, "//hot:protected needs at least one vector name")
+			return
+		}
+		switch {
+		case fn != nil:
+			if fn.Body == nil {
+				m.badf(d.pos, "//hot:protected on a function with no body")
+				return
+			}
+			m.protRegions = append(m.protRegions, protRegion{root: fn, isFunc: true, names: names, pos: d.pos})
+		case isLoop(stmt):
+			m.protRegions = append(m.protRegions, protRegion{root: stmt, names: names, pos: d.pos})
+		default:
+			m.badf(d.pos, "//hot:protected must annotate a for/range statement or a function declaration")
+		}
+	default:
+		m.badf(d.pos, "unknown //hot:%s directive (want loop, cold or protected)", d.kind)
+	}
+}
+
+func (m *hotModel) badf(pos token.Pos, format string, args ...any) {
+	m.bad = append(m.bad, badDirective{pos: pos, message: fmt.Sprintf(format, args...)})
+}
+
+func isLoop(s ast.Stmt) bool {
+	switch s.(type) {
+	case *ast.ForStmt, *ast.RangeStmt:
+		return true
+	}
+	return false
+}
+
+// resolveClosureBindings finds local variables bound to a func literal by
+// exactly one assignment in the whole package — the checkpoint/rollback
+// closure idiom — so reachability can follow calls through them. A
+// variable assigned more than once, or whose defining literal is marked
+// //hot:cold, is never followed.
+func (m *hotModel) resolveClosureBindings() {
+	assigns := map[types.Object]int{}
+	lits := map[types.Object]*ast.FuncLit{}
+	info := m.pass.Pkg.Info
+	record := func(lhs, rhs []ast.Expr) {
+		for i, l := range lhs {
+			id, ok := l.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			assigns[obj]++
+			if len(rhs) == len(lhs) {
+				if lit, ok := rhs[i].(*ast.FuncLit); ok {
+					lits[obj] = lit
+				}
+			}
+		}
+	}
+	for _, f := range m.pass.Pkg.Files {
+		if isTestFile(m.pass.Pkg.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				record(n.Lhs, n.Rhs)
+			case *ast.ValueSpec:
+				lhs := make([]ast.Expr, len(n.Names))
+				for i, id := range n.Names {
+					lhs[i] = id
+				}
+				record(lhs, n.Values)
+			}
+			return true
+		})
+	}
+	for obj, lit := range lits {
+		if assigns[obj] == 1 && !m.coldLits[lit] {
+			m.litOf[obj] = lit
+		}
+	}
+}
+
+// hotSite is one hot code region handed to a visitor: a root subtree or a
+// transitively reached function body, with the originating //hot:loop for
+// the diagnostic trail.
+type hotSite struct {
+	body   ast.Node
+	origin token.Position // position of the root //hot:loop region
+	reason string
+}
+
+// forEachHotSite walks the hot extent of the package: every //hot:loop
+// region plus every package-local function (or single-assignment closure)
+// transitively called from one, excluding //hot:cold subtrees. Each
+// distinct body is visited once, attributed to the first root that reached
+// it.
+func (m *hotModel) forEachHotSite(visit func(site hotSite)) {
+	type work struct {
+		node   ast.Node
+		origin token.Position
+		reason string
+	}
+	var queue []work
+	fset := m.pass.Pkg.Fset
+	for _, l := range m.loops {
+		queue = append(queue, work{node: l.stmt, origin: fset.Position(l.pos), reason: l.reason})
+	}
+	for _, f := range m.funcs {
+		queue = append(queue, work{node: f.decl.Body, origin: fset.Position(f.pos), reason: f.reason})
+	}
+	seen := map[ast.Node]bool{}
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		if seen[w.node] {
+			continue
+		}
+		seen[w.node] = true
+		visit(hotSite{body: w.node, origin: w.origin, reason: w.reason})
+		// Follow the region's static calls into package-local bodies.
+		m.walkHot(w.node, func(n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if body := m.calleeBody(call); body != nil {
+				queue = append(queue, work{node: body, origin: w.origin, reason: w.reason})
+			}
+		})
+	}
+}
+
+// calleeBody resolves a call to a package-local function body or a
+// single-assignment closure body, or nil when the callee is outside the
+// analysis boundary (cross-package, interface, builtin, cold).
+func (m *hotModel) calleeBody(call *ast.CallExpr) ast.Node {
+	if fn := calleeFunc(m.pass, call); fn != nil {
+		decl := m.funcDecls[fn]
+		if decl == nil || decl.Body == nil || m.coldFuncs[decl] {
+			return nil
+		}
+		return decl.Body
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		obj := m.pass.Pkg.Info.Uses[id]
+		if lit := m.litOf[obj]; lit != nil {
+			return lit.Body
+		}
+	}
+	return nil
+}
+
+// walkHot visits every node of a hot subtree in preorder, skipping
+// //hot:cold statements (and with them any func literal they define).
+func (m *hotModel) walkHot(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if s, ok := n.(ast.Stmt); ok && m.coldStmts[s] {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// protObjects resolves a protected region's declared names to the variable
+// objects they denote inside the region. Every object using a declared
+// name within the region is protected (so shadowing cannot smuggle a write
+// past the guard). Names matching nothing are returned in missing.
+func (m *hotModel) protObjects(r protRegion) (objs map[types.Object]string, missing []string) {
+	objs = map[types.Object]string{}
+	found := map[string]bool{}
+	info := m.pass.Pkg.Info
+	declared := map[string]bool{}
+	for _, name := range r.names {
+		declared[name] = true
+	}
+	m.walkProtected(r, func(n ast.Node) {
+		id, ok := n.(*ast.Ident)
+		if !ok || !declared[id.Name] {
+			return
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			objs[v] = id.Name
+			found[id.Name] = true
+		}
+	})
+	for _, name := range r.names {
+		if !found[name] {
+			missing = append(missing, name)
+		}
+	}
+	return objs, missing
+}
+
+// walkProtected visits the nodes of a protected region: the whole body for
+// a func root, the subtree minus //hot:cold statements for a loop root.
+func (m *hotModel) walkProtected(r protRegion, visit func(ast.Node)) {
+	if r.isFunc {
+		ast.Inspect(r.root.(*ast.FuncDecl).Body, func(n ast.Node) bool {
+			if n != nil {
+				visit(n)
+			}
+			return true
+		})
+		return
+	}
+	m.walkHot(r.root, visit)
+}
+
+// baseObject resolves the variable at the base of an index, slice, selector
+// or pointer chain: x, x.data, x.data[i], x.s[1:] all resolve to x's
+// object. It returns nil for bases that are not simple variables.
+func baseObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := pass.Pkg.Info.Uses[x]
+			if obj == nil {
+				obj = pass.Pkg.Info.Defs[x]
+			}
+			return obj
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

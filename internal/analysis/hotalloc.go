@@ -1,0 +1,442 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// HotAlloc flags heap-allocating constructs inside //hot:loop regions and
+// the package-local functions transitively reachable from one. The paper's
+// online ABFT schemes only pay off when the checksum machinery adds O(n)
+// arithmetic and nothing else per iteration (§5 overhead model); a heap
+// allocation inside the steady state turns that into allocator and GC
+// traffic proportional to the iteration count. The dynamic counterpart is
+// the AllocsPerRun suite in internal/core and internal/kernel; this check
+// pins the property at review time, per construct:
+//
+//   - make and new;
+//   - append, except the amortized self-append x = append(x, ...);
+//   - slice, map and &composite literals (value struct literals stay on
+//     the stack);
+//   - func literals capturing enclosing variables (closure allocation);
+//   - interface boxing: non-constant concrete values passed to interface
+//     parameters, converted, assigned or returned as interfaces;
+//   - calls into fmt and errors (formatting always allocates);
+//   - non-constant string concatenation and string<->[]byte/[]rune
+//     conversions.
+//
+// The one structural exemption is the workspace-grow idiom: a make guarded
+// by an enclosing `if cap(buf) < n` comparison reaches its high-water mark
+// once and is free thereafter (the kernel Pool's grow1/grow2/growW).
+// Anything else on the hot path either moves to pool/workspace machinery
+// or is explicitly re-budgeted with //hot:cold.
+type HotAlloc struct {
+	Base
+}
+
+// NewHotAlloc constructs the hotalloc analyzer.
+func NewHotAlloc() *HotAlloc {
+	return &HotAlloc{Base: NewBase("hotalloc",
+		"flags heap allocations inside //hot:loop regions and functions reachable from them")}
+}
+
+// RunPackage implements Analyzer. Hotness is a whole-package property (the
+// call graph crosses files), so the work happens here rather than per file.
+func (a *HotAlloc) RunPackage(pass *Pass) {
+	model := buildHotModel(pass)
+	for _, bad := range model.bad {
+		pass.Reportf(bad.pos, "%s", bad.message)
+	}
+	c := &allocChecker{pass: pass, model: model, reported: map[token.Pos]bool{}}
+	model.forEachHotSite(func(site hotSite) {
+		c.site = site
+		c.walk(site.body)
+	})
+}
+
+// allocChecker walks one hot site keeping the ancestor stack the append
+// and cap-guard exemptions need.
+type allocChecker struct {
+	pass     *Pass
+	model    *hotModel
+	site     hotSite
+	reported map[token.Pos]bool
+}
+
+func (c *allocChecker) reportf(pos token.Pos, format string, args ...any) {
+	// A body reachable from several roots is visited once, but a loop that
+	// is both a root and part of a reachable body would double-report
+	// without this guard.
+	if c.reported[pos] {
+		return
+	}
+	c.reported[pos] = true
+	c.pass.Reportf(pos, format+" (hot via %s:%d: %s)",
+		append(args, filepath.Base(c.site.origin.Filename), c.site.origin.Line, c.site.reason)...)
+}
+
+// walk is a preorder traversal with an explicit ancestor stack, skipping
+// //hot:cold subtrees.
+func (c *allocChecker) walk(root ast.Node) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if s, ok := n.(ast.Stmt); ok && c.model.coldStmts[s] {
+			return false // pruned before the push: no pop will arrive
+		}
+		c.check(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+func (c *allocChecker) check(n ast.Node, ancestors []ast.Node) {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		c.checkCall(n, ancestors)
+	case *ast.CompositeLit:
+		c.checkCompositeLit(n, ancestors)
+	case *ast.FuncLit:
+		c.checkFuncLit(n)
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD && c.isNonConstString(n) {
+			c.reportf(n.Pos(), "string concatenation allocates on the hot path; render into a reusable buffer")
+		}
+	case *ast.AssignStmt:
+		c.checkAssignBoxing(n)
+	case *ast.ReturnStmt:
+		c.checkReturnBoxing(n, ancestors)
+	case *ast.GoStmt:
+		c.reportf(n.Pos(), "go statement allocates a goroutine on the hot path; reuse long-lived workers")
+	}
+}
+
+func (c *allocChecker) checkCall(call *ast.CallExpr, ancestors []ast.Node) {
+	info := c.pass.Pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		c.checkConversion(call)
+		return
+	}
+	switch calleeBuiltin(c.pass, call) {
+	case "make":
+		if !underCapGuard(c.pass, ancestors) {
+			c.reportf(call.Pos(), "make allocates on the hot path; grow a reusable workspace under a cap guard instead")
+		}
+		return
+	case "new":
+		c.reportf(call.Pos(), "new allocates on the hot path")
+		return
+	case "append":
+		if !isSelfAppend(c.pass, call, ancestors) {
+			c.reportf(call.Pos(), "append into a fresh slice allocates on the hot path; only the amortized x = append(x, ...) form is exempt")
+		}
+		return
+	case "":
+	default:
+		return // other builtins (len, cap, copy, ...) never allocate
+	}
+	if fn := calleeFunc(c.pass, call); fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt", "errors":
+			c.reportf(call.Pos(), "%s.%s allocates on the hot path; formatting belongs on the cold (error/trace) path", fn.Pkg().Name(), fn.Name())
+			return
+		}
+	}
+	c.checkArgBoxing(call)
+}
+
+// checkConversion flags T(x) conversions that allocate: boxing into an
+// interface type and string<->[]byte/[]rune copies.
+func (c *allocChecker) checkConversion(call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	dst := c.pass.TypeOf(call.Fun)
+	arg := call.Args[0]
+	if dst == nil || c.isConstOrNil(arg) {
+		return
+	}
+	src := c.pass.TypeOf(arg)
+	if src == nil {
+		return
+	}
+	if types.IsInterface(dst) && !types.IsInterface(src) {
+		c.reportf(call.Pos(), "conversion boxes a %s into an interface on the hot path", c.typeName(src))
+		return
+	}
+	if isStringCopyConversion(dst, src) {
+		c.reportf(call.Pos(), "%s(%s) conversion copies on the hot path", c.typeName(dst), c.typeName(src))
+	}
+}
+
+func (c *allocChecker) checkCompositeLit(lit *ast.CompositeLit, ancestors []ast.Node) {
+	t := c.pass.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	if len(ancestors) > 0 {
+		if u, ok := ancestors[len(ancestors)-1].(*ast.UnaryExpr); ok && u.Op == token.AND {
+			c.reportf(u.Pos(), "&%s literal escapes to the heap on the hot path", c.typeName(t))
+			return
+		}
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		c.reportf(lit.Pos(), "slice literal allocates on the hot path")
+	case *types.Map:
+		c.reportf(lit.Pos(), "map literal allocates on the hot path")
+	}
+	// Value struct and array literals live on the stack and pass.
+}
+
+func (c *allocChecker) checkFuncLit(lit *ast.FuncLit) {
+	if id := capturedOuter(c.pass, lit); id != nil {
+		c.reportf(lit.Pos(), "func literal captures %q and allocates a closure on the hot path; mark its definition //hot:cold if it only runs on the recovery path", id.Name)
+	}
+}
+
+// checkArgBoxing flags non-constant concrete arguments passed to interface
+// parameters — each such call boxes the value.
+func (c *allocChecker) checkArgBoxing(call *ast.CallExpr) {
+	sig, ok := c.pass.TypeOf(call.Fun).(*types.Signature)
+	if ok && sig != nil {
+		params := sig.Params()
+		for i, arg := range call.Args {
+			var pt types.Type
+			switch {
+			case sig.Variadic() && i >= params.Len()-1:
+				if call.Ellipsis.IsValid() {
+					continue // xs... passes the slice itself
+				}
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			case i < params.Len():
+				pt = params.At(i).Type()
+			default:
+				continue
+			}
+			c.checkBoxed(arg, pt, "argument")
+		}
+	}
+}
+
+func (c *allocChecker) checkAssignBoxing(assign *ast.AssignStmt) {
+	if len(assign.Lhs) != len(assign.Rhs) {
+		return
+	}
+	for i, rhs := range assign.Rhs {
+		if lt := c.pass.TypeOf(assign.Lhs[i]); lt != nil {
+			c.checkBoxed(rhs, lt, "assignment")
+		}
+	}
+}
+
+func (c *allocChecker) checkReturnBoxing(ret *ast.ReturnStmt, ancestors []ast.Node) {
+	sig := enclosingSignature(c.pass, ancestors, ret.Pos())
+	if sig == nil || sig.Results().Len() != len(ret.Results) {
+		return
+	}
+	for i, res := range ret.Results {
+		c.checkBoxed(res, sig.Results().At(i).Type(), "return")
+	}
+}
+
+// checkBoxed reports expr if storing it into target type boxes a
+// non-constant concrete value into an interface.
+func (c *allocChecker) checkBoxed(expr ast.Expr, target types.Type, what string) {
+	if target == nil || !types.IsInterface(target) || c.isConstOrNil(expr) {
+		return
+	}
+	src := c.pass.TypeOf(expr)
+	if src == nil || types.IsInterface(src) {
+		return
+	}
+	c.reportf(expr.Pos(), "%s boxes a %s into an interface on the hot path", what, c.typeName(src))
+}
+
+// typeName renders a type with package-local names unqualified, so
+// messages stay readable and checkout-path independent.
+func (c *allocChecker) typeName(t types.Type) string {
+	return types.TypeString(t, types.RelativeTo(c.pass.Pkg.Types))
+}
+
+// isConstOrNil reports whether the type checker proved expr constant (or
+// it is the nil literal) — boxing a constant interns, it does not allocate
+// per iteration.
+func (c *allocChecker) isConstOrNil(expr ast.Expr) bool {
+	tv, ok := c.pass.Pkg.Info.Types[expr]
+	if !ok {
+		return false
+	}
+	if tv.Value != nil || tv.IsNil() {
+		return true
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return true
+	}
+	return false
+}
+
+func (c *allocChecker) isNonConstString(e *ast.BinaryExpr) bool {
+	if c.isConstOrNil(e) {
+		return false
+	}
+	t := c.pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isStringCopyConversion reports a conversion between string and a byte or
+// rune slice — both directions copy the contents.
+func isStringCopyConversion(dst, src types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteOrRuneSlice := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+	}
+	return (isStr(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isStr(src))
+}
+
+// calleeBuiltin names the builtin a call invokes, or "".
+func calleeBuiltin(pass *Pass, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := pass.ObjectOf(id).(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// underCapGuard reports whether any enclosing if condition consults
+// builtin cap — the workspace-grow idiom `if cap(buf) < n { buf = make(...) }`
+// that reaches a high-water mark once.
+func underCapGuard(pass *Pass, ancestors []ast.Node) bool {
+	for _, anc := range ancestors {
+		ifStmt, ok := anc.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		found := false
+		ast.Inspect(ifStmt.Cond, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && calleeBuiltin(pass, call) == "cap" {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isSelfAppend reports the amortized form x = append(x, ...): the direct
+// parent is an assignment whose corresponding left-hand side names the
+// same variable as append's first argument.
+func isSelfAppend(pass *Pass, call *ast.CallExpr, ancestors []ast.Node) bool {
+	if len(call.Args) == 0 || len(ancestors) == 0 {
+		return false
+	}
+	assign, ok := ancestors[len(ancestors)-1].(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	dst := baseObject(pass, call.Args[0])
+	if dst == nil {
+		return false
+	}
+	for i, rhs := range assign.Rhs {
+		if ast.Unparen(rhs) == call && i < len(assign.Lhs) {
+			return baseObject(pass, assign.Lhs[i]) == dst
+		}
+	}
+	return false
+}
+
+// capturedOuter returns an identifier inside lit that resolves to a
+// variable declared outside it, or nil for capture-free literals (which
+// compile to a static function value, no allocation).
+func capturedOuter(pass *Pass, lit *ast.FuncLit) *ast.Ident {
+	var hit *ast.Ident
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if hit != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.Pkg.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true // package-level variable, not a capture
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			hit = id
+		}
+		return hit == nil
+	})
+	return hit
+}
+
+// enclosingSignature finds the signature of the function a return belongs
+// to: the innermost function literal or declaration on the ancestor stack,
+// falling back to a lexical search when the walk was rooted inside the
+// function (a hot loop root or a reachable function body).
+func enclosingSignature(pass *Pass, ancestors []ast.Node, pos token.Pos) *types.Signature {
+	for i := len(ancestors) - 1; i >= 0; i-- {
+		switch f := ancestors[i].(type) {
+		case *ast.FuncLit:
+			sig, _ := pass.TypeOf(f).(*types.Signature)
+			return sig
+		case *ast.FuncDecl:
+			if fn, ok := pass.Pkg.Info.Defs[f.Name].(*types.Func); ok {
+				return fn.Type().(*types.Signature)
+			}
+			return nil
+		}
+	}
+	var sig *types.Signature
+	for _, file := range pass.Pkg.Files {
+		if pos < file.Pos() || pos > file.End() {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if pos < n.Pos() || pos > n.End() {
+				return false
+			}
+			switch f := n.(type) {
+			case *ast.FuncLit:
+				sig, _ = pass.TypeOf(f).(*types.Signature)
+			case *ast.FuncDecl:
+				if fn, ok := pass.Pkg.Info.Defs[f.Name].(*types.Func); ok {
+					sig = fn.Type().(*types.Signature)
+				}
+			}
+			return true
+		})
+		break
+	}
+	return sig
+}

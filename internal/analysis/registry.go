@@ -4,12 +4,18 @@ import "fmt"
 
 // All returns the full default analyzer set in its driver configuration
 // (bannedcall and goroutineguard scoped to internal/ packages).
+// stalesuppress is listed last because it judges the suppression usage the
+// other analyzers' filtered findings produce (Analyze orders it last
+// regardless).
 func All() []Analyzer {
 	return []Analyzer{
 		NewFloatCmp(),
 		NewErrDrop(),
 		NewBannedCall(),
 		NewGoroutineGuard(),
+		NewHotAlloc(),
+		NewChecksumGuard(),
+		NewStaleSuppress(),
 	}
 }
 

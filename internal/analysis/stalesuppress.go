@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StaleSuppress flags //lint:ignore directives that no longer suppress
+// anything. A suppression documents a conscious exception to an invariant;
+// once the code it excused is refactored away, the stale directive keeps
+// asserting an exception that does not exist — and worse, it silently
+// swallows the next genuine finding that lands on its line. The analyzer
+// reports every well-formed directive that (a) matched no finding in this
+// run and (b) names only categories whose analyzers actually ran, so a
+// narrowed `-only` selection never produces false positives for the
+// analyzers it skipped.
+//
+// StaleSuppress is special-cased by Analyze: it consumes the suppression
+// usage state left behind by the filtering of every other analyzer's
+// findings, so it always runs last regardless of registry order.
+type StaleSuppress struct {
+	Base
+}
+
+// NewStaleSuppress constructs the stalesuppress analyzer.
+func NewStaleSuppress() *StaleSuppress {
+	return &StaleSuppress{Base: NewBase("stalesuppress",
+		"flags //lint:ignore directives that no longer suppress any finding")}
+}
+
+// findings reports the unused directives whose categories all belong to
+// analyzers that ran. Called by Analyze after suppression filtering.
+func (a *StaleSuppress) findings(sup *suppressions, ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, rec := range sup.all {
+		if rec.used {
+			continue
+		}
+		decidable := true
+		for _, cat := range rec.categories {
+			if !ran[cat] {
+				decidable = false
+				break
+			}
+		}
+		if !decidable {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      rec.pos,
+			Category: a.Name(),
+			Message: fmt.Sprintf("stale //lint:ignore %s: no finding here needs suppression; delete the directive",
+				strings.Join(rec.categories, ",")),
+		})
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+// Package checksumguardcase seeds protected-vector write violations (plus
+// sanctioned, cold and suppressed counterparts) for the checksumguard
+// golden test.
+package checksumguardcase
+
+// axpyInto stands in for the checksum-maintaining vec/kernel/checksum ops:
+// calls are the sanctioned write path.
+func axpyInto(dst, x []float64, a float64) {
+	for i := range dst {
+		dst[i] += a * x[i]
+	}
+}
+
+// tracked pairs a vector with its carried checksum, like core's tracked
+// vectors.
+type tracked struct {
+	data []float64
+	s    []float64
+}
+
+func solve(x, r []float64, iters int) {
+	scratch := make([]float64, len(x))
+	//hot:loop protected iteration
+	//hot:protected x r
+	for i := 0; i < iters; i++ {
+		axpyInto(x, r, 0.5) // sanctioned: writes flow through a call
+		x[0] = 1.0          // flagged: raw indexed write
+		r[i%len(r)] -= 0.25 // flagged: raw indexed write (op-assign)
+		copy(x, scratch)    // flagged: copy into protected
+		alias := r[1:]      // flagged: aliasing re-slice
+		_ = alias
+		ptr := &x[0] // flagged: address escapes the guard
+		_ = ptr
+		x = scratch             // flagged: direct assignment
+		scratch[0] = float64(i) // unprotected scratch is free to write
+		//hot:cold recovery write rides the rollback budget
+		if i == 0 {
+			x[0] = 0
+		}
+		//lint:ignore checksumguard checksum is re-anchored on the next line
+		r[0] = 0
+	}
+}
+
+// anchor is a whole-function protected region, like the engine's
+// operation methods: v's checksum fields may only move through calls.
+//
+//hot:protected v
+func anchor(v *tracked, k int, sum float64) {
+	v.s[k] = sum // flagged: selector-indexed write to a protected field
+}
+
+func missing(q []float64) {
+	//hot:loop region with a typo in its protected list
+	//hot:protected ghost
+	for i := range q {
+		q[i] = 0
+	}
+}

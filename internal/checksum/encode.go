@@ -62,6 +62,8 @@ func (m *Matrix) NumChecksums() int { return len(m.Weights) }
 // checksums su, per Eq. (2): checksum_k(w) = Rows[k]·u + d·su[k].
 // The result is written to dst, which must have one slot per weight.
 // Cost: one dense dot of length N per weight — O(N), independent of nnz.
+//
+//hot:loop Eq. (2) MVM checksum update on the protected solve path
 func (m *Matrix) UpdateMVM(dst []float64, u []float64, su []float64) {
 	if len(u) != m.N {
 		panic("checksum: vector length mismatch in UpdateMVM")
@@ -79,6 +81,8 @@ func (m *Matrix) UpdateMVM(dst []float64, u []float64, su []float64) {
 // (sign-corrected) Eq. (4): checksum_k(w) = (su[k] − Rows[k]·w) / d, where
 // Rows encodes M. See DESIGN.md §2 for the derivation; this form satisfies
 // Lemma 1's identity checksum(w) − cᵀw = (checksum(u) − cᵀu)/d.
+//
+//hot:loop Eq. (4) PCO checksum update on the protected solve path
 func (m *Matrix) UpdatePCO(dst []float64, w []float64, su []float64) {
 	if len(w) != m.N {
 		panic("checksum: vector length mismatch in UpdatePCO")
@@ -93,6 +97,8 @@ func (m *Matrix) UpdatePCO(dst []float64, w []float64, su []float64) {
 
 // UpdateVLOAxpby computes the checksums of z := alpha·x + beta·y from the
 // operand checksums, per Eq. (3). O(1) per weight. dst may alias sx or sy.
+//
+//hot:loop Eq. (3) VLO checksum update on the protected solve path
 func UpdateVLOAxpby(dst []float64, alpha float64, sx []float64, beta float64, sy []float64) {
 	if len(dst) != len(sx) || len(dst) != len(sy) {
 		panic("checksum: checksum slot mismatch in UpdateVLOAxpby")
@@ -103,6 +109,8 @@ func UpdateVLOAxpby(dst []float64, alpha float64, sx []float64, beta float64, sy
 }
 
 // UpdateVLOScale computes the checksums of w := alpha·u. dst may alias su.
+//
+//hot:loop Eq. (3) scaling update on the protected solve path
 func UpdateVLOScale(dst []float64, alpha float64, su []float64) {
 	if len(dst) != len(su) {
 		panic("checksum: checksum slot mismatch in UpdateVLOScale")
@@ -113,6 +121,8 @@ func UpdateVLOScale(dst []float64, alpha float64, su []float64) {
 }
 
 // UpdateVLOAxpy computes the checksums of y := y + alpha·x in place on sy.
+//
+//hot:loop Eq. (3) in-place axpy update on the protected solve path
 func UpdateVLOAxpy(sy []float64, alpha float64, sx []float64) {
 	if len(sy) != len(sx) {
 		panic("checksum: checksum slot mismatch in UpdateVLOAxpy")
@@ -157,6 +167,8 @@ func ReduceEps(n int) float64 {
 
 // UpdateMVMBound is UpdateMVM plus η propagation:
 // η_out = |d|·η_in + depth·ε·(Σ|row_i·u_i| + |d·su|).
+//
+//hot:loop Eq. (2) update with eta propagation on the protected solve path
 func (m *Matrix) UpdateMVMBound(dst, etaDst []float64, u []float64, su, etaSrc []float64) {
 	if len(u) != m.N {
 		panic("checksum: vector length mismatch in UpdateMVMBound")
@@ -185,6 +197,8 @@ func (m *Matrix) foldMVMBound(k int, dst, etaDst []float64, s, abs float64, su, 
 // internal/kernel computes them with its worker pool (bitwise-identical to
 // the serial reduction by the vec block-tree contract) and feeds them
 // through the same bound formulas here.
+//
+//hot:loop Eq. (2) update fed by pooled kernels on the protected solve path
 func (m *Matrix) UpdateMVMBoundFrom(dst, etaDst, rowSum, rowAbs, su, etaSrc []float64) {
 	if len(dst) != len(m.Weights) || len(su) != len(m.Weights) ||
 		len(etaDst) != len(m.Weights) || len(etaSrc) != len(m.Weights) ||
@@ -198,6 +212,8 @@ func (m *Matrix) UpdateMVMBoundFrom(dst, etaDst, rowSum, rowAbs, su, etaSrc []fl
 
 // UpdatePCOBound is UpdatePCO plus η propagation:
 // η_out = (η_in + depth·ε·(Σ|row_i·w_i| + |su|)) / |d|.
+//
+//hot:loop Eq. (4) update with eta propagation on the protected solve path
 func (m *Matrix) UpdatePCOBound(dst, etaDst []float64, w []float64, su, etaSrc []float64) {
 	if len(w) != m.N {
 		panic("checksum: vector length mismatch in UpdatePCOBound")
@@ -221,6 +237,8 @@ func (m *Matrix) foldPCOBound(k int, dst, etaDst []float64, s, abs float64, su, 
 
 // UpdatePCOBoundFrom is UpdatePCOBound with the row reductions precomputed;
 // rowSum[k] and rowAbs[k] must be exactly vec.DotAbs(Rows[k], w).
+//
+//hot:loop Eq. (4) update fed by pooled kernels on the protected solve path
 func (m *Matrix) UpdatePCOBoundFrom(dst, etaDst, rowSum, rowAbs, su, etaSrc []float64) {
 	if len(dst) != len(m.Weights) || len(su) != len(m.Weights) ||
 		len(etaDst) != len(m.Weights) || len(etaSrc) != len(m.Weights) ||
@@ -233,6 +251,8 @@ func (m *Matrix) UpdatePCOBoundFrom(dst, etaDst, rowSum, rowAbs, su, etaSrc []fl
 }
 
 // UpdateVLOAxpbyBound is UpdateVLOAxpby plus η propagation.
+//
+//hot:loop Eq. (3) update with eta propagation on the protected solve path
 func UpdateVLOAxpbyBound(dst, etaDst []float64, alpha float64, sx, etaX []float64, beta float64, sy, etaY []float64) {
 	for k := range dst {
 		dst[k] = alpha*sx[k] + beta*sy[k]
@@ -242,11 +262,40 @@ func UpdateVLOAxpbyBound(dst, etaDst []float64, alpha float64, sx, etaX []float6
 }
 
 // UpdateVLOAxpyBound is UpdateVLOAxpy plus η propagation (in place on sy).
+//
+//hot:loop Eq. (3) in-place update with eta propagation on the protected solve path
 func UpdateVLOAxpyBound(sy, etaY []float64, alpha float64, sx, etaX []float64) {
 	for k := range sy {
 		sy[k] += alpha * sx[k]
 		etaY[k] += math.Abs(alpha)*etaX[k] + 4*Eps*(math.Abs(sy[k])+math.Abs(alpha*sx[k]))
 	}
+}
+
+// UpdateVLOScaleBound is UpdateVLOScale plus η propagation: the scaled
+// source bound α·η plus the rounding of the k multiplications themselves,
+// bounded by 2ε|dst[k]|.
+//
+//hot:loop Eq. (3) scaling update on the protected solve path
+func UpdateVLOScaleBound(dst, etaDst []float64, alpha float64, su, etaSrc []float64) {
+	for k := range dst {
+		dst[k] = alpha * su[k]
+		etaDst[k] = math.Abs(alpha)*etaSrc[k] + 2*Eps*math.Abs(dst[k])
+	}
+}
+
+// Anchor re-bases checksum slot k to a freshly measured weighted sum: the
+// carried checksum becomes the measurement and its round-off bound resets
+// to the single-reduction bound ReduceEps(n)·Σ|c_i·v_i|. This is the one
+// sanctioned raw write to carried checksum state — verification paths that
+// pass (engine.verify, the inner-level probes) re-anchor through it so the
+// η band cannot compound across verification windows, and checksumguard
+// can insist every other mutation of protected state flows through the
+// Eq. (2)–(4) update kernels.
+//
+//hot:loop verification re-anchor on the protected solve path
+func Anchor(s, eta []float64, k int, sum, absSum float64, n int) {
+	s[k] = sum
+	eta[k] = ReduceEps(n) * absSum
 }
 
 // Deltas computes δ_k = c_kᵀy − expected[k] for every weight: the checksum
@@ -266,6 +315,8 @@ func Deltas(y []float64, weights []Weight, expected []float64) []float64 {
 
 // Delta1 computes only δ1 = c1ᵀy − expected1, the cheap single-checksum
 // detection probe the inner level runs after every MVM (§5.3 step 7a).
+//
+//hot:loop per-MVM single-checksum detection probe (Sec. 5.3 step 7a)
 func Delta1(y []float64, w Weight, expected float64) float64 {
 	return w.Apply(y) - expected
 }

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"newsum/internal/kernel"
+	"newsum/internal/precond"
+	"newsum/internal/solver"
+	"newsum/internal/sparse"
+)
+
+// steadyStateAllocs measures the heap allocations of one protected solve
+// capped at exactly iters iterations: the tolerance is unreachably tight,
+// so the solve always runs the full budget and returns ErrNotConverged.
+// Setup (engine, tracked vectors, the i=0 checkpoint, the final error) is
+// a constant, so comparing the count at k and 2k iterations isolates the
+// per-iteration cost — the quantity the hotalloc analyzer polices
+// statically and this test pins dynamically.
+func steadyStateAllocs(t *testing.T, iters int, pool *kernel.Pool,
+	run func(opts Options) (Result, error)) float64 {
+	t.Helper()
+	opts := Options{}
+	opts.Tol = 1e-300 // unreachable: the solve always exhausts MaxIter
+	opts.MaxIter = iters
+	opts.DetectInterval = 1
+	opts.CheckpointInterval = 1 << 20 // i=0 only: checkpoints stay out of the steady state
+	opts.Pool = pool
+	var failed error
+	allocs := testing.AllocsPerRun(3, func() {
+		res, err := run(opts)
+		if !errors.Is(err, solver.ErrNotConverged) {
+			failed = err
+		} else if res.Iterations != iters {
+			failed = errors.New("solve stopped before exhausting MaxIter")
+		}
+	})
+	if failed != nil {
+		t.Fatalf("measured solve did not run the full %d iterations: %v", iters, failed)
+	}
+	return allocs
+}
+
+// TestSolveSteadyStateZeroAllocs asserts the steady-state allocation
+// contract end to end: once a protected solve is warmed up, every further
+// iteration performs zero heap allocations — serial and on a worker pool,
+// for basic and two-level PCG and for BiCGStab. The static counterpart is
+// the hotalloc analyzer over the //hot:loop-annotated solver loops; this
+// test catches what escape analysis decides behind the analyzer's back
+// (closure capture, interface boxing, append growth).
+func TestSolveSteadyStateZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement solves are not short")
+	}
+	a := sparse.Laplacian3D(17, 17, 17) // n = 4913 > the kernel's serial cutover
+	n := a.Rows
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1 + float64(i%7)/7
+	}
+	m, err := precond.Jacobi(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	solvers := []struct {
+		name string
+		run  func(opts Options) (Result, error)
+	}{
+		{"BasicPCG", func(opts Options) (Result, error) { return BasicPCG(a, m, b, opts) }},
+		{"TwoLevelPCG", func(opts Options) (Result, error) { return TwoLevelPCG(a, m, b, opts) }},
+		{"BasicPBiCGSTAB", func(opts Options) (Result, error) { return BasicPBiCGSTAB(a, m, b, opts) }},
+	}
+	const k = 24
+	for _, workers := range []int{0, 4} {
+		var pool *kernel.Pool
+		mode := "serial"
+		if workers > 0 {
+			pool = kernel.NewPool(workers)
+			defer pool.Close()
+			mode = "pool4"
+		}
+		for _, s := range solvers {
+			t.Run(s.name+"/"+mode, func(t *testing.T) {
+				atK := steadyStateAllocs(t, k, pool, s.run)
+				at2K := steadyStateAllocs(t, 2*k, pool, s.run)
+				// A genuine steady-state allocation adds at least k allocs
+				// to the longer run; the slack of 2 absorbs measurement
+				// jitter (AllocsPerRun floors its per-run average, and the
+				// per-solve fmt error draws scratch from a sync.Pool the GC
+				// occasionally empties) without masking a real leak.
+				if delta := at2K - atK; delta > 2 {
+					t.Errorf("steady state allocates: %v allocs at %d iters, %v at %d (%.2f allocs/iteration, want 0)",
+						atK, k, at2K, 2*k, delta/k)
+				}
+			})
+		}
+	}
+}

@@ -90,6 +90,7 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 	var store checkpoint.Store
 	d, cd := opts.DetectInterval, opts.CheckpointInterval
 
+	//hot:cold checkpoint machinery: invoked once per cd iterations, off the steady-state budget
 	saveCheckpoint := func(iter int) {
 		opts.Trace.add(iter, EvCheckpoint, "snapshot {x, p}")
 		store.Save(iter,
@@ -102,6 +103,7 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 	}
 	// rollback restores {x, p} and the scalars, then reconstructs
 	// r = b − A·x and v = A·M⁻¹p with fresh checksums (two MVMs + one PCO).
+	//hot:cold recovery machinery: runs only after a detection
 	rollback := func(iter int) (int, bool) {
 		res.Stats.Rollbacks++
 		if res.Stats.Rollbacks > opts.MaxRollbacks {
@@ -136,6 +138,7 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 		return snapIter, true
 	}
 
+	//hot:cold rollback-storm exit: runs at most once per solve
 	storm := func() (Result, error) {
 		res.Residual = relres
 		res.Stats.InjectedErrors = e.injectedCount()
@@ -143,6 +146,12 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 	}
 
 	i := 0
+	// The steady-state iteration — hotalloc polices allocations,
+	// checksumguard polices raw writes to the protected vector set
+	// (detection/recovery branches are //hot:cold).
+	//
+	//hot:loop BiCGStab protected iteration (§5.3 construction)
+	//hot:protected x r p v s t phat shat
 	for i < maxIter {
 		if err := opts.ctxErr("PBiCGSTAB"); err != nil {
 			res.Residual = relres
@@ -154,6 +163,7 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 			// scaled below the detection threshold on its way into s (α =
 			// ρ/r̂ᵀv divides it away), so the MVM output itself must be
 			// checked while the raw inconsistency is still visible.
+			//hot:cold detection handling and rollback
 			if !e.verify(x) || !e.verify(r) || !e.verify(v) {
 				opts.Trace.add(i, EvDetection, "outer-level: checksum mismatch in {x, r, v}")
 				var ok bool
@@ -163,6 +173,7 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 				continue
 			}
 		}
+		//hot:cold amortized checkpoint branch: once per cd iterations
 		if i%cd == 0 {
 			// Guard the snapshot: p must verify clean before it becomes
 			// the rollback target.
@@ -177,6 +188,7 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 		}
 
 		rho := e.dot(rhat, r.data)
+		//hot:cold suspect-scalar detection and rollback
 		if suspectScalar(rho) {
 			res.Stats.Detections++
 			opts.Trace.add(i, EvDetection, "suspect recurrence scalar ρ = %g", rho)
@@ -186,6 +198,7 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 			}
 			continue
 		}
+		//hot:cold breakdown exit
 		//lint:ignore floatcmp exact zero guards the division below, not a detection decision
 		if rho == 0 {
 			res.Residual = relres
@@ -205,9 +218,11 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 		e.mvm(i, v, phat)
 		if scheme == TwoLevel {
 			diag := e.innerCheck(v, phat)
+			//hot:cold correction reporting after an inner-level event
 			if diag.Kind == checksum.SingleError {
 				opts.Trace.add(i, EvCorrection, "inner-level: v[%d] -= %.6g", diag.Pos, diag.Magnitude)
 			}
+			//hot:cold rollback on an inner-level multiple-error diagnosis
 			if diag.Kind == checksum.MultipleErrors {
 				var ok bool
 				if i, ok = rollback(i); !ok {
@@ -216,6 +231,7 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 				continue
 			}
 		}
+		//hot:cold eager-detection rollback
 		if e.takeFlag() {
 			var ok bool
 			if i, ok = rollback(i); !ok {
@@ -224,6 +240,7 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 			continue
 		}
 		rhatV := e.dot(rhat, v.data)
+		//hot:cold suspect-scalar detection and rollback
 		if suspectScalar(rhatV) {
 			res.Stats.Detections++
 			opts.Trace.add(i, EvDetection, "suspect recurrence scalar r̂ᵀv = %g", rhatV)
@@ -233,6 +250,7 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 			}
 			continue
 		}
+		//hot:cold breakdown exit
 		//lint:ignore floatcmp exact zero guards the division below, not a detection decision
 		if rhatV == 0 {
 			res.Residual = relres
@@ -241,6 +259,7 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 		alpha = rho / rhatV
 		e.axpbyInto(i, s, 1, r, -alpha, v)
 
+		//hot:cold early-convergence exit: runs once per solve
 		if rel := e.norm2(s.data) / normB; rel <= tolRes {
 			e.axpy(i, x, alpha, phat)
 			i++
@@ -266,9 +285,11 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 		e.mvm(i, t, shat)
 		if scheme == TwoLevel {
 			diag := e.innerCheck(t, shat)
+			//hot:cold correction reporting after an inner-level event
 			if diag.Kind == checksum.SingleError {
 				opts.Trace.add(i, EvCorrection, "inner-level: t[%d] -= %.6g", diag.Pos, diag.Magnitude)
 			}
+			//hot:cold rollback on an inner-level multiple-error diagnosis
 			if diag.Kind == checksum.MultipleErrors {
 				var ok bool
 				if i, ok = rollback(i); !ok {
@@ -277,6 +298,7 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 				continue
 			}
 		}
+		//hot:cold eager-detection rollback
 		if e.takeFlag() {
 			var ok bool
 			if i, ok = rollback(i); !ok {
@@ -285,6 +307,7 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 			continue
 		}
 		tt := e.dot(t.data, t.data)
+		//hot:cold suspect-scalar detection and rollback
 		if suspectScalar(tt) {
 			res.Stats.Detections++
 			opts.Trace.add(i, EvDetection, "suspect recurrence scalar tᵀt = %g", tt)
@@ -294,11 +317,13 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 			}
 			continue
 		}
+		//hot:cold breakdown exit
 		if tt <= 0 {
 			res.Residual = relres
 			return res, breakdownErr("PBiCGSTAB", scheme, i, "tᵀt = 0")
 		}
 		omega = e.dot(t.data, s.data) / tt
+		//hot:cold breakdown exit
 		//lint:ignore floatcmp exact zero guards the division below, not a detection decision
 		if omega == 0 {
 			res.Residual = relres
@@ -307,6 +332,7 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 		e.axpy(i, x, alpha, phat)
 		e.axpy(i, x, omega, shat)
 		e.axpbyInto(i, r, 1, s, -omega, t)
+		//hot:cold eager-detection rollback
 		if e.takeFlag() {
 			var ok bool
 			if i, ok = rollback(i); !ok {
@@ -319,9 +345,11 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 		res.Iterations = i
 
 		relres = e.norm2(r.data) / normB
+		//hot:cold diagnostic residual history, off by default
 		if opts.RecordResiduals {
 			res.History = append(res.History, relres)
 		}
+		//hot:cold convergence exit: verified once per solve, rollback on a corrupted residual
 		if relres <= tolRes {
 			if e.verify(x) && e.verify(r) {
 				res.Converged = true

@@ -68,6 +68,7 @@ func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 
 	var store checkpoint.Store
 	d, cd := opts.DetectInterval, opts.CheckpointInterval
+	//hot:cold recovery machinery: runs only after a detection
 	rollback := func(iter int) (int, bool) {
 		res.Stats.Rollbacks++
 		if res.Stats.Rollbacks > opts.MaxRollbacks {
@@ -94,6 +95,7 @@ func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 		opts.Trace.add(iter, EvRollback, "restored iteration %d, recomputed r, Ar, Ap", snapIter)
 		return snapIter, true
 	}
+	//hot:cold rollback-storm exit: runs at most once per solve
 	storm := func() (Result, error) {
 		res.Residual = relres
 		res.Stats.InjectedErrors = e.injectedCount()
@@ -101,6 +103,11 @@ func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 	}
 
 	i := 0
+	// Steady-state iteration: hotalloc polices allocations, checksumguard
+	// raw writes to the protected vectors (//hot:cold branches excluded).
+	//
+	//hot:loop CR protected iteration (§5.3 construction)
+	//hot:protected x r p ar ap
 	for i < maxIter {
 		if err := opts.ctxErr("CR"); err != nil {
 			res.Residual = relres
@@ -116,6 +123,7 @@ func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 			// re-anchoring) them at every boundary breaks that growth and
 			// catches a fault while it still lives in the product
 			// recurrences, before it reaches x or r.
+			//hot:cold detection handling and rollback
 			if !e.verify(x) || !e.verify(r) || !e.verify(ar) || !e.verify(ap) {
 				opts.Trace.add(i, EvDetection, "outer-level: checksum(x)/checksum(r) mismatch")
 				var ok bool
@@ -125,6 +133,7 @@ func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 				continue
 			}
 		}
+		//hot:cold amortized checkpoint branch: once per cd iterations
 		if i%cd == 0 {
 			if i > 0 && !e.verify(p) {
 				var ok bool
@@ -143,6 +152,7 @@ func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 		}
 
 		apap := e.dot(ap.data, ap.data)
+		//hot:cold suspect-scalar detection and rollback
 		if suspectScalar(apap) || suspectScalar(rAr) {
 			res.Stats.Detections++
 			opts.Trace.add(i, EvDetection, "suspect recurrence scalar ApᵀAp = %g or rᵀAr = %g", apap, rAr)
@@ -152,6 +162,7 @@ func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 			}
 			continue
 		}
+		//hot:cold breakdown exit
 		//lint:ignore floatcmp exact zero guards the division below, not a detection decision
 		if apap == 0 || rAr == 0 {
 			res.Residual = relres
@@ -160,6 +171,7 @@ func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 		alpha := rAr / apap
 		e.axpy(i, x, alpha, p)
 		e.axpy(i, r, -alpha, ap)
+		//hot:cold eager-detection rollback
 		if e.takeFlag() {
 			var ok bool
 			if i, ok = rollback(i); !ok {
@@ -171,9 +183,11 @@ func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 		res.Iterations = i
 
 		relres = e.norm2(r.data) / normB
+		//hot:cold diagnostic residual history, off by default
 		if opts.RecordResiduals {
 			res.History = append(res.History, relres)
 		}
+		//hot:cold convergence exit: verified once per solve, rollback on a corrupted residual
 		if relres <= tolRes {
 			if e.verify(x) && e.verify(r) {
 				res.Converged = true
@@ -192,6 +206,7 @@ func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 		e.xpby(i-1, p, r, beta, p)
 		e.xpby(i-1, ap, ar, beta, ap)
 		rAr = rArNew
+		//hot:cold eager-detection rollback
 		if e.takeFlag() {
 			var ok bool
 			if i, ok = rollback(i); !ok {

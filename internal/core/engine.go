@@ -155,11 +155,12 @@ func (e *engine) wrap(name string, data []float64) *tracked {
 
 // recompute refreshes v's checksums from its data, used at initialization
 // and after recovery reconstructs a vector.
+//
+//hot:protected v
 func (e *engine) recompute(v *tracked) {
 	for k := range e.weights {
 		sum, absSum := e.sums(v, k)
-		v.s[k] = sum
-		v.eta[k] = checksum.ReduceEps(e.n) * absSum
+		checksum.Anchor(v.s, v.eta, k, sum, absSum, e.n)
 	}
 }
 
@@ -201,6 +202,7 @@ func suspectScalar(x float64) bool {
 	return math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e150
 }
 
+//hot:protected v
 func (e *engine) verify(v *tracked) bool {
 	e.stats.Verifications++
 	sum, absSum := e.sums(v, 0)
@@ -209,8 +211,7 @@ func (e *engine) verify(v *tracked) bool {
 		e.stats.Detections++
 		return false
 	}
-	v.s[0] = sum
-	v.eta[0] = checksum.ReduceEps(e.n) * absSum
+	checksum.Anchor(v.s, v.eta, 0, sum, absSum, e.n)
 	return true
 }
 
@@ -218,6 +219,8 @@ func (e *engine) verify(v *tracked) bool {
 // checksum update. Memory faults strike src persistently before use; cache
 // faults corrupt the value the multiplication consumes but not the stored
 // vector; arithmetic faults strike the output.
+//
+//hot:protected dst src
 func (e *engine) mvm(iter int, dst, src *tracked) {
 	e.inj.InjectMemory(iter, fault.SiteMVM, src.data)
 	if restore := e.inj.CacheWindow(iter, fault.SiteMVM, src.data); restore != nil {
@@ -279,13 +282,12 @@ func (e *engine) pco(iter int, dst, src *tracked) error {
 	// A cache/register fault makes the whole solve consume a transiently
 	// corrupted input; the stored vector (and its carried checksum) stay
 	// clean, so the output's checksum relationship breaks by −cᵀe/d and
-	// the inconsistency propagates to the verified vectors.
-	restoreCache := e.inj.CacheWindow(iter, fault.SitePCO, src.data)
-	defer func() {
-		if restoreCache != nil {
-			restoreCache()
-		}
-	}()
+	// the inconsistency propagates to the verified vectors. The restore
+	// is deferred directly (no wrapping closure — pco is on the hot path)
+	// and conditionally, which defer permits.
+	if restoreCache := e.inj.CacheWindow(iter, fault.SitePCO, src.data); restoreCache != nil {
+		defer restoreCache()
+	}
 	if len(e.stages) == 0 { // identity preconditioner
 		copy(dst.data, src.data)
 		copy(dst.s, src.s)
@@ -297,6 +299,7 @@ func (e *engine) pco(iter int, dst, src *tracked) error {
 	for k, st := range e.stages {
 		out, outS, outEta := e.scratch[k%2], e.scratchS[k%2], e.scratchEta[k%2]
 		if err := st.Apply(out, in); err != nil {
+			//hot:cold preconditioner failure aborts the solve
 			return fmt.Errorf("core: PCO stage %d: %w", k, err)
 		}
 		switch st.Op {
@@ -320,6 +323,8 @@ func (e *engine) pco(iter int, dst, src *tracked) error {
 // fault corrupts the value of x the update consumes while memory keeps the
 // clean copy; the checksum update (from x.s) stays clean, so y becomes
 // inconsistent and detectable.
+//
+//hot:protected y x
 func (e *engine) axpy(iter int, y *tracked, alpha float64, x *tracked) {
 	e.inj.InjectMemory(iter, fault.SiteVLO, x.data)
 	restore := e.inj.CacheWindow(iter, fault.SiteVLO, x.data)
@@ -334,6 +339,8 @@ func (e *engine) axpy(iter int, y *tracked, alpha float64, x *tracked) {
 }
 
 // xpby computes dst := x + beta·y (dst may alias y) with checksum update.
+//
+//hot:protected dst x y
 func (e *engine) xpby(iter int, dst, x *tracked, beta float64, y *tracked) {
 	e.pool.XpbyVLO(dst.data, x.data, beta, y.data, dst.s, dst.eta, x.s, x.eta, y.s, y.eta)
 	e.stats.ChecksumUpdates++
@@ -342,6 +349,8 @@ func (e *engine) xpby(iter int, dst, x *tracked, beta float64, y *tracked) {
 }
 
 // axpbyInto computes dst := alpha·x + beta·y with checksum update.
+//
+//hot:protected dst x y
 func (e *engine) axpbyInto(iter int, dst *tracked, alpha float64, x *tracked, beta float64, y *tracked) {
 	e.pool.AxpbyVLO(dst.data, alpha, x.data, beta, y.data, dst.s, dst.eta, x.s, x.eta, y.s, y.eta)
 	e.stats.ChecksumUpdates++
@@ -368,12 +377,11 @@ func (e *engine) takeFlag() bool {
 }
 
 // scaleInto computes dst := alpha·src with the Eq. (3) scaling update.
+//
+//hot:protected dst
 func (e *engine) scaleInto(iter int, dst *tracked, alpha float64, src *tracked) {
 	e.pool.Scale(dst.data, alpha, src.data)
-	checksum.UpdateVLOScale(dst.s, alpha, src.s)
-	for k := range dst.eta {
-		dst.eta[k] = math.Abs(alpha)*src.eta[k] + 2*checksum.Eps*math.Abs(dst.s[k])
-	}
+	checksum.UpdateVLOScaleBound(dst.s, dst.eta, alpha, src.s, src.eta)
 	e.stats.ChecksumUpdates++
 	e.inj.InjectOutput(iter, fault.SiteVLO, dst.data)
 	e.eagerCheck(dst)
@@ -410,21 +418,33 @@ func (e *engine) innerCheck(q, src *tracked) checksum.TripleDiagnosis {
 }
 
 // innerCheckLazy is the default two-level inner check: the δ1 probe against
-// the carried c1 checksum, then — only on inconsistency — on-demand
-// evaluation of the locating deltas δ2, δ3 straight from the encoded
-// diagnosis rows: exp_k = row_k·p + d·c_kᵀp, which equals c_kᵀA·p exactly,
-// so δ_k = c_kᵀq − c_kᵀA·p is the weighted sum of the output's data error.
-// The input p must itself verify clean for the single-error signature to be
-// trustworthy (same guard as the eager path).
+// the carried c1 checksum, then — only on inconsistency — the cold
+// diagnoseLazy pass. The fault-free probe is the hot path; everything past
+// a detection rides the recovery budget.
+//
+//hot:protected q
 func (e *engine) innerCheckLazy(q, src *tracked) checksum.TripleDiagnosis {
 	e.stats.Verifications++
 	sum1, abs1 := e.sums(q, 0)
 	d1 := sum1 - q.s[0]
 	if e.tol.ConsistentBound(d1, e.n, abs1, q.eta[0]) {
-		q.s[0] = sum1
-		q.eta[0] = checksum.ReduceEps(e.n) * abs1
+		checksum.Anchor(q.s, q.eta, 0, sum1, abs1, e.n)
 		return checksum.TripleDiagnosis{Kind: checksum.NoError}
 	}
+	return e.diagnoseLazy(q, src, d1, abs1)
+}
+
+// diagnoseLazy runs the post-detection locating pass of the lazy two-level
+// scheme: on-demand evaluation of the locating deltas δ2, δ3 straight from
+// the encoded diagnosis rows: exp_k = row_k·p + d·c_kᵀp, which equals
+// c_kᵀA·p exactly, so δ_k = c_kᵀq − c_kᵀA·p is the weighted sum of the
+// output's data error. The input p must itself verify clean for the
+// single-error signature to be trustworthy (same guard as the eager path).
+// Cold by construction — it runs only after a detection, so its slice
+// literals are off the steady-state budget.
+//
+//hot:cold post-detection diagnosis rides the recovery budget
+func (e *engine) diagnoseLazy(q, src *tracked, d1, abs1 float64) checksum.TripleDiagnosis {
 	e.stats.Detections++
 	// Input purity guard.
 	e.stats.Verifications++
@@ -449,16 +469,25 @@ func (e *engine) innerCheckLazy(q, src *tracked) checksum.TripleDiagnosis {
 	return diag
 }
 
+//hot:protected q
 func (e *engine) innerCheckEager(q, src *tracked) checksum.TripleDiagnosis {
 	e.stats.Verifications++
 	sum1, abs1 := e.sums(q, 0)
 	d1 := sum1 - q.s[0]
 	if e.tol.ConsistentBound(d1, e.n, abs1, q.eta[0]) {
 		// Refresh the probed checksum (see verify) so η stays anchored.
-		q.s[0] = sum1
-		q.eta[0] = checksum.ReduceEps(e.n) * abs1
+		checksum.Anchor(q.s, q.eta, 0, sum1, abs1, e.n)
 		return checksum.TripleDiagnosis{Kind: checksum.NoError}
 	}
+	return e.diagnoseEager(q, src, d1, abs1)
+}
+
+// diagnoseEager is the post-detection triple-checksum diagnosis of the
+// eager two-level scheme. Cold by construction (runs only after a
+// detection), like diagnoseLazy.
+//
+//hot:cold post-detection diagnosis rides the recovery budget
+func (e *engine) diagnoseEager(q, src *tracked, d1, abs1 float64) checksum.TripleDiagnosis {
 	e.stats.Detections++
 	sum2, abs2 := e.sums(q, 1)
 	sum3, abs3 := e.sums(q, 2)

@@ -89,6 +89,7 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 	var store checkpoint.Store
 	d, cd := opts.DetectInterval, opts.CheckpointInterval
 
+	//hot:cold checkpoint machinery: invoked once per cd iterations, off the steady-state budget
 	saveCheckpoint := func(iter int) {
 		opts.Trace.add(iter, EvCheckpoint, "snapshot {p, x}")
 		store.Save(iter,
@@ -102,6 +103,7 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 	// rollback restores p, x (and their checksums) and rho, then
 	// reconstructs r = b − A·x and its checksums — the recovery of
 	// Algorithm 1 line 9 (one MVM plus checksum recomputation).
+	//hot:cold recovery machinery: runs only after a detection
 	rollback := func(iter int) (int, bool) {
 		res.Stats.Rollbacks++
 		if res.Stats.Rollbacks > opts.MaxRollbacks {
@@ -127,6 +129,13 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 	}
 
 	i := 0
+	// The steady-state iteration: every allocation inside is policed by
+	// the hotalloc analyzer, every raw write to the protected vectors by
+	// checksumguard (detection/recovery branches are marked //hot:cold —
+	// they ride the recovery budget, not the per-iteration one).
+	//
+	//hot:loop PCG protected iteration (Algorithm 1 / 2)
+	//hot:protected x r z p q
 	for i < maxIter {
 		// Cancellation boundary: a canceled or expired Options.Ctx is the
 		// caller's only handle on a diverging or fault-storming solve.
@@ -139,6 +148,7 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 		// 5–6): verify only checksum(x) = cᵀx and checksum(r) = cᵀr —
 		// every other vector's error propagates into x or r (Table 2).
 		if i > 0 && i%d == 0 {
+			//hot:cold detection handling and rollback
 			if !e.verify(x) || !e.verify(r) {
 				opts.Trace.add(i, EvDetection, "outer-level: checksum(x)/checksum(r) mismatch")
 				var ok bool
@@ -154,6 +164,8 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 		// r have just been verified clean. p is verified here (one O(n)
 		// sum per cd) — snapshotting a corrupted search direction would
 		// make every future rollback futile.
+		//
+		//hot:cold amortized checkpoint branch: once per cd iterations
 		if i%cd == 0 {
 			if i > 0 && !e.verify(p) {
 				var ok bool
@@ -174,12 +186,14 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 		// multiple errors.
 		if scheme == TwoLevel {
 			diag := e.innerCheck(q, p)
+			//hot:cold correction/detection reporting after an inner-level event
 			switch diag.Kind {
 			case checksum.SingleError:
 				opts.Trace.add(i, EvCorrection, "inner-level: q[%d] -= %.6g", diag.Pos, diag.Magnitude)
 			case checksum.MultipleErrors:
 				opts.Trace.add(i, EvDetection, "inner-level: multiple errors in MVM output")
 			}
+			//hot:cold rollback on an inner-level multiple-error diagnosis
 			if diag.Kind == checksum.MultipleErrors {
 				var ok bool
 				if i, ok = rollback(i); !ok {
@@ -193,6 +207,7 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 
 		// Eager detection (if enabled) flags corrupted outputs the moment
 		// they are produced; recovery is the same rollback.
+		//hot:cold eager-detection rollback
 		if e.takeFlag() {
 			var ok bool
 			if i, ok = rollback(i); !ok {
@@ -204,6 +219,7 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 		}
 
 		pq := e.dot(p.data, q.data)
+		//hot:cold suspect-scalar detection and rollback
 		if suspectScalar(pq) {
 			res.Stats.Detections++
 			opts.Trace.add(i, EvDetection, "suspect recurrence scalar pᵀAp = %g", pq)
@@ -215,6 +231,7 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 			}
 			continue
 		}
+		//hot:cold breakdown exit
 		//lint:ignore floatcmp exact zero guards the division below, not a detection decision
 		if pq == 0 {
 			res.Residual = relres
@@ -223,6 +240,7 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 		alpha := rho / pq
 		e.axpy(i, x, alpha, p)
 		e.axpy(i, r, -alpha, q)
+		//hot:cold eager-detection rollback
 		if e.takeFlag() {
 			var ok bool
 			if i, ok = rollback(i); !ok {
@@ -236,9 +254,11 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 		res.Iterations = i
 
 		relres = e.norm2(r.data) / normB
+		//hot:cold diagnostic residual history, off by default
 		if opts.RecordResiduals {
 			res.History = append(res.History, relres)
 		}
+		//hot:cold convergence exit: verified once per solve, rollback on a corrupted residual
 		if relres <= tolRes {
 			// Verify before declaring victory so a corrupted small
 			// residual cannot smuggle out a wrong solution.
@@ -262,6 +282,7 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 		beta := rhoNew / rho
 		e.xpby(i-1, p, z, beta, p)
 		rho = rhoNew
+		//hot:cold eager-detection rollback
 		if e.takeFlag() {
 			var ok bool
 			if i, ok = rollback(i); !ok {

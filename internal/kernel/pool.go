@@ -18,19 +18,71 @@
 // carried one under a round-off threshold, and a reduction whose value
 // depended on scheduling would smear that comparison band.
 //
-// A Pool serves one solve at a time: its scratch buffers are reused
-// across calls and are not safe for concurrent kernel invocations.
-// internal/service gives each job its own pool (see Config.KernelWorkers)
-// so concurrent jobs cannot oversubscribe the machine or share scratch.
+// Allocation contract. The steady-state dispatch path allocates nothing:
+// each kernel call stores its operands in the pool's op descriptor and
+// wakes the helpers with plain int sends, so no closure crosses a
+// channel and no per-call heap traffic occurs (ROADMAP item 2,
+// "zero-allocation steady state"; enforced statically by the hotalloc
+// analyzer and dynamically by the AllocsPerRun tests in internal/core).
+//
+// A Pool serves one solve at a time: its scratch buffers and op
+// descriptor are reused across calls and are not safe for concurrent
+// kernel invocations. internal/service gives each job its own pool (see
+// Config.KernelWorkers) so concurrent jobs cannot oversubscribe the
+// machine or share scratch.
 package kernel
 
-import "sync"
+import (
+	"sync"
+
+	"newsum/internal/sparse"
+	"newsum/internal/vec"
+)
 
 // minParallel is the element count below which kernels take the serial
-// path: at small n the pointer-chase through the task channel costs more
+// path: at small n the pointer-chase through the wake channel costs more
 // than the loop. The cutover is invisible in results — both paths produce
 // bitwise-identical values by the determinism contract.
 const minParallel = 4096
+
+// opKind selects the part function execPart dispatches to. Static
+// dispatch over an enum (instead of sending closures to the workers) is
+// what keeps the per-call allocation count at zero: an int send and a
+// struct-field store never touch the heap.
+type opKind uint8
+
+const (
+	opNone opKind = iota
+	// blocked reductions: workers fill disjoint leaf partials.
+	opDot
+	opDotAbs
+	opSum
+	opWeightedSum
+	opWeightedSumAbs
+	opNorm2
+	// element-wise VLOs: workers write disjoint ranges.
+	opAxpy
+	opAxpby
+	opXpby
+	opScale
+	// sparse matrix–vector product over nnz-balanced row ranges.
+	opMulVec
+)
+
+// op is the operand set of the in-flight kernel call. The launching
+// goroutine fills it before waking the helpers (the channel send orders
+// the writes before the helpers' reads); the fields stay set until the
+// next call overwrites them, which is safe because launch does not
+// return until every part has finished.
+type op struct {
+	kind        opKind
+	n, nb       int
+	alpha, beta float64
+	dst, x, y   []float64
+	out1, out2  []float64
+	w           func(i int) float64
+	a           *sparse.CSR
+}
 
 // Pool is a persistent worker pool. NewPool(w) spawns w−1 helper
 // goroutines once; every kernel call partitions its work into w parts,
@@ -42,9 +94,13 @@ const minParallel = 4096
 // optional pool without branching.
 type Pool struct {
 	workers int
-	tasks   chan func()
+	wake    chan int
+	done    sync.WaitGroup
 	exited  sync.WaitGroup
 	closed  sync.Once
+
+	// op is the operand descriptor of the call in flight; see launch.
+	op op
 
 	// scratch for reduction leaf partials and SpMV row bounds; grown on
 	// demand, reused across calls. One solve at a time — see package doc.
@@ -59,19 +115,26 @@ func NewPool(workers int) *Pool {
 	if workers <= 1 {
 		return nil
 	}
-	p := &Pool{workers: workers, tasks: make(chan func(), workers)}
+	p := &Pool{workers: workers, wake: make(chan int, workers)}
 	p.exited.Add(workers - 1)
 	for i := 1; i < workers; i++ {
-		//lint:ignore goroutineguard persistent pool workers by design: spawned once per pool to avoid per-call goroutine churn, they drain p.tasks until Close closes the channel and joins them via p.exited — the join is in Close, not this function.
+		//lint:ignore goroutineguard persistent pool workers by design: spawned once per pool to avoid per-call goroutine churn, they drain p.wake until Close closes the channel and joins them via p.exited — the join is in Close, not this function.
 		go p.worker()
 	}
 	return p
 }
 
+// worker drains part numbers from the wake channel and executes the
+// in-flight op's part. The receive orders the launcher's op-descriptor
+// writes before the part's reads; done.Done orders the part's result
+// writes before the launcher's done.Wait return.
+//
+//hot:loop steady-state dispatch: one iteration per kernel call per helper
 func (p *Pool) worker() {
 	defer p.exited.Done()
-	for f := range p.tasks {
-		f()
+	for part := range p.wake {
+		p.execPart(part)
+		p.done.Done()
 	}
 }
 
@@ -91,50 +154,92 @@ func (p *Pool) Close() {
 		return
 	}
 	p.closed.Do(func() {
-		close(p.tasks)
+		close(p.wake)
 		p.exited.Wait()
 	})
 }
 
-// run executes f(part) for part = 0..workers-1, parts 1.. on the helper
-// goroutines and part 0 on the caller, returning when all parts finish.
-// Kernels validate slice lengths before calling run so that f cannot
-// panic on a helper goroutine (which would crash the process rather than
-// unwind the caller).
-func (p *Pool) run(f func(part int)) {
-	var wg sync.WaitGroup
-	wg.Add(p.workers - 1)
+// launch runs the op currently stored in p.op: parts 1..workers-1 on the
+// helper goroutines, part 0 on the caller, returning when every part has
+// finished. Kernels validate slice lengths before launching so execPart
+// cannot panic on a helper goroutine (which would crash the process
+// rather than unwind the caller).
+//
+//hot:loop per-call dispatch of every parallel kernel
+func (p *Pool) launch() {
+	p.done.Add(p.workers - 1)
 	for part := 1; part < p.workers; part++ {
-		part := part
-		p.tasks <- func() {
-			defer wg.Done()
-			f(part)
-		}
+		p.wake <- part
 	}
-	f(0)
-	wg.Wait()
+	p.execPart(0)
+	p.done.Wait()
 }
 
-// runRange splits [0, n) into workers contiguous element ranges and runs
-// f on each. Used by the element-wise VLO kernels, where any partition is
-// bitwise-safe because outputs are disjoint.
-func (p *Pool) runRange(n int, f func(lo, hi int)) {
-	p.run(func(part int) {
-		f(n*part/p.workers, n*(part+1)/p.workers)
-	})
-}
-
-// runBlocks splits the reduction blocks [0, nb) into workers contiguous
-// ranges and calls leaf(b) for every block. The partition affects only
-// which goroutine computes a leaf, never the combine tree.
-func (p *Pool) runBlocks(nb int, leaf func(b int)) {
-	p.run(func(part int) {
-		lo := nb * part / p.workers
-		hi := nb * (part + 1) / p.workers
+// execPart runs one worker's share of the in-flight op. Range splits are
+// pure functions of (n or nb, part, workers), so the partition — and with
+// it the set of leaves each worker fills — never depends on scheduling.
+//
+//hot:loop every parallel kernel funnels through here
+func (p *Pool) execPart(part int) {
+	o := &p.op
+	switch o.kind {
+	case opDot:
+		lo, hi := o.nb*part/p.workers, o.nb*(part+1)/p.workers
 		for b := lo; b < hi; b++ {
-			leaf(b)
+			o.out1[b] = vec.DotBlock(o.x, o.y, b)
 		}
-	})
+	case opDotAbs:
+		lo, hi := o.nb*part/p.workers, o.nb*(part+1)/p.workers
+		for b := lo; b < hi; b++ {
+			o.out1[b], o.out2[b] = vec.DotAbsBlock(o.x, o.y, b)
+		}
+	case opSum:
+		lo, hi := o.nb*part/p.workers, o.nb*(part+1)/p.workers
+		for b := lo; b < hi; b++ {
+			o.out1[b] = vec.SumBlock(o.x, b)
+		}
+	case opWeightedSum:
+		lo, hi := o.nb*part/p.workers, o.nb*(part+1)/p.workers
+		for b := lo; b < hi; b++ {
+			o.out1[b] = vec.WeightedSumBlock(o.x, o.w, b)
+		}
+	case opWeightedSumAbs:
+		lo, hi := o.nb*part/p.workers, o.nb*(part+1)/p.workers
+		for b := lo; b < hi; b++ {
+			o.out1[b], o.out2[b] = vec.WeightedSumAbsBlock(o.x, o.w, b)
+		}
+	case opNorm2:
+		lo, hi := o.nb*part/p.workers, o.nb*(part+1)/p.workers
+		for b := lo; b < hi; b++ {
+			o.out1[b], o.out2[b] = vec.Norm2Block(o.x, b)
+		}
+	case opAxpy:
+		lo, hi := o.n*part/p.workers, o.n*(part+1)/p.workers
+		yy, xx := o.dst[lo:hi], o.x[lo:hi]
+		for i, v := range xx {
+			yy[i] += o.alpha * v
+		}
+	case opAxpby:
+		lo, hi := o.n*part/p.workers, o.n*(part+1)/p.workers
+		dd, xx, yy := o.dst[lo:hi], o.x[lo:hi], o.y[lo:hi]
+		for i := range dd {
+			dd[i] = o.alpha*xx[i] + o.beta*yy[i]
+		}
+	case opXpby:
+		lo, hi := o.n*part/p.workers, o.n*(part+1)/p.workers
+		dd, xx, yy := o.dst[lo:hi], o.x[lo:hi], o.y[lo:hi]
+		for i := range dd {
+			dd[i] = xx[i] + o.beta*yy[i]
+		}
+	case opScale:
+		lo, hi := o.n*part/p.workers, o.n*(part+1)/p.workers
+		dd, uu := o.dst[lo:hi], o.x[lo:hi]
+		for i, v := range uu {
+			dd[i] = o.alpha * v
+		}
+	case opMulVec:
+		o.a.MulVecRange(o.dst, o.x, p.bounds[part], p.bounds[part+1])
+	}
 }
 
 // grow1 returns a length-n scratch slice, reusing the pool's buffer.

@@ -6,9 +6,13 @@ import "newsum/internal/vec"
 // ranges of per-block leaf partials (the exact leaves the serial
 // reductions in internal/vec compute), then a single combiner folds them
 // with the serial pairwise tree. The result is bitwise-identical to the
-// serial call for any worker count; see the package doc.
+// serial call for any worker count; see the package doc. Each call
+// stores its operands in the pool's op descriptor and launches — no
+// closures, no per-call allocation.
 
 // Dot returns u·v, bitwise-equal to vec.Dot.
+//
+//hot:loop reduction kernel on the protected solve path
 func (p *Pool) Dot(u, v []float64) float64 {
 	if len(u) != len(v) {
 		panic("kernel: length mismatch in Dot")
@@ -18,11 +22,14 @@ func (p *Pool) Dot(u, v []float64) float64 {
 	}
 	nb := vec.Blocks(len(u))
 	part := p.grow1(nb)
-	p.runBlocks(nb, func(b int) { part[b] = vec.DotBlock(u, v, b) })
+	p.op = op{kind: opDot, nb: nb, x: u, y: v, out1: part}
+	p.launch()
 	return vec.PairwiseSum(part)
 }
 
 // DotAbs returns u·v and Σ|u_i·v_i|, bitwise-equal to vec.DotAbs.
+//
+//hot:loop reduction kernel on the protected solve path
 func (p *Pool) DotAbs(u, v []float64) (sum, abs float64) {
 	if len(u) != len(v) {
 		panic("kernel: length mismatch in DotAbs")
@@ -32,54 +39,67 @@ func (p *Pool) DotAbs(u, v []float64) (sum, abs float64) {
 	}
 	nb := vec.Blocks(len(u))
 	sums, abss := p.grow2(nb)
-	p.runBlocks(nb, func(b int) { sums[b], abss[b] = vec.DotAbsBlock(u, v, b) })
+	p.op = op{kind: opDotAbs, nb: nb, x: u, y: v, out1: sums, out2: abss}
+	p.launch()
 	return vec.PairwiseSum(sums), vec.PairwiseSum(abss)
 }
 
 // Sum returns Σu_i, bitwise-equal to vec.Sum.
+//
+//hot:loop reduction kernel on the protected solve path
 func (p *Pool) Sum(u []float64) float64 {
 	if p == nil || len(u) < minParallel {
 		return vec.Sum(u)
 	}
 	nb := vec.Blocks(len(u))
 	part := p.grow1(nb)
-	p.runBlocks(nb, func(b int) { part[b] = vec.SumBlock(u, b) })
+	p.op = op{kind: opSum, nb: nb, x: u, out1: part}
+	p.launch()
 	return vec.PairwiseSum(part)
 }
 
 // WeightedSum returns Σ w(i)·u_i, bitwise-equal to vec.WeightedSum.
+//
+//hot:loop reduction kernel on the protected solve path
 func (p *Pool) WeightedSum(u []float64, w func(i int) float64) float64 {
 	if p == nil || len(u) < minParallel {
 		return vec.WeightedSum(u, w)
 	}
 	nb := vec.Blocks(len(u))
 	part := p.grow1(nb)
-	p.runBlocks(nb, func(b int) { part[b] = vec.WeightedSumBlock(u, w, b) })
+	p.op = op{kind: opWeightedSum, nb: nb, x: u, w: w, out1: part}
+	p.launch()
 	return vec.PairwiseSum(part)
 }
 
 // WeightedSumAbs returns Σ w(i)·u_i and Σ|w(i)·u_i| — the checksum
 // verifier's (measured sum, round-off scale) pair — bitwise-equal to
 // vec.WeightedSumAbs.
+//
+//hot:loop verification kernel on the protected solve path
 func (p *Pool) WeightedSumAbs(u []float64, w func(i int) float64) (sum, abs float64) {
 	if p == nil || len(u) < minParallel {
 		return vec.WeightedSumAbs(u, w)
 	}
 	nb := vec.Blocks(len(u))
 	sums, abss := p.grow2(nb)
-	p.runBlocks(nb, func(b int) { sums[b], abss[b] = vec.WeightedSumAbsBlock(u, w, b) })
+	p.op = op{kind: opWeightedSumAbs, nb: nb, x: u, w: w, out1: sums, out2: abss}
+	p.launch()
 	return vec.PairwiseSum(sums), vec.PairwiseSum(abss)
 }
 
 // Norm2 returns ‖u‖₂ with dnrm2-style overflow guarding, bitwise-equal
 // to vec.Norm2. Workers fill per-block (scale, ssq) partials; the serial
 // tree merges them with vec.CombineNorm2.
+//
+//hot:loop residual-norm kernel on the protected solve path
 func (p *Pool) Norm2(u []float64) float64 {
 	if p == nil || len(u) < minParallel {
 		return vec.Norm2(u)
 	}
 	nb := vec.Blocks(len(u))
 	scales, ssqs := p.grow2(nb)
-	p.runBlocks(nb, func(b int) { scales[b], ssqs[b] = vec.Norm2Block(u, b) })
+	p.op = op{kind: opNorm2, nb: nb, x: u, out1: scales, out2: ssqs}
+	p.launch()
 	return vec.PairwiseNorm2(scales, ssqs)
 }

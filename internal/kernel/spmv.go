@@ -11,6 +11,8 @@ import (
 // cannot change a single bit. Rows are partitioned by nonzero count, not
 // row count — on matrices with skewed row densities an even row split
 // leaves most workers idle behind the densest chunk.
+//
+//hot:loop SpMV kernel on the protected solve path
 func (p *Pool) MulVec(a *sparse.CSR, y, x []float64) {
 	if len(x) != a.Cols || len(y) != a.Rows {
 		panic("kernel: dimension mismatch in MulVec")
@@ -19,17 +21,19 @@ func (p *Pool) MulVec(a *sparse.CSR, y, x []float64) {
 		a.MulVec(y, x)
 		return
 	}
-	b := p.nnzBounds(a)
-	p.run(func(part int) {
-		a.MulVecRange(y, x, b[part], b[part+1])
-	})
+	p.nnzBounds(a)
+	p.op = op{kind: opMulVec, a: a, dst: y, x: x}
+	p.launch()
 }
 
-// nnzBounds returns workers+1 row boundaries splitting a's rows into
-// contiguous ranges of near-equal nonzero count. RowPtr is sorted, so
-// each boundary is one binary search — O(workers·log rows) per call,
-// negligible next to the O(nnz) product, which is why the bounds are
-// recomputed per call instead of cached against a matrix identity.
+// nnzBounds fills p.bounds with workers+1 row boundaries splitting a's
+// rows into contiguous ranges of near-equal nonzero count. RowPtr is
+// sorted, so each boundary is one binary search — O(workers·log rows)
+// per call, negligible next to the O(nnz) product, which is why the
+// bounds are recomputed per call instead of cached against a matrix
+// identity. execPart reads the boundaries from p.bounds.
+//
+//hot:loop SpMV partitioner on the protected solve path
 func (p *Pool) nnzBounds(a *sparse.CSR) []int {
 	if cap(p.bounds) < p.workers+1 {
 		p.bounds = make([]int, p.workers+1)

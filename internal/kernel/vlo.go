@@ -12,6 +12,8 @@ import (
 // the engine's instrumented operations are built on.
 
 // Axpy computes y := y + alpha·x, bitwise-equal to vec.Axpy.
+//
+//hot:loop VLO kernel on the protected solve path
 func (p *Pool) Axpy(y []float64, alpha float64, x []float64) {
 	if len(y) != len(x) {
 		panic("kernel: length mismatch in Axpy")
@@ -20,15 +22,13 @@ func (p *Pool) Axpy(y []float64, alpha float64, x []float64) {
 		vec.Axpy(y, alpha, x)
 		return
 	}
-	p.runRange(len(y), func(lo, hi int) {
-		yy, xx := y[lo:hi], x[lo:hi]
-		for i, v := range xx {
-			yy[i] += alpha * v
-		}
-	})
+	p.op = op{kind: opAxpy, n: len(y), dst: y, alpha: alpha, x: x}
+	p.launch()
 }
 
 // Axpby computes dst := alpha·x + beta·y, bitwise-equal to vec.Axpby.
+//
+//hot:loop VLO kernel on the protected solve path
 func (p *Pool) Axpby(dst []float64, alpha float64, x []float64, beta float64, y []float64) {
 	if len(dst) != len(x) || len(dst) != len(y) {
 		panic("kernel: length mismatch in Axpby")
@@ -37,15 +37,13 @@ func (p *Pool) Axpby(dst []float64, alpha float64, x []float64, beta float64, y 
 		vec.Axpby(dst, alpha, x, beta, y)
 		return
 	}
-	p.runRange(len(dst), func(lo, hi int) {
-		dd, xx, yy := dst[lo:hi], x[lo:hi], y[lo:hi]
-		for i := range dd {
-			dd[i] = alpha*xx[i] + beta*yy[i]
-		}
-	})
+	p.op = op{kind: opAxpby, n: len(dst), dst: dst, alpha: alpha, x: x, beta: beta, y: y}
+	p.launch()
 }
 
 // Xpby computes dst := x + beta·y, bitwise-equal to vec.Xpby.
+//
+//hot:loop VLO kernel on the protected solve path
 func (p *Pool) Xpby(dst, x []float64, beta float64, y []float64) {
 	if len(dst) != len(x) || len(dst) != len(y) {
 		panic("kernel: length mismatch in Xpby")
@@ -54,15 +52,13 @@ func (p *Pool) Xpby(dst, x []float64, beta float64, y []float64) {
 		vec.Xpby(dst, x, beta, y)
 		return
 	}
-	p.runRange(len(dst), func(lo, hi int) {
-		dd, xx, yy := dst[lo:hi], x[lo:hi], y[lo:hi]
-		for i := range dd {
-			dd[i] = xx[i] + beta*yy[i]
-		}
-	})
+	p.op = op{kind: opXpby, n: len(dst), dst: dst, x: x, beta: beta, y: y}
+	p.launch()
 }
 
 // Scale computes dst := alpha·u, bitwise-equal to vec.Scale.
+//
+//hot:loop VLO kernel on the protected solve path
 func (p *Pool) Scale(dst []float64, alpha float64, u []float64) {
 	if len(dst) != len(u) {
 		panic("kernel: length mismatch in Scale")
@@ -71,22 +67,22 @@ func (p *Pool) Scale(dst []float64, alpha float64, u []float64) {
 		vec.Scale(dst, alpha, u)
 		return
 	}
-	p.runRange(len(dst), func(lo, hi int) {
-		dd, uu := dst[lo:hi], u[lo:hi]
-		for i, v := range uu {
-			dd[i] = alpha * v
-		}
-	})
+	p.op = op{kind: opScale, n: len(dst), dst: dst, alpha: alpha, x: u}
+	p.launch()
 }
 
 // AxpyVLO fuses the parallel axpy with the Eq. (3) in-place checksum+η
 // update on (sy, etaY).
+//
+//hot:loop fused VLO+checksum kernel on the protected solve path
 func (p *Pool) AxpyVLO(y []float64, alpha float64, x []float64, sy, etaY, sx, etaX []float64) {
 	p.Axpy(y, alpha, x)
 	checksum.UpdateVLOAxpyBound(sy, etaY, alpha, sx, etaX)
 }
 
 // AxpbyVLO fuses the parallel axpby with the Eq. (3) checksum+η update.
+//
+//hot:loop fused VLO+checksum kernel on the protected solve path
 func (p *Pool) AxpbyVLO(dst []float64, alpha float64, x []float64, beta float64, y []float64,
 	sDst, etaDst, sx, etaX, sy, etaY []float64) {
 	p.Axpby(dst, alpha, x, beta, y)
@@ -95,6 +91,8 @@ func (p *Pool) AxpbyVLO(dst []float64, alpha float64, x []float64, beta float64,
 
 // XpbyVLO fuses the parallel xpby with the Eq. (3) checksum+η update
 // (alpha = 1 case).
+//
+//hot:loop fused VLO+checksum kernel on the protected solve path
 func (p *Pool) XpbyVLO(dst, x []float64, beta float64, y []float64,
 	sDst, etaDst, sx, etaX, sy, etaY []float64) {
 	p.Xpby(dst, x, beta, y)
@@ -105,6 +103,8 @@ func (p *Pool) XpbyVLO(dst, x []float64, beta float64, y []float64,
 // the O(n) dense row reductions run on the pool (bitwise-equal to
 // vec.DotAbs by the reduction contract) and feed the serial Eq. (2) fold
 // via UpdateMVMBoundFrom.
+//
+//hot:loop Eq. (2) checksum-update kernel on the protected solve path
 func (p *Pool) UpdateMVMBound(m *checksum.Matrix, dst, etaDst, u, su, etaSrc []float64) {
 	if p == nil {
 		m.UpdateMVMBound(dst, etaDst, u, su, etaSrc)
@@ -119,6 +119,8 @@ func (p *Pool) UpdateMVMBound(m *checksum.Matrix, dst, etaDst, u, su, etaSrc []f
 
 // UpdatePCOBound is the parallel form of (*checksum.Matrix).UpdatePCOBound,
 // the Eq. (4) preconditioner-solve update.
+//
+//hot:loop Eq. (4) checksum-update kernel on the protected solve path
 func (p *Pool) UpdatePCOBound(m *checksum.Matrix, dst, etaDst, w, su, etaSrc []float64) {
 	if p == nil {
 		m.UpdatePCOBound(dst, etaDst, w, su, etaSrc)

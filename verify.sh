@@ -22,7 +22,10 @@ echo "== go vet =="
 go vet ./...
 
 echo "== newsum-lint =="
-go run ./cmd/newsum-lint ./...
+# -baseline grandfathers nothing today (lint.baseline.json is the empty
+# list) but keeps the gate honest two ways: new findings fail the build,
+# and a baseline entry that no longer matches anything fails as stale.
+go run ./cmd/newsum-lint -baseline lint.baseline.json ./...
 
 echo "== go test =="
 go test ./...
@@ -33,14 +36,16 @@ go test -run Fuzz -fuzz='^$' ./internal/checksum/...
 echo "== go test -race (par, core, service, kernel) =="
 go test -race ./internal/par/... ./internal/core/... ./internal/service/... ./internal/kernel/...
 
-echo "== coverage gate (fault, checksum, accuracy, service, kernel >= 80%) =="
+echo "== coverage gate (fault, checksum, accuracy, service, kernel, analysis >= 80%) =="
 # The packages that decide whether a fault is caught — and the service
 # layer that promises retry-to-convergence and server-side verification —
 # must themselves be thoroughly exercised; docs/testing.md records the
 # baseline figures. internal/kernel joins the gate because a silent hole
 # in its reduction coverage could hide a determinism break that the
-# checksum comparisons would then misread as a fault.
-go test -cover ./internal/fault/ ./internal/checksum/ ./internal/accuracy/ ./internal/service/ ./internal/kernel/ |
+# checksum comparisons would then misread as a fault. internal/analysis
+# joins because the lint tier is itself a correctness gate: an analyzer
+# with untested branches silently stops enforcing its invariant.
+go test -cover ./internal/fault/ ./internal/checksum/ ./internal/accuracy/ ./internal/service/ ./internal/kernel/ ./internal/analysis/ |
 	awk '
 		{ print }
 		/coverage:/ {
