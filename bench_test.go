@@ -24,6 +24,7 @@ import (
 	"sync"
 	"testing"
 
+	"newsum/internal/accuracy"
 	"newsum/internal/bench"
 	"newsum/internal/checksum"
 	"newsum/internal/core"
@@ -37,12 +38,25 @@ import (
 const (
 	benchSeed   = 20160531
 	benchN      = 10000 // kept moderate so the full suite stays minutes-scale
+	benchShortN = 4000  // -short: the verify.sh smoke gate's quick size
 	benchBlocks = 8
 )
 
+// benchSize honors -short: verify.sh runs the whole suite at
+// `-benchtime=1x -short` as its standing trajectory gate, so quick sizes
+// keep that gate seconds-scale. Deterministic metrics (wasted-iters,
+// detect-%, sdc-rate) depend on the size, so a baseline records the mode
+// it was measured in — BENCH_CORE.json is a -short baseline.
+func benchSize() int {
+	if testing.Short() {
+		return benchShortN
+	}
+	return benchN
+}
+
 func circuitWorkload(b *testing.B) bench.Workload {
 	b.Helper()
-	w, err := bench.CircuitPCG(benchN, benchBlocks, benchSeed)
+	w, err := bench.CircuitPCG(benchSize(), benchBlocks, benchSeed)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -125,7 +139,7 @@ func BenchmarkFigure6(b *testing.B) {
 // BenchmarkFigure7 measures the PBiCGSTAB overhead comparison (Fig. 7).
 func BenchmarkFigure7(b *testing.B) {
 	side := 1
-	for side*side < benchN {
+	for side*side < benchSize() {
 		side++
 	}
 	w, err := bench.ConvectionPBiCGSTAB(side, side, benchBlocks, 20)
@@ -196,7 +210,7 @@ func BenchmarkFigure10(b *testing.B) {
 // as the number of carried checksums grows (single vs double vs triple) —
 // the design trade the lazy two-level variant exploits.
 func BenchmarkAblationChecksumCount(b *testing.B) {
-	a := sparse.CircuitLike(benchN, benchSeed)
+	a := sparse.CircuitLike(benchSize(), benchSeed)
 	x := make([]float64, a.Rows)
 	for i := range x {
 		x[i] = float64(i%13) * 0.1
@@ -306,7 +320,7 @@ func BenchmarkAblationDecouplingScalar(b *testing.B) {
 // BenchmarkAblationVerifyCost isolates the outer-level detection cost (two
 // O(n) weighted sums), the t_d of Eq. (5).
 func BenchmarkAblationVerifyCost(b *testing.B) {
-	x := make([]float64, benchN)
+	x := make([]float64, benchSize())
 	for i := range x {
 		x[i] = math.Sin(float64(i))
 	}
@@ -349,7 +363,7 @@ func BenchmarkAblationRecovery(b *testing.B) {
 // hot path (the instrumentation contract).
 func BenchmarkInjectionOverhead(b *testing.B) {
 	var inj *fault.Injector
-	v := make([]float64, benchN)
+	v := make([]float64, benchSize())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -464,7 +478,7 @@ func BenchmarkAllGather(b *testing.B) {
 // circuit matrix's hub rows skew the even split, so the nnz partition should
 // close the straggler gap.
 func BenchmarkDistSpMV(b *testing.B) {
-	a := sparse.CircuitLike(benchN, benchSeed)
+	a := sparse.CircuitLike(benchSize(), benchSeed)
 	u := make([]float64, a.Rows)
 	for i := range u {
 		u[i] = 1 + float64(i%7)*0.25
@@ -499,7 +513,7 @@ func BenchmarkDistSpMV(b *testing.B) {
 // rank-local checksum/checkpoint machinery at scale rather than raw
 // speedup, but the timing trend is reported anyway.
 func BenchmarkParallelScaling(b *testing.B) {
-	a := sparse.CircuitLike(benchN, benchSeed)
+	a := sparse.CircuitLike(benchSize(), benchSeed)
 	rhs := make([]float64, a.Rows)
 	for i := range rhs {
 		rhs[i] = 1
@@ -522,7 +536,7 @@ func BenchmarkParallelScaling(b *testing.B) {
 // BenchmarkParallelTwoLevel measures the distributed inner-level probe cost
 // (one extra scalar all-reduce per iteration).
 func BenchmarkParallelTwoLevel(b *testing.B) {
-	a := sparse.CircuitLike(benchN, benchSeed)
+	a := sparse.CircuitLike(benchSize(), benchSeed)
 	rhs := make([]float64, a.Rows)
 	for i := range rhs {
 		rhs[i] = 1
@@ -541,5 +555,42 @@ func BenchmarkParallelTwoLevel(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkDetectionCampaign runs a seeded single-trial accuracy campaign
+// and reports its outcome metrics. All three are deterministic at the
+// committed seed, so the trajectory comparator gates them exactly even in
+// smoke mode: detect-% may not drop, latency-iters may not grow, and
+// sdc-rate is Zero-class — any nonzero value fails the gate outright.
+func BenchmarkDetectionCampaign(b *testing.B) {
+	cfg := accuracy.Config{
+		Side:       8,
+		Solvers:    []string{"pcg"},
+		Models:     []fault.Model{fault.ModelSingle, fault.ModelSign},
+		Magnitudes: []fault.Magnitude{fault.MagLarge},
+		Trials:     1,
+		Seed:       benchSeed,
+	}
+	for i := 0; i < b.N; i++ {
+		cells, err := accuracy.RunSerial(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var rate, latSum float64
+		latN, sdc := 0, 0
+		for _, c := range cells {
+			rate += c.DetectionRate()
+			if l := c.MeanLatency(); !math.IsNaN(l) {
+				latSum += l
+				latN++
+			}
+			sdc += c.SDC
+		}
+		b.ReportMetric(100*rate/float64(len(cells)), "detect-%")
+		if latN > 0 {
+			b.ReportMetric(latSum/float64(latN), "latency-iters")
+		}
+		b.ReportMetric(float64(sdc), "sdc-rate")
 	}
 }

@@ -15,9 +15,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"newsum/internal/accuracy"
 	"newsum/internal/bench"
+	"newsum/internal/bench/trajectory"
 	"newsum/internal/core"
 	"newsum/internal/model"
 	"newsum/internal/par"
@@ -32,6 +34,13 @@ func main() {
 		repeats = flag.Int("repeats", 3, "timing repetitions (median reported)")
 		seed    = flag.Int64("seed", 20160531, "deterministic seed (HPDC'16 started 2016-05-31)")
 		csvDir  = flag.String("csv", "", "also write each experiment's data as CSV into this directory")
+
+		benchJSON = flag.String("bench-json", "", "append this run's metrics as a record to this trajectory file (docs/benchmarks.md)")
+		compare   = flag.String("compare", "", "gate this run's metrics against the newest record of this trajectory file; non-zero exit on regression")
+		smoke     = flag.Bool("smoke", false, "with -compare: wall-clock units are advisory, deterministic units still gate")
+		suite     = flag.String("suite", "newsum-bench", "suite name inside the trajectory file")
+		commit    = flag.String("commit", "unknown", "commit id recorded with -bench-json")
+		message   = flag.String("message", "", "commit message recorded with -bench-json")
 	)
 	flag.Parse()
 
@@ -41,13 +50,74 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if err := run(*exp, *n, *blocks, *repeats, *seed, *csvDir); err != nil {
+	var collected *[]trajectory.Bench
+	if *benchJSON != "" || *compare != "" {
+		collected = &[]trajectory.Bench{}
+	}
+	if err := run(*exp, *n, *blocks, *repeats, *seed, *csvDir, collected); err != nil {
 		fmt.Fprintln(os.Stderr, "newsum-bench:", err)
 		os.Exit(1)
 	}
+	if collected != nil {
+		failed, err := finishTrajectory(*collected, *compare, *benchJSON, *suite, *commit, *message, *smoke)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "newsum-bench:", err)
+			os.Exit(1)
+		}
+		if failed {
+			os.Exit(1)
+		}
+	}
 }
 
-func run(exp string, n, blocks, repeats int, seed int64, csvDir string) error {
+// finishTrajectory gates the collected metrics against a baseline
+// trajectory (-compare) and/or appends them as a new record (-bench-json).
+// It reports whether the gate failed.
+func finishTrajectory(benches []trajectory.Bench, compare, benchJSON, suite, commit, message string, smoke bool) (bool, error) {
+	if len(benches) == 0 {
+		return false, fmt.Errorf("no metrics collected (experiment emitted nothing)")
+	}
+	failed := false
+	if compare != "" {
+		file, err := trajectory.Load(compare)
+		if err != nil {
+			return false, err
+		}
+		base, ok := file.Latest(suite)
+		if !ok {
+			return false, fmt.Errorf("%s has no records in suite %q", compare, suite)
+		}
+		rep := trajectory.Compare(base.Benches, benches, trajectory.DefaultRules(), smoke)
+		if err := rep.WriteText(os.Stdout); err != nil {
+			return false, err
+		}
+		failed = rep.Failed()
+	}
+	if benchJSON != "" {
+		file, err := trajectory.LoadOrEmpty(benchJSON)
+		if err != nil {
+			return false, err
+		}
+		file.Append(suite, trajectory.Record{
+			Commit:  trajectory.Commit{ID: commit, Message: message, Timestamp: time.Now().UTC().Format(time.RFC3339)},
+			Date:    time.Now().UnixMilli(),
+			Tool:    "go",
+			Benches: benches,
+		})
+		if err := file.Save(benchJSON); err != nil {
+			return false, err
+		}
+		fmt.Printf("recorded %d metrics to %s suite %q\n", len(benches), benchJSON, suite)
+	}
+	return failed, nil
+}
+
+func run(exp string, n, blocks, repeats int, seed int64, csvDir string, collected *[]trajectory.Bench) error {
+	collect := func(bs ...trajectory.Bench) {
+		if collected != nil {
+			*collected = append(*collected, bs...)
+		}
+	}
 	writeCSV := func(name string, emit func(w *os.File) error) error {
 		if csvDir == "" {
 			return nil
@@ -78,6 +148,7 @@ func run(exp string, n, blocks, repeats int, seed int64, csvDir string) error {
 		if err := bench.WriteTable3(out, r); err != nil {
 			return err
 		}
+		collect(bench.Table3Benches(r)...)
 		fmt.Fprintln(os.Stdout)
 	}
 	if all || exp == "table4" {
@@ -86,12 +157,14 @@ func run(exp string, n, blocks, repeats int, seed int64, csvDir string) error {
 		if err := bench.WriteTable4(out, 1, 12, 4.8); err != nil {
 			return err
 		}
+		collect(bench.Table4Benches(1, 12, 4.8)...)
 		fmt.Fprintln(os.Stdout)
 	}
 	if all || exp == "table5" {
 		if err := bench.WriteTable5(out, model.Stampede(), 2000, 1000); err != nil {
 			return err
 		}
+		collect(bench.Table5Benches(model.Stampede(), 2000, 1000)...)
 		if err := writeCSV("table5.csv", func(f *os.File) error {
 			return bench.WriteTable5CSV(f, model.Stampede(), 2000, 1000)
 		}); err != nil {
@@ -103,6 +176,7 @@ func run(exp string, n, blocks, repeats int, seed int64, csvDir string) error {
 		if err := bench.WriteFigure5(out, model.Stampede(), 2000); err != nil {
 			return err
 		}
+		collect(bench.Figure5Benches(model.Stampede(), 2000)...)
 		if err := writeCSV("figure5_pcg.csv", func(f *os.File) error {
 			return bench.WriteSurfaceCSV(f, model.Stampede().PCG, 1.0, 2000, 40, 8)
 		}); err != nil {
@@ -122,6 +196,7 @@ func run(exp string, n, blocks, repeats int, seed int64, csvDir string) error {
 		if err := bench.WriteOverheadFigure(out, "Figure 6: PCG overheads (host measurement)", fig); err != nil {
 			return err
 		}
+		collect(bench.OverheadFigureBenches("fig6", fig)...)
 		if err := writeCSV("figure6.csv", func(f *os.File) error { return bench.WriteOverheadCSV(f, fig) }); err != nil {
 			return err
 		}
@@ -140,6 +215,7 @@ func run(exp string, n, blocks, repeats int, seed int64, csvDir string) error {
 		if err := bench.WriteOverheadFigure(out, "Figure 7: PBiCGSTAB overheads (host measurement)", fig); err != nil {
 			return err
 		}
+		collect(bench.OverheadFigureBenches("fig7", fig)...)
 		if err := writeCSV("figure7.csv", func(f *os.File) error { return bench.WriteOverheadCSV(f, fig) }); err != nil {
 			return err
 		}
@@ -150,6 +226,7 @@ func run(exp string, n, blocks, repeats int, seed int64, csvDir string) error {
 		if err := bench.WriteProjectedFigure(out, "Figure 8: PCG overheads on Tianhe-2", fig); err != nil {
 			return err
 		}
+		collect(bench.ProjectedBenches("fig8", fig)...)
 		if err := writeCSV("figure8.csv", func(f *os.File) error { return bench.WriteProjectedCSV(f, fig) }); err != nil {
 			return err
 		}
@@ -160,6 +237,7 @@ func run(exp string, n, blocks, repeats int, seed int64, csvDir string) error {
 		if err := bench.WriteProjectedFigure(out, "Figure 9: PBiCGSTAB overheads on Tianhe-2", fig); err != nil {
 			return err
 		}
+		collect(bench.ProjectedBenches("fig9", fig)...)
 		if err := writeCSV("figure9.csv", func(f *os.File) error { return bench.WriteProjectedCSV(f, fig) }); err != nil {
 			return err
 		}
@@ -184,6 +262,7 @@ func run(exp string, n, blocks, repeats int, seed int64, csvDir string) error {
 		if err := bench.WriteParallelTable(out, title, pts); err != nil {
 			return err
 		}
+		collect(bench.ParallelBenches(pts)...)
 		if err := writeCSV("parallel.csv", func(f *os.File) error { return bench.WriteParallelCSV(f, pts) }); err != nil {
 			return err
 		}
@@ -201,6 +280,7 @@ func run(exp string, n, blocks, repeats int, seed int64, csvDir string) error {
 		if err := bench.WriteFigure10(out, fig); err != nil {
 			return err
 		}
+		collect(bench.Figure10Benches(fig)...)
 		if err := writeCSV("figure10.csv", func(f *os.File) error { return bench.WriteFigure10CSV(f, fig) }); err != nil {
 			return err
 		}
@@ -224,6 +304,7 @@ func run(exp string, n, blocks, repeats int, seed int64, csvDir string) error {
 		if err := bench.WriteAccuracyReport(out, title, rep); err != nil {
 			return err
 		}
+		collect(bench.AccuracyBenches(rep)...)
 		if err := writeCSV("accuracy.csv", func(f *os.File) error { return bench.WriteAccuracyCSV(f, rep) }); err != nil {
 			return err
 		}
@@ -248,6 +329,7 @@ func run(exp string, n, blocks, repeats int, seed int64, csvDir string) error {
 		if err := bench.WriteServeTable(out, title, pts); err != nil {
 			return err
 		}
+		collect(bench.ServeBenches(pts)...)
 		if err := writeCSV("serve.csv", func(f *os.File) error { return bench.WriteServeCSV(f, pts) }); err != nil {
 			return err
 		}
@@ -270,6 +352,7 @@ func run(exp string, n, blocks, repeats int, seed int64, csvDir string) error {
 		if err := bench.WriteKernelsTable(out, title, pts); err != nil {
 			return err
 		}
+		collect(bench.KernelBenches(pts)...)
 		if err := writeCSV("kernels.csv", func(f *os.File) error { return bench.WriteKernelsCSV(f, pts) }); err != nil {
 			return err
 		}

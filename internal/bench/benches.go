@@ -1,0 +1,300 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"newsum/internal/accuracy"
+	"newsum/internal/bench/trajectory"
+	"newsum/internal/core"
+	"newsum/internal/fault"
+	"newsum/internal/model"
+)
+
+// This file turns every experiment's point structs — the same single
+// metric source the Write*Table and Write*CSV renderers consume — into
+// trajectory benches, so a newsum-bench run can be appended to a
+// committed BENCH_*.json history and gated by the comparator. Units are
+// chosen to select the right regression rule (trajectory.DefaultRules):
+// wall-clock-derived values carry timing units (ns/op, overhead-%, jobs/s,
+// ms, x), deterministic values carry zero-tolerance units (iters,
+// wasted-iters, latency-iters, detect-%, sdc-rate, alarms, bitwise) or
+// exact model units (model-%, model-ms, model-s, interval, cells).
+
+// appendBench adds one metric, dropping NaN and ±Inf: JSON cannot carry
+// them, and dropping is the right semantics — a scheme that went Inf
+// (rollback storm) loses its metric, which the comparator then reports
+// as vanished rather than silently passing.
+func appendBench(bs []trajectory.Bench, name string, value float64, unit string) []trajectory.Bench {
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return bs
+	}
+	return append(bs, trajectory.Bench{Name: name, Value: value, Unit: unit})
+}
+
+// scenTag is the compact metric-name token for a scenario.
+func scenTag(s ScenarioName) string {
+	switch s {
+	case ErrorFree:
+		return "error-free"
+	case S1:
+		return "s1"
+	case S2:
+		return "s2"
+	case S3:
+		return "s3"
+	default:
+		return "unknown"
+	}
+}
+
+// Table3Benches summarizes the coverage matrix: the count of protected
+// (scheme, error-kind) cells and the Jacobi generality demo, both exact.
+func Table3Benches(r CoverageResult) []trajectory.Bench {
+	protected := 0
+	for _, s := range r.Schemes {
+		for _, k := range r.Kinds {
+			if r.Cells[s][k].Protected {
+				protected++
+			}
+		}
+	}
+	jacobi := 0.0
+	if r.JacobiWorks {
+		jacobi = 1
+	}
+	var bs []trajectory.Bench
+	bs = appendBench(bs, "table3/protected-cells", float64(protected), "cells")
+	bs = appendBench(bs, "table3/jacobi-protected", jacobi, "cells")
+	return bs
+}
+
+// Table4Benches evaluates the theoretical per-iteration overheads on the
+// Stampede profile — pure model, exact units.
+func Table4Benches(d, cd int, c0 float64) []trajectory.Bench {
+	m := model.Stampede()
+	var bs []trajectory.Bench
+	for _, sc := range []model.Scenario{model.Scenario1, model.Scenario2, model.Scenario3} {
+		o1, o2, o3 := model.Table4Costs(sc, d, cd, c0)
+		for _, e := range []struct {
+			label string
+			op    model.OpCount
+		}{{"basic", o1}, {"two-level", o2}, {"online-MV", o3}} {
+			if e.op.Infinite {
+				continue
+			}
+			bs = appendBench(bs, fmt.Sprintf("table4/%s/%s", sc, e.label),
+				1e3*e.op.Seconds(m.Ops), "model-ms")
+		}
+	}
+	return bs
+}
+
+// Table5Benches records the optimal (cd, d) intervals — exact.
+func Table5Benches(m model.Machine, iters, maxCD int) []trajectory.Bench {
+	var bs []trajectory.Bench
+	for _, r := range Table5(m, iters, maxCD) {
+		p := fmt.Sprintf("table5/lambda=%g", r.Lambda)
+		bs = appendBench(bs, p+"/pcg/cd", float64(r.PCGCD), "interval")
+		bs = appendBench(bs, p+"/pcg/d", float64(r.PCGD), "interval")
+		bs = appendBench(bs, p+"/pbicgstab/cd", float64(r.BiCGCD), "interval")
+		bs = appendBench(bs, p+"/pbicgstab/d", float64(r.BiCGD), "interval")
+	}
+	return bs
+}
+
+// Figure5Benches records the E(cd,d) optimum per solver — pure model.
+func Figure5Benches(m model.Machine, iters int) []trajectory.Bench {
+	var bs []trajectory.Bench
+	for _, part := range []struct {
+		label string
+		costs model.OpCosts
+	}{{"pcg", m.PCG}, {"pbicgstab", m.PBiCGSTAB}} {
+		cd, d, e := model.Optimize(part.costs, 1.0, iters, 40)
+		p := "fig5/" + part.label
+		bs = appendBench(bs, p+"/cd", float64(cd), "interval")
+		bs = appendBench(bs, p+"/d", float64(d), "interval")
+		bs = appendBench(bs, p+"/E", e, "model-s")
+	}
+	return bs
+}
+
+// OverheadFigureBenches flattens a host-measured overhead figure
+// (Figs. 6–7): per-scheme per-scenario overhead % (wall clock), the
+// baseline seconds, and the deterministic fault-free iteration count.
+func OverheadFigureBenches(prefix string, fig OverheadFigure) []trajectory.Bench {
+	var bs []trajectory.Bench
+	bs = appendBench(bs, prefix+"/baseline", fig.BaselineS, "sec")
+	bs = appendBench(bs, prefix+"/iterations", float64(fig.Iters), "iters")
+	for _, v := range FigureVariants() {
+		for _, scen := range Scenarios() {
+			bs = appendBench(bs, fmt.Sprintf("%s/%s/%s", prefix, v.Label, scenTag(scen)),
+				100*fig.Overhead[v.Label][scen], "overhead-%")
+		}
+	}
+	return bs
+}
+
+// ProjectedBenches flattens a Figs. 8–9 projection — pure model, exact.
+func ProjectedBenches(prefix string, fig ProjectedFigure) []trajectory.Bench {
+	var bs []trajectory.Bench
+	for _, l := range projLabels {
+		for _, scen := range Scenarios() {
+			bs = appendBench(bs, fmt.Sprintf("%s/%s/%s", prefix, l, scenTag(scen)),
+				100*fig.Overhead[l][scen], "model-%")
+		}
+	}
+	return bs
+}
+
+// Figure10Benches flattens the multi-error comparison: wall-clock
+// overhead % per case and scheme, plus each case's deterministic
+// rollback/correction counters.
+func Figure10Benches(fig MultiErrorFigure) []trajectory.Bench {
+	var bs []trajectory.Bench
+	for _, c := range fig.Cases {
+		label := fmt.Sprintf("fig10/k=%d", c.K)
+		if c.WithVLO {
+			label += "+vlo"
+		}
+		for _, v := range fig10Variants {
+			bs = appendBench(bs, label+"/"+v.Label, 100*c.Overhead[v.Label], "overhead-%")
+		}
+		bs = appendBench(bs, label+"/basic-rollbacks", float64(c.Stats["basic"].Rollbacks), "count")
+		bs = appendBench(bs, label+"/two-level-corrections", float64(c.Stats["two-level/lazy"].Corrections), "count")
+	}
+	return bs
+}
+
+// ParallelBenches flattens the distributed-solver sweep: wall time per
+// solve plus the deterministic iteration counts and collective counters
+// that transfer to a real cluster.
+func ParallelBenches(pts []ParallelPoint) []trajectory.Bench {
+	var bs []trajectory.Bench
+	for _, p := range pts {
+		n := fmt.Sprintf("par/%s/ranks=%d/%s", p.Solver, p.Ranks, p.Topology)
+		bs = appendBench(bs, n, p.Seconds*1e9, "ns/op")
+		bs = appendBench(bs, n+"/iterations", float64(p.Iterations), "iters")
+		bs = appendBench(bs, n+"/reductions", float64(p.Comm.Reductions), "count")
+		bs = appendBench(bs, n+"/words-moved", float64(p.Comm.WordsMoved), "count")
+	}
+	return bs
+}
+
+// accuracyCellBenches flattens campaign cells: detection rate, mean
+// latency (absent when nothing was detected — Recovered-only schemes
+// under below-τ strikes), and the SDC count that must stay zero.
+func accuracyCellBenches(cells []accuracy.Cell) []trajectory.Bench {
+	var bs []trajectory.Bench
+	for _, c := range cells {
+		n := fmt.Sprintf("accuracy/%s/%s/%s/%s/%s", c.Engine, c.Solver, c.Scheme, c.Model, c.Magnitude)
+		bs = appendBench(bs, n, 100*c.DetectionRate(), "detect-%")
+		bs = appendBench(bs, n+"/latency", c.MeanLatency(), "latency-iters")
+		bs = appendBench(bs, n+"/sdc", float64(c.SDC), "sdc-rate")
+	}
+	return bs
+}
+
+// AccuracyBenches flattens a full campaign report: the detection grid,
+// the false-positive sweep, and the wall-clock protection overhead.
+func AccuracyBenches(rep accuracy.Report) []trajectory.Bench {
+	bs := accuracyCellBenches(rep.Cells)
+	for _, p := range rep.FP {
+		bs = appendBench(bs, fmt.Sprintf("accuracy/fp/%s/%s/theta=%g", p.Engine, p.Solver, p.Theta),
+			float64(p.Detections), "alarms")
+	}
+	for _, p := range rep.Overhead {
+		bs = appendBench(bs, fmt.Sprintf("accuracy/overhead/%s/%s", p.Solver, p.Scheme),
+			p.OverheadPct(), "overhead-%")
+	}
+	return bs
+}
+
+// ServeBenches flattens the service sweep: throughput and latency
+// quantiles (wall clock) plus the scheduling-stack counters.
+func ServeBenches(pts []ServePoint) []trajectory.Bench {
+	var bs []trajectory.Bench
+	for _, p := range pts {
+		n := fmt.Sprintf("serve/workers=%d/queue=%d/cache=%s", p.Workers, p.QueueDepth, onOff(p.Cache))
+		bs = appendBench(bs, n, p.Throughput, "jobs/s")
+		bs = appendBench(bs, n+"/p50", p.P50Millis, "ms")
+		bs = appendBench(bs, n+"/p99", p.P99Millis, "ms")
+		bs = appendBench(bs, n+"/cache-hits", float64(p.CacheHits), "count")
+		bs = appendBench(bs, n+"/retries", float64(p.Retries), "count")
+		bs = appendBench(bs, n+"/detections", float64(p.Detections), "count")
+	}
+	return bs
+}
+
+// KernelBenches flattens the shared-memory kernel sweep: per-repetition
+// wall time, parallel speedup, and the bitwise determinism flag the
+// comparator must never see drop.
+func KernelBenches(pts []KernelPoint) []trajectory.Bench {
+	var bs []trajectory.Bench
+	for _, p := range pts {
+		n := fmt.Sprintf("kernels/%s/n=%d/workers=%d", p.Kernel, p.N, p.Workers)
+		if p.Reps > 0 {
+			bs = appendBench(bs, n, p.Seconds/float64(p.Reps)*1e9, "ns/op")
+		}
+		if p.Workers > 1 {
+			bs = appendBench(bs, n+"/speedup", p.Speedup, "x")
+		}
+		bit := 0.0
+		if p.Bitwise {
+			bit = 1
+		}
+		bs = appendBench(bs, n+"/bitwise", bit, "bitwise")
+	}
+	return bs
+}
+
+// DeterministicBenches is the subset of the harness whose custom metrics
+// are bitwise-reproducible at a fixed seed — model projections, optimal
+// intervals, wasted iterations under a seeded fault schedule, and the
+// detection grid of a seeded one-trial campaign. Two back-to-back runs
+// must agree bit for bit (docs/kernels.md: determinism is a correctness
+// property here, not a nicety); any drift is a harness bug, not noise.
+func DeterministicBenches(seed int64) ([]trajectory.Bench, error) {
+	var bs []trajectory.Bench
+
+	// Pure-model metrics: projections and optimal intervals.
+	bs = append(bs, ProjectedBenches("fig8", ProjectOverheads(model.Tianhe2(), core.MethodPCG, 1, 12, 4.8))...)
+	bs = append(bs, Table5Benches(model.Stampede(), 2000, 1000)...)
+
+	// Wasted iterations under the seeded S2 schedule on a small PCG.
+	w, err := LaplacePCG(16, 2)
+	if err != nil {
+		return nil, err
+	}
+	iters, err := w.FaultFreeIterations()
+	if err != nil {
+		return nil, err
+	}
+	opts := w.baseOptions()
+	opts.DetectInterval = 4
+	opts.CheckpointInterval = 16
+	opts.MaxRollbacks = 500
+	opts.Injector = InjectorFor(S2, iters, 16, seed)
+	res, _, err := RunScheme(w, core.Basic, opts)
+	if err != nil {
+		return nil, err
+	}
+	bs = appendBench(bs, "determinism/pcg-s2", float64(res.Stats.WastedIterations), "wasted-iters")
+	bs = appendBench(bs, "determinism/pcg-s2/iterations", float64(res.Iterations), "iters")
+	bs = appendBench(bs, "determinism/pcg-s2/rollbacks", float64(res.Stats.Rollbacks), "count")
+
+	// Detection latency and SDC outcomes of a seeded one-trial serial
+	// campaign over two models at the easy magnitude.
+	cells, err := accuracy.RunSerial(accuracy.Config{
+		Side:       8,
+		Solvers:    []string{"pcg"},
+		Models:     []fault.Model{fault.ModelSingle, fault.ModelSign},
+		Magnitudes: []fault.Magnitude{fault.MagLarge},
+		Trials:     1,
+		Seed:       seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return append(bs, accuracyCellBenches(cells)...), nil
+}

@@ -1,0 +1,318 @@
+package trajectory
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Class is a unit's regression semantics.
+type Class int
+
+const (
+	// LowerIsBetter fails when the value rises past the tolerance
+	// (ns/op, B/op, allocs/op, wasted-iters, latency-iters, alarms).
+	LowerIsBetter Class = iota
+	// HigherIsBetter fails when the value falls past the tolerance
+	// (MB/s, jobs/s, detect-%, bitwise).
+	HigherIsBetter
+	// Exact fails on any drift in either direction — reserved for
+	// metrics that are pure deterministic functions of the code (model
+	// projections, optimal intervals): a change means the model changed,
+	// which must be an explicit re-baseline, never noise.
+	Exact
+	// Zero fails unless the value is exactly 0 regardless of baseline —
+	// the invariant class (SDC rate, SDC suspects, failed jobs).
+	Zero
+)
+
+// Rule is the regression policy for one unit.
+type Rule struct {
+	Class Class
+	// RelTol is the allowed fractional worsening and AbsTol an absolute
+	// slack on top; a candidate regresses only past base ± (base·RelTol
+	// + AbsTol). Both zero means any worsening fails.
+	RelTol float64
+	AbsTol float64
+	// Timing marks wall-clock-derived units. In smoke mode (verify.sh's
+	// -benchtime=1x run) their regressions are reported as advisory
+	// drift instead of failing the gate: one-iteration timings are too
+	// noisy to gate on honestly. Full mode gates them like any other.
+	Timing bool
+	// PinZero pins a zero baseline: once a benchmark commits 0 for this
+	// unit (0 allocs/op on the protected iteration path), any nonzero
+	// candidate fails even inside the tolerances.
+	PinZero bool
+}
+
+// RuleSet maps units to rules.
+type RuleSet struct {
+	ByUnit map[string]Rule
+	// Default applies to unknown units: gated in full mode at 25%,
+	// advisory in smoke mode (unknown semantics are assumed timing-ish;
+	// name a rule to gate a new unit deterministically).
+	Default Rule
+}
+
+// DefaultRules is the repo's standing policy, documented in
+// docs/benchmarks.md.
+func DefaultRules() RuleSet {
+	return RuleSet{
+		ByUnit: map[string]Rule{
+			// Standard go-bench units.
+			"ns/op": {Class: LowerIsBetter, RelTol: 0.15, Timing: true},
+			"MB/s":  {Class: HigherIsBetter, RelTol: 0.15, Timing: true},
+			"B/op":  {Class: LowerIsBetter, RelTol: 0.25, AbsTol: 4096, PinZero: true},
+			"allocs/op": {Class: LowerIsBetter, RelTol: 0.25, AbsTol: 16,
+				PinZero: true},
+			// Deterministic custom units: bitwise-reproducible at the
+			// committed seed (docs/kernels.md), so zero tolerance.
+			"sdc-rate":      {Class: Zero},
+			"sdc-suspects":  {Class: Zero},
+			"failed-jobs":   {Class: Zero},
+			"wasted-iters":  {Class: LowerIsBetter},
+			"latency-iters": {Class: LowerIsBetter},
+			"alarms":        {Class: LowerIsBetter},
+			"detect-%":      {Class: HigherIsBetter},
+			"bitwise":       {Class: HigherIsBetter},
+			"iters":         {Class: Exact},
+			"interval":      {Class: Exact},
+			"cells":         {Class: Exact},
+			"model-%":       {Class: Exact},
+			"model-s":       {Class: Exact},
+			"model-ms":      {Class: Exact},
+			// Wall-clock-derived custom units.
+			"overhead-%": {Class: LowerIsBetter, RelTol: 0.25, Timing: true},
+			"jobs/s":     {Class: HigherIsBetter, RelTol: 0.25, Timing: true},
+			"ms":         {Class: LowerIsBetter, RelTol: 0.25, Timing: true},
+			"x":          {Class: HigherIsBetter, RelTol: 0.25, Timing: true},
+		},
+		Default: Rule{Class: LowerIsBetter, RelTol: 0.25, Timing: true},
+	}
+}
+
+// Status classifies one metric's comparison.
+type Status int
+
+const (
+	// StatusOK: within tolerance.
+	StatusOK Status = iota
+	// StatusImproved: moved in the better direction.
+	StatusImproved
+	// StatusRegressed: past the rule's threshold — fails the gate.
+	StatusRegressed
+	// StatusNew: present in the run but not the baseline — recorded,
+	// never failed (new benchmarks enter the trajectory freely).
+	StatusNew
+	// StatusVanished: present in the baseline but missing from the run —
+	// fails the gate with a named diagnostic (a silently dropped
+	// benchmark is itself a regression of the measurement backbone).
+	StatusVanished
+	// StatusAdvisory: a timing unit drifted past its threshold in smoke
+	// mode — reported, not failed.
+	StatusAdvisory
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusImproved:
+		return "improved"
+	case StatusRegressed:
+		return "REGRESSED"
+	case StatusNew:
+		return "new"
+	case StatusVanished:
+		return "VANISHED"
+	case StatusAdvisory:
+		return "drift"
+	default:
+		return "unknown-status"
+	}
+}
+
+// Delta is one metric's comparison against the baseline.
+type Delta struct {
+	Name   string
+	Unit   string
+	Base   float64
+	New    float64
+	Status Status
+	Reason string
+}
+
+// Report is a full comparison: one delta per candidate metric, in run
+// order, followed by one per vanished baseline metric, in baseline order.
+type Report struct {
+	Smoke  bool
+	Deltas []Delta
+}
+
+// Failures returns the gate-failing deltas (regressed and vanished).
+func (r Report) Failures() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Status == StatusRegressed || d.Status == StatusVanished {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Failed reports whether the gate fires.
+func (r Report) Failed() bool { return len(r.Failures()) > 0 }
+
+// Compare diffs a candidate run against a baseline record's benches,
+// metric by metric. Deterministic: same inputs, same report.
+func Compare(base, cand []Bench, rs RuleSet, smoke bool) Report {
+	rep := Report{Smoke: smoke}
+	type key struct{ name, unit string }
+	baseline := make(map[key]Bench, len(base))
+	for _, b := range base {
+		baseline[key{b.Name, b.Unit}] = b
+	}
+	seen := make(map[key]bool, len(cand))
+	for _, c := range cand {
+		k := key{c.Name, c.Unit}
+		if seen[k] {
+			continue // duplicate metric in the run: first wins
+		}
+		seen[k] = true
+		b, ok := baseline[k]
+		if !ok {
+			rep.Deltas = append(rep.Deltas, Delta{
+				Name: c.Name, Unit: c.Unit, New: c.Value,
+				Status: StatusNew, Reason: "not in baseline; recorded",
+			})
+			continue
+		}
+		rep.Deltas = append(rep.Deltas, evaluate(b, c, rs.rule(c.Unit), smoke))
+	}
+	for _, b := range base {
+		k := key{b.Name, b.Unit}
+		if !seen[k] {
+			rep.Deltas = append(rep.Deltas, Delta{
+				Name: b.Name, Unit: b.Unit, Base: b.Value,
+				Status: StatusVanished,
+				Reason: fmt.Sprintf("baseline metric %s [%s] missing from this run", b.Name, b.Unit),
+			})
+		}
+	}
+	return rep
+}
+
+func (rs RuleSet) rule(unit string) Rule {
+	if r, ok := rs.ByUnit[unit]; ok {
+		return r
+	}
+	return rs.Default
+}
+
+// isZeroBits reports exact floating-point zero (either sign) without a
+// float equality comparison.
+func isZeroBits(v float64) bool {
+	b := math.Float64bits(v)
+	return b == 0 || b == 1<<63
+}
+
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func evaluate(base, cand Bench, rule Rule, smoke bool) Delta {
+	d := Delta{Name: cand.Name, Unit: cand.Unit, Base: base.Value, New: cand.Value}
+	fail := func(reason string) Delta {
+		if rule.Timing && smoke {
+			d.Status = StatusAdvisory
+			d.Reason = reason + " (timing unit: advisory in smoke mode)"
+			return d
+		}
+		d.Status = StatusRegressed
+		d.Reason = reason
+		return d
+	}
+	switch rule.Class {
+	case Zero:
+		if !isZeroBits(cand.Value) {
+			d.Status = StatusRegressed
+			d.Reason = fmt.Sprintf("%s must stay 0, got %g", cand.Unit, cand.Value)
+			return d
+		}
+		d.Status = StatusOK
+		return d
+	case Exact:
+		if !sameBits(base.Value, cand.Value) {
+			d.Status = StatusRegressed
+			d.Reason = fmt.Sprintf("exact metric drifted: %g -> %g", base.Value, cand.Value)
+			return d
+		}
+		d.Status = StatusOK
+		return d
+	}
+	// PinZero overrides tolerances before anything else: a committed 0
+	// is a contract, not a sample.
+	if rule.PinZero && isZeroBits(base.Value) && !isZeroBits(cand.Value) {
+		d.Status = StatusRegressed
+		d.Reason = fmt.Sprintf("pinned at 0 %s in baseline, got %g", cand.Unit, cand.Value)
+		return d
+	}
+	limit := math.Abs(base.Value)*rule.RelTol + rule.AbsTol
+	switch rule.Class {
+	case LowerIsBetter:
+		if cand.Value > base.Value+limit {
+			return fail(fmt.Sprintf("%g -> %g exceeds +%g", base.Value, cand.Value, limit))
+		}
+		if cand.Value < base.Value {
+			d.Status = StatusImproved
+			return d
+		}
+	case HigherIsBetter:
+		if cand.Value < base.Value-limit {
+			return fail(fmt.Sprintf("%g -> %g exceeds -%g", base.Value, cand.Value, limit))
+		}
+		if cand.Value > base.Value {
+			d.Status = StatusImproved
+			return d
+		}
+	}
+	d.Status = StatusOK
+	return d
+}
+
+// WriteText renders the report: failures first (the gate's diagnostics),
+// then advisory drift and new metrics, then a one-line summary.
+func (r Report) WriteText(w io.Writer) error {
+	var counts [6]int
+	for _, d := range r.Deltas {
+		counts[d.Status]++
+	}
+	werr := func(err error) error {
+		if err != nil {
+			return fmt.Errorf("trajectory: write report: %w", err)
+		}
+		return nil
+	}
+	for _, d := range r.Deltas {
+		if d.Status == StatusRegressed || d.Status == StatusVanished {
+			if _, err := fmt.Fprintf(w, "%s: %s [%s]: %s\n", d.Status, d.Name, d.Unit, d.Reason); err != nil {
+				return werr(err)
+			}
+		}
+	}
+	for _, d := range r.Deltas {
+		if d.Status == StatusAdvisory || d.Status == StatusNew {
+			if _, err := fmt.Fprintf(w, "%s: %s [%s]: %s\n", d.Status, d.Name, d.Unit, d.Reason); err != nil {
+				return werr(err)
+			}
+		}
+	}
+	mode := "full"
+	if r.Smoke {
+		mode = "smoke"
+	}
+	_, err := fmt.Fprintf(w, "compared %d metrics (%s mode): %d ok, %d improved, %d new, %d drift, %d regressed, %d vanished\n",
+		len(r.Deltas), mode, counts[StatusOK], counts[StatusImproved],
+		counts[StatusNew], counts[StatusAdvisory], counts[StatusRegressed], counts[StatusVanished])
+	return werr(err)
+}

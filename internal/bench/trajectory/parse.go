@@ -1,0 +1,104 @@
+package trajectory
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseGoBench reads `go test -bench` output and returns one Bench per
+// (benchmark, unit) pair, in stream order. It accepts both the raw text
+// stream and the test2json encoding emitted by `go test -json`, so the
+// root suite can be captured either way:
+//
+//	go test -run '^$' -bench . -benchmem -benchtime=1x .        > out.txt
+//	go test -run '^$' -bench . -benchmem -benchtime=1x -json .  > out.json
+//
+// A benchmark line is
+//
+//	BenchmarkName[-P]  N  v1 unit1  v2 unit2 ...
+//
+// where N is the b.N iteration count and every (value, unit) pair after it
+// is one metric: ns/op, B/op, allocs/op, MB/s, and any custom unit from
+// b.ReportMetric. The GOMAXPROCS suffix -P is stripped from the name and
+// recorded, with the iteration count, in Extra ("N times\nP procs") —
+// the same normalization github-action-benchmark applies. Non-benchmark
+// lines (test chatter, the tables the heavyweight figures print) are
+// skipped.
+func ParseGoBench(r io.Reader) ([]Bench, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var benches []Bench
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "{") {
+			// test2json event: only "output" events carry bench lines.
+			var ev struct {
+				Action string `json:"Action"`
+				Output string `json:"Output"`
+			}
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				return nil, fmt.Errorf("trajectory: bad test2json line: %w", err)
+			}
+			if ev.Action != "output" {
+				continue
+			}
+			line = strings.TrimSuffix(ev.Output, "\n")
+		}
+		benches = append(benches, parseBenchLine(line)...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trajectory: read bench output: %w", err)
+	}
+	return benches, nil
+}
+
+// parseBenchLine extracts the metrics of one benchmark result line, or
+// nil if the line is not one.
+func parseBenchLine(line string) []Bench {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return nil
+	}
+	iters, err := strconv.Atoi(fields[1])
+	if err != nil || iters <= 0 {
+		return nil
+	}
+	name, procs := splitProcsSuffix(fields[0])
+	extra := fmt.Sprintf("%d times", iters)
+	if procs > 0 {
+		extra += fmt.Sprintf("\n%d procs", procs)
+	}
+	var benches []Bench
+	for i := 2; i+1 < len(fields); i += 2 {
+		value, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil // not a (value, unit) tail: not a benchmark line
+		}
+		benches = append(benches, Bench{
+			Name:  name,
+			Value: value,
+			Unit:  fields[i+1],
+			Extra: extra,
+		})
+	}
+	return benches
+}
+
+// splitProcsSuffix strips a trailing -P GOMAXPROCS suffix. Sub-benchmark
+// names like "Benchmark/d=1" or "Benchmark/lazy-d8" are left intact: the
+// suffix must be all digits after the last dash.
+func splitProcsSuffix(name string) (string, int) {
+	i := strings.LastIndex(name, "-")
+	if i < 0 || i == len(name)-1 {
+		return name, 0
+	}
+	procs, err := strconv.Atoi(name[i+1:])
+	if err != nil || procs <= 0 {
+		return name, 0
+	}
+	return name[:i], procs
+}

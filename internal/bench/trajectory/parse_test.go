@@ -1,0 +1,118 @@
+package trajectory
+
+import (
+	"strings"
+	"testing"
+)
+
+// rawBenchOutput is a slice of real `go test -bench` output: standard
+// units, b.ReportMetric custom units, MB/s from SetBytes, sub-benchmarks,
+// and the table chatter the heavyweight figures print between results.
+const rawBenchOutput = `goos: linux
+goarch: amd64
+pkg: newsum
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+Figure 6: PCG overheads — workload circuit-n10000, baseline 0.088s (163 iterations)
+scheme  error-free  scenario 1  scenario 2  scenario 3
+basic   +5.0%       +7.1%       +12.2%      +48.1%
+BenchmarkFigure6    	       1	 600003866 ns/op	         5.000 basic-errfree-%	        12.20 twolevel-s2-%	35712744 B/op	    1571 allocs/op
+BenchmarkAblationVerifyCost                   	       1	     26269 ns/op	       0 B/op	       0 allocs/op
+BenchmarkAblationDetectionLatency/lazy-d8     	       1	 140004258 ns/op	       168.0 wasted-iters	 5455760 B/op	     463 allocs/op
+BenchmarkAllReduceVec/linear-4                	       1	    116850 ns/op	 280.43 MB/s	   37952 B/op	      37 allocs/op
+PASS
+ok  	newsum	12.756s
+`
+
+func TestParseGoBenchText(t *testing.T) {
+	benches, err := ParseGoBench(strings.NewReader(rawBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Bench{}
+	for _, b := range benches {
+		byKey[b.Name+"|"+b.Unit] = b
+	}
+	want := []struct {
+		key   string
+		value float64
+		extra string
+	}{
+		{"BenchmarkFigure6|ns/op", 600003866, "1 times"},
+		{"BenchmarkFigure6|basic-errfree-%", 5, "1 times"},
+		{"BenchmarkFigure6|twolevel-s2-%", 12.2, "1 times"},
+		{"BenchmarkFigure6|B/op", 35712744, "1 times"},
+		{"BenchmarkFigure6|allocs/op", 1571, "1 times"},
+		{"BenchmarkAblationVerifyCost|allocs/op", 0, "1 times"},
+		{"BenchmarkAblationDetectionLatency/lazy-d8|wasted-iters", 168, "1 times"},
+		// GOMAXPROCS suffix stripped into extra, sub-bench dash intact.
+		{"BenchmarkAllReduceVec/linear|MB/s", 280.43, "1 times\n4 procs"},
+	}
+	for _, w := range want {
+		b, ok := byKey[w.key]
+		if !ok {
+			t.Errorf("metric %s not parsed (got %v)", w.key, byKey)
+			continue
+		}
+		if !sameBits(b.Value, w.value) || b.Extra != w.extra {
+			t.Errorf("%s = (%g, %q), want (%g, %q)", w.key, b.Value, b.Extra, w.value, w.extra)
+		}
+	}
+	// 5+3+4+4 = 16 metrics total; the chatter lines contribute none.
+	if len(benches) != 16 {
+		t.Errorf("parsed %d metrics, want 16: %+v", len(benches), benches)
+	}
+}
+
+func TestParseGoBenchTest2JSON(t *testing.T) {
+	stream := `{"Action":"start","Package":"newsum"}
+{"Action":"output","Package":"newsum","Output":"goos: linux\n"}
+{"Action":"output","Package":"newsum","Output":"BenchmarkAblationVerifyCost \t       1\t     26269 ns/op\t       0 B/op\t       0 allocs/op\n"}
+{"Action":"output","Package":"newsum","Output":"PASS\n"}
+{"Action":"pass","Package":"newsum"}
+`
+	benches, err := ParseGoBench(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 3 {
+		t.Fatalf("parsed %d metrics from test2json stream, want 3: %+v", len(benches), benches)
+	}
+	if benches[0].Name != "BenchmarkAblationVerifyCost" || benches[0].Unit != "ns/op" {
+		t.Fatalf("first metric = %+v", benches[0])
+	}
+}
+
+func TestParseGoBenchRejectsBadJSON(t *testing.T) {
+	if _, err := ParseGoBench(strings.NewReader("{broken\n")); err == nil {
+		t.Fatal("malformed test2json line did not error")
+	}
+}
+
+func TestParseBenchLineEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		line string
+		want int
+	}{
+		{"BenchmarkX 1 100 ns/op", 1},
+		{"BenchmarkX-16 2 100 ns/op", 1},
+		{"BenchmarkX notanumber 100 ns/op", 0},
+		{"BenchmarkX 1 ns/op 100", 0},          // value/unit swapped: rejected whole
+		{"Benchmark 1 100", 0},                 // no (value, unit) pair
+		{"NotABench 1 100 ns/op", 0},           // missing prefix
+		{"BenchmarkX/sub-0 1 100 ns/op", 1},    // "-0" is not a procs suffix
+		{"BenchmarkX- 1 100 ns/op", 1},         // trailing dash, no digits
+		{"BenchmarkX 1 100 ns/op trailing", 1}, // odd tail field ignored
+		{"--- BENCH: BenchmarkX", 0},           // status line
+	} {
+		got := parseBenchLine(tc.line)
+		if len(got) != tc.want {
+			t.Errorf("parseBenchLine(%q) = %d metrics %v, want %d", tc.line, len(got), got, tc.want)
+		}
+	}
+	if name, procs := splitProcsSuffix("BenchmarkX/sub-0"); name != "BenchmarkX/sub-0" || procs != 0 {
+		t.Errorf("splitProcsSuffix kept -0: %q %d", name, procs)
+	}
+	if name, procs := splitProcsSuffix("BenchmarkX-8"); name != "BenchmarkX" || procs != 8 {
+		t.Errorf("splitProcsSuffix(BenchmarkX-8) = %q %d", name, procs)
+	}
+}

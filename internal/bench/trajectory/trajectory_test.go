@@ -1,0 +1,182 @@
+package trajectory
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trajectory file")
+
+// goldenFile is the reference trajectory: one suite, one record, the
+// exact field shape of the dev/bench/data.js records both related repos
+// commit (SNIPPETS.md): commit/date/tool/benches with name/value/unit/extra.
+func goldenFile() *File {
+	return &File{
+		LastUpdate: 1754640000000,
+		RepoURL:    "https://example.invalid/newsum",
+		Entries: map[string][]Record{
+			"Go Benchmark": {{
+				Commit: Commit{
+					ID:        "e325cc5a659468cfbb4c9dab57b6fe5974db4a88",
+					Message:   "seed record",
+					Timestamp: "2026-08-08T00:00:00Z",
+				},
+				Date: 1754640000000,
+				Tool: "go",
+				Benches: []Bench{
+					{Name: "BenchmarkAblationVerifyCost", Value: 26269, Unit: "ns/op", Extra: "1 times\n2 procs"},
+					{Name: "BenchmarkAblationVerifyCost", Value: 0, Unit: "allocs/op", Extra: "1 times\n2 procs"},
+					{Name: "BenchmarkFigure6", Value: 12.5, Unit: "overhead-%", Extra: "1 times"},
+				},
+			}},
+		},
+	}
+}
+
+// TestGoldenEncoding pins the emitter's byte-exact output: the committed
+// golden file is what Encode must produce, field order and all.
+func TestGoldenEncoding(t *testing.T) {
+	got, err := goldenFile().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden_file.json")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("encoding diverged from golden file\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestGoldenFieldOrder asserts the record shape matches the exemplar
+// data.js ordering: name before value before unit before extra within a
+// bench, commit before date before tool before benches within a record.
+func TestGoldenFieldOrder(t *testing.T) {
+	data, err := goldenFile().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, keys := range [][]string{
+		{`"commit"`, `"date"`, `"tool"`, `"benches"`},
+		{`"id"`, `"message"`, `"timestamp"`},
+		{`"name"`, `"value"`, `"unit"`, `"extra"`},
+		{`"lastUpdate"`, `"repoUrl"`, `"entries"`},
+	} {
+		at := 0
+		for _, k := range keys {
+			i := bytes.Index(data[at:], []byte(k))
+			if i < 0 {
+				t.Fatalf("key %s missing or out of order (after offset %d) in:\n%s", k, at, data)
+			}
+			at += i
+		}
+	}
+}
+
+// TestRoundTripByteIdentical is the emitter's core contract: encode →
+// decode → re-encode is byte-identical, so committed trajectories never
+// churn under rewrites.
+func TestRoundTripByteIdentical(t *testing.T) {
+	f := goldenFile()
+	// Stress the float path: shortest-form round-tripping must hold for
+	// awkward values too.
+	f.Append("newsum-bench", Record{
+		Commit: Commit{ID: "0000"},
+		Date:   1754640000001,
+		Tool:   "go",
+		Benches: []Bench{
+			{Name: "a", Value: 0.1, Unit: "overhead-%"},
+			{Name: "b", Value: 1e-13, Unit: "alarms"},
+			{Name: "c", Value: 1<<53 - 1, Unit: "B/op"},
+			{Name: "d", Value: 2.2250738585072014e-308, Unit: "x"},
+			{Name: "e", Value: 49955385, Unit: "ns/op", Extra: "1 times"},
+		},
+	})
+	first, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Decode(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := decoded.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("round trip not byte-identical\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+}
+
+func TestAppendLatestTrim(t *testing.T) {
+	var f File
+	if _, ok := f.Latest("s"); ok {
+		t.Fatal("Latest on empty file reported a record")
+	}
+	for i := 1; i <= 5; i++ {
+		f.Append("s", Record{Commit: Commit{ID: string(rune('a' + i))}, Date: int64(i)})
+	}
+	if f.LastUpdate != 5 {
+		t.Fatalf("LastUpdate = %d, want 5", f.LastUpdate)
+	}
+	r, ok := f.Latest("s")
+	if !ok || r.Date != 5 {
+		t.Fatalf("Latest = %+v, %v; want newest record", r, ok)
+	}
+	f.Trim("s", 2)
+	if n := len(f.Entries["s"]); n != 2 {
+		t.Fatalf("Trim left %d records, want 2", n)
+	}
+	if r, _ := f.Latest("s"); r.Date != 5 {
+		t.Fatal("Trim dropped the newest record")
+	}
+	f.Trim("s", 0) // no-op
+	if n := len(f.Entries["s"]); n != 2 {
+		t.Fatalf("Trim(0) changed the suite to %d records", n)
+	}
+}
+
+func TestLoadSave(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_TEST.json")
+
+	f, err := LoadOrEmpty(path)
+	if err != nil {
+		t.Fatalf("LoadOrEmpty on missing file: %v", err)
+	}
+	if len(f.Entries) != 0 {
+		t.Fatal("missing file did not load as empty trajectory")
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load on missing file did not error")
+	}
+
+	f.Append("s", Record{Commit: Commit{ID: "x"}, Date: 7, Tool: "go",
+		Benches: []Bench{{Name: "B", Value: 1, Unit: "ns/op"}}})
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := g.Latest("s")
+	if !ok || len(r.Benches) != 1 || r.Benches[0].Name != "B" {
+		t.Fatalf("reloaded trajectory lost data: %+v", g)
+	}
+
+	if _, err := Decode([]byte("{not json")); err == nil {
+		t.Fatal("Decode accepted malformed JSON")
+	}
+}

@@ -36,6 +36,21 @@ go test -run Fuzz -fuzz='^$' ./internal/checksum/...
 echo "== go test -race (par, core, service, kernel) =="
 go test -race ./internal/par/... ./internal/core/... ./internal/service/... ./internal/kernel/...
 
+echo "== bench smoke + trajectory gate (docs/benchmarks.md) =="
+# One quick pass over the whole root bench suite (1 iteration, -short
+# sizes) guards against benchmark bit-rot, then the run is gated against
+# the committed trajectories. -smoke keeps wall-clock units advisory (a
+# 1x run times nothing meaningfully) while still failing hard on the
+# deterministic units: allocs/op pins, sdc-rate, sdc-suspects,
+# failed-jobs, wasted-iters, detect-%, bitwise flags, exact model
+# metrics. Re-baseline deliberately with newsum-benchdiff -record (see
+# docs/benchmarks.md "Re-baselining honestly").
+bench_out=$(mktemp)
+trap 'rm -f "$bench_out"' EXIT
+go test -run '^$' -bench . -benchmem -benchtime=1x -short . >"$bench_out"
+go run ./cmd/newsum-benchdiff -baseline BENCH_CORE.json -exclude '^BenchmarkServe' -smoke -input "$bench_out"
+go run ./cmd/newsum-benchdiff -baseline BENCH_SERVE.json -only '^BenchmarkServe' -smoke -input "$bench_out"
+
 echo "== coverage gate (fault, checksum, accuracy, service, kernel, analysis >= 80%) =="
 # The packages that decide whether a fault is caught — and the service
 # layer that promises retry-to-convergence and server-side verification —
