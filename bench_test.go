@@ -594,3 +594,40 @@ func BenchmarkDetectionCampaign(b *testing.B) {
 		b.ReportMetric(float64(sdc), "sdc-rate")
 	}
 }
+
+// BenchmarkForwardRecovery runs the seeded forward-vs-rollback comparison
+// for PCG and CR on both engines and reports the recovery metrics. All of
+// them are deterministic at the committed seed, so the trajectory
+// comparator gates them exactly even in smoke mode: iters-saved may not
+// drop, wasted-iters may not grow, repairs must match bitwise, and
+// mismatches is Zero-class — a nonzero value is silent data corruption
+// and fails the gate outright.
+func BenchmarkForwardRecovery(b *testing.B) {
+	cfg := accuracy.Config{
+		Side:    8,
+		Solvers: []string{"pcg", "cr"},
+		Trials:  2,
+		Ranks:   2,
+		Seed:    benchSeed,
+	}
+	points, err := accuracy.CompareForward(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range points {
+		p := p
+		b.Run(p.Engine+"/"+p.Solver+"/forward", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+			}
+			b.ReportMetric(float64(p.IterationsSaved), "iters")
+			b.ReportMetric(float64(p.ForwardRepairs), "repairs")
+			b.ReportMetric(float64(p.FwdWasted), "wasted-iters")
+			b.ReportMetric(float64(p.Mismatches), "mismatches")
+		})
+		b.Run(p.Engine+"/"+p.Solver+"/rollback", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+			}
+			b.ReportMetric(float64(p.BaseWasted), "wasted-iters")
+		})
+	}
+}

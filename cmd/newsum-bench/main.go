@@ -293,6 +293,7 @@ func run(exp string, n, blocks, repeats int, seed int64, csvDir string, collecte
 			Side:     minInt(isqrt(n), 24),
 			Trials:   3,
 			TwoLevel: true,
+			Forward:  true,
 			Seed:     seed,
 		}
 		rep, err := bench.RunAccuracy(cfg)
@@ -312,6 +313,9 @@ func run(exp string, n, blocks, repeats int, seed int64, csvDir string, collecte
 			return err
 		}
 		if err := writeCSV("accuracy_overhead.csv", func(f *os.File) error { return bench.WriteAccuracyOverheadCSV(f, rep) }); err != nil {
+			return err
+		}
+		if err := writeCSV("accuracy_forward.csv", func(f *os.File) error { return bench.WriteAccuracyForwardCSV(f, rep) }); err != nil {
 			return err
 		}
 		fmt.Fprintln(os.Stdout)

@@ -78,6 +78,12 @@ type Cell struct {
 	// over detected trials; MeanLatency() reports the average.
 	LatencySum   int
 	LatencyCount int
+	// Forward-recovery columns, populated when Config.Forward enables the
+	// tier: in-place repairs applied, rollbacks avoided, and iterations the
+	// avoided rollbacks would have discarded, summed over the cell's trials.
+	ForwardRepairs   int
+	RollbacksAvoided int
+	IterationsSaved  int
 }
 
 // DetectionRate is the fraction of fired strikes that were detected.
@@ -152,6 +158,10 @@ type Config struct {
 	// Thetas is the threshold sweep of the false-positive measurement; nil
 	// means {1e-6, 1e-8, 1e-10, 1e-12, 1e-14}.
 	Thetas []float64
+	// Forward enables the engines' forward-recovery tier for every campaign
+	// solve of a solver that supports it (pcg, cr), populating the Cells'
+	// forward columns and shifting recoveries from rollback to repair.
+	Forward bool
 	// Seed offsets every per-trial seed so campaigns are reproducible but
 	// not all identical.
 	Seed int64
@@ -186,6 +196,9 @@ type Report struct {
 	Cells    []Cell
 	FP       []FPPoint
 	Overhead []OverheadPoint
+	// Forward compares forward recovery against rollback-only recovery on
+	// identical strike schedules, per (engine × solver).
+	Forward []ForwardPoint
 }
 
 // Run executes the full campaign: the serial and parallel detection grids,
@@ -213,6 +226,11 @@ func Run(cfg Config) (Report, error) {
 		return rep, fmt.Errorf("accuracy: overhead: %w", err)
 	}
 	rep.Overhead = oh
+	fw, err := CompareForward(cfg)
+	if err != nil {
+		return rep, fmt.Errorf("accuracy: forward comparison: %w", err)
+	}
+	rep.Forward = fw
 	return rep, nil
 }
 

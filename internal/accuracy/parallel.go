@@ -135,7 +135,8 @@ func RunParallel(cfg Config) ([]Cell, error) {
 						iter := strikeIteration(base.Iterations, trial, cfg.Trials)
 						rank := trial % cfg.Ranks
 						idx := 1 + trial
-						runParallelTrial(&cell, sv, scheme, a, b, cfg.Ranks, base.X, model, mag, iter, rank, idx)
+						forward := cfg.Forward && supportsForward(sv)
+						runParallelTrial(&cell, sv, scheme, a, b, cfg.Ranks, base.X, model, mag, iter, rank, idx, forward)
 					}
 					cells = append(cells, cell)
 				}
@@ -145,9 +146,10 @@ func RunParallel(cfg Config) ([]Cell, error) {
 	return cells, nil
 }
 
-func runParallelTrial(cell *Cell, sv, scheme string, a *sparse.CSR, b []float64, ranks int, baseX []float64, model fault.Model, mag fault.Magnitude, iter, rank, idx int) {
+func runParallelTrial(cell *Cell, sv, scheme string, a *sparse.CSR, b []float64, ranks int, baseX []float64, model fault.Model, mag fault.Magnitude, iter, rank, idx int, forward bool) {
 	opts := parOptions(scheme)
 	opts.Faults = parFaults(model, mag, iter, rank, idx)
+	opts.ForwardRecovery = forward
 	res, err := runParallel(sv, a, b, ranks, opts)
 	fired := res.InjectedFaults > 0
 	detected := res.Detections > 0 || res.Corrections > 0
@@ -166,4 +168,7 @@ func runParallelTrial(cell *Cell, sv, scheme string, a *sparse.CSR, b []float64,
 		}
 	}
 	cell.tally(fired, detected, o, latency, have)
+	cell.ForwardRepairs += res.ForwardRepairs
+	cell.RollbacksAvoided += res.RollbacksAvoided
+	cell.IterationsSaved += res.IterationsSaved
 }

@@ -78,7 +78,8 @@ func RunSerial(cfg Config) ([]Cell, error) {
 					for trial := 0; trial < cfg.Trials; trial++ {
 						seed++
 						iter := strikeIteration(base.Iterations, trial, cfg.Trials)
-						runSerialTrial(&cell, sv, scheme, a, m, b, base.X, model, mag, iter, seed)
+						forward := cfg.Forward && supportsForward(sv)
+						runSerialTrial(&cell, sv, scheme, a, m, b, base.X, model, mag, iter, seed, forward)
 					}
 					cells = append(cells, cell)
 				}
@@ -113,7 +114,7 @@ func serialEvents(model fault.Model, mag fault.Magnitude, iter int) []fault.Even
 	})
 }
 
-func runSerialTrial(cell *Cell, sv, scheme string, a *sparse.CSR, m precond.Preconditioner, b, baseX []float64, model fault.Model, mag fault.Magnitude, iter int, seed int64) {
+func runSerialTrial(cell *Cell, sv, scheme string, a *sparse.CSR, m precond.Preconditioner, b, baseX []float64, model fault.Model, mag fault.Magnitude, iter int, seed int64, forward bool) {
 	inj := fault.NewInjector(serialEvents(model, mag, iter), seed)
 	trace := &core.Trace{}
 	res, err := runSerial(sv, scheme, a, m, b, core.Options{
@@ -121,6 +122,7 @@ func runSerialTrial(cell *Cell, sv, scheme string, a *sparse.CSR, m precond.Prec
 		DetectInterval:     serialDetect,
 		CheckpointInterval: serialCheckpoint,
 		MaxRollbacks:       serialRollbacks,
+		ForwardRecovery:    forward,
 		Injector:           inj,
 		Trace:              trace,
 	})
@@ -150,4 +152,7 @@ func runSerialTrial(cell *Cell, sv, scheme string, a *sparse.CSR, m precond.Prec
 		}
 	}
 	cell.tally(fired, detected, o, latency, have)
+	cell.ForwardRepairs += res.Stats.ForwardRepairs
+	cell.RollbacksAvoided += res.Stats.RollbacksAvoided
+	cell.IterationsSaved += res.Stats.IterationsSaved
 }

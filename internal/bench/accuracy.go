@@ -56,6 +56,19 @@ func WriteAccuracyReport(out io.Writer, title string, rep accuracy.Report) error
 			p.BaselineIters, p.ProtectedIter)
 	}
 	s.flush(tw)
+
+	s.println(out, "")
+	s.println(out, "Forward recovery vs rollback-only on identical strike schedules")
+	tw = tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	s.println(tw, "engine\tsolver\ttrials\trb rollbacks\trb wasted\tfwd rollbacks\tfwd wasted\trepairs\tavoided\titers saved\trejected\tmismatches")
+	for _, p := range rep.Forward {
+		s.printf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			p.Engine, p.Solver, p.Trials,
+			p.BaseRollbacks, p.BaseWasted, p.FwdRollbacks, p.FwdWasted,
+			p.ForwardRepairs, p.RollbacksAvoided, p.IterationsSaved,
+			p.Rejected, p.Mismatches)
+	}
+	s.flush(tw)
 	return s.err
 }
 
@@ -93,6 +106,20 @@ func WriteAccuracyFPCSV(w io.Writer, rep accuracy.Report) error {
 	for _, p := range rep.FP {
 		s.printf(w, "%s,%s,%g,%d,%d,%d\n",
 			p.Engine, p.Solver, p.Theta, p.Iterations, p.Detections, p.Rollbacks)
+	}
+	return s.err
+}
+
+// WriteAccuracyForwardCSV emits the forward-vs-rollback comparison.
+func WriteAccuracyForwardCSV(w io.Writer, rep accuracy.Report) error {
+	var s sink
+	s.println(w, "engine,solver,trials,base_rollbacks,base_wasted,fwd_rollbacks,fwd_wasted,forward_repairs,rollbacks_avoided,iterations_saved,rejected,mismatches")
+	for _, p := range rep.Forward {
+		s.printf(w, "%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			p.Engine, p.Solver, p.Trials,
+			p.BaseRollbacks, p.BaseWasted, p.FwdRollbacks, p.FwdWasted,
+			p.ForwardRepairs, p.RollbacksAvoided, p.IterationsSaved,
+			p.Rejected, p.Mismatches)
 	}
 	return s.err
 }

@@ -207,6 +207,23 @@ func AccuracyBenches(rep accuracy.Report) []trajectory.Bench {
 		bs = appendBench(bs, fmt.Sprintf("accuracy/overhead/%s/%s", p.Solver, p.Scheme),
 			p.OverheadPct(), "overhead-%")
 	}
+	bs = append(bs, forwardBenches("accuracy/forward", rep.Forward)...)
+	return bs
+}
+
+// forwardBenches flattens the forward-vs-rollback comparison: the
+// iterations forward recovery saved, the rollbacks it avoided, both arms'
+// wasted iterations, and the mismatch count that must stay zero.
+func forwardBenches(prefix string, pts []accuracy.ForwardPoint) []trajectory.Bench {
+	var bs []trajectory.Bench
+	for _, p := range pts {
+		n := fmt.Sprintf("%s/%s/%s", prefix, p.Engine, p.Solver)
+		bs = appendBench(bs, n+"/iters-saved", float64(p.IterationsSaved), "iters")
+		bs = appendBench(bs, n+"/rollbacks-avoided", float64(p.RollbacksAvoided), "repairs")
+		bs = appendBench(bs, n+"/fwd-wasted", float64(p.FwdWasted), "wasted-iters")
+		bs = appendBench(bs, n+"/base-wasted", float64(p.BaseWasted), "wasted-iters")
+		bs = appendBench(bs, n+"/mismatches", float64(p.Mismatches), "mismatches")
+	}
 	return bs
 }
 
@@ -296,5 +313,20 @@ func DeterministicBenches(seed int64) ([]trajectory.Bench, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(bs, accuracyCellBenches(cells)...), nil
+	bs = append(bs, accuracyCellBenches(cells)...)
+
+	// Forward recovery vs rollback-only at the committed seed: iterations
+	// saved, rollbacks avoided, both arms' waste, and the zero-pinned
+	// mismatch count, for PCG and CR on both engines.
+	fw, err := accuracy.CompareForward(accuracy.Config{
+		Side:    8,
+		Solvers: []string{"pcg", "cr"},
+		Trials:  2,
+		Ranks:   2,
+		Seed:    seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return append(bs, forwardBenches("determinism/forward", fw)...), nil
 }

@@ -76,6 +76,8 @@ func DefaultRules() RuleSet {
 			"detect-%":      {Class: HigherIsBetter},
 			"bitwise":       {Class: HigherIsBetter},
 			"iters":         {Class: Exact},
+			"repairs":       {Class: Exact},
+			"mismatches":    {Class: Zero},
 			"interval":      {Class: Exact},
 			"cells":         {Class: Exact},
 			"model-%":       {Class: Exact},

@@ -123,6 +123,96 @@ func FuzzChecksumMVM(f *testing.F) {
 	})
 }
 
+// FuzzDiagnoseSingleStrike checks the §5.2 localization end to end on a
+// real corruption: whatever vector, position and magnitude the fuzzer
+// invents, Diagnose applied to the measured inconsistencies must never
+// report a SingleError at the wrong position — that is the fake-correction
+// hazard, and "correcting" a healthy element is strictly worse than the
+// rollback a MultipleErrors verdict falls back to. Sub-threshold magnitudes
+// may legitimately come back NoError and ambiguous ones MultipleErrors;
+// neither is a safety violation.
+func FuzzDiagnoseSingleStrike(f *testing.F) {
+	f.Add(int64(1), 8, 3, 1e4)
+	f.Add(int64(42), 30, 0, -2.5)
+	// Near-θ magnitude: barely above the detection threshold, where the
+	// locator ratio carries the most relative round-off.
+	f.Add(int64(7), 47, 46, 6e-9)
+	f.Add(int64(9), 47, 1, -6e-9)
+	// Denormal magnitude: far below threshold, must classify NoError.
+	f.Add(int64(13), 20, 10, 5e-318)
+	// Huge magnitude at the far end of the vector.
+	f.Add(int64(99), 48, 47, 1e11)
+	f.Fuzz(func(t *testing.T, seed int64, n, idx int, mag float64) {
+		nn := fuzzDim(n)
+		idx = ((idx % nn) + nn) % nn
+		e := fuzzClamp(mag, 1e12)
+		rng := rand.New(rand.NewSource(seed))
+		v := make([]float64, nn)
+		for i := range v {
+			v[i] = 2*rng.Float64() - 1
+		}
+		s := Checksums(v, Triple)
+		v[idx] += e
+		deltas := make([]float64, len(Triple))
+		absSums := make([]float64, len(Triple))
+		for k, w := range Triple {
+			deltas[k] = w.Apply(v) - s[k]
+			absSums[k] = weightedAbsSum(w, v)
+		}
+		diag := Diagnose(deltas, nn, absSums, DefaultTol())
+		if diag.Kind != SingleError {
+			return
+		}
+		if diag.Pos != idx {
+			t.Fatalf("mislocated single error: struck %d, diagnosed %d (e=%g, deltas=%v)",
+				idx, diag.Pos, e, deltas)
+		}
+		if math.Abs(diag.Magnitude-e) > 1e-3*math.Abs(e)+1e-9 {
+			t.Errorf("magnitude estimate %g for injected %g", diag.Magnitude, e)
+		}
+	})
+}
+
+// FuzzDiagnoseRawDeltas drives Diagnose with raw, unconstrained δ triples —
+// including NaN, infinities, denormal locator ratios and near-θ values — and
+// checks the hard containment invariants: no panic, and any SingleError
+// verdict names an in-range position with the δ1 magnitude.
+func FuzzDiagnoseRawDeltas(f *testing.F) {
+	f.Add(1.0, 3.0, 1.0/3.0, 8)
+	// Denormal locator ratio j = δ2/δ1: must be rejected, not mislocated.
+	f.Add(1.0, 5e-324, 0.0, 16)
+	f.Add(5e-324, 1.0, 5e-324, 16)
+	// Near-θ deltas around the n-scaled acceptance boundary.
+	f.Add(5.1e-9, 1.02e-8, 2.55e-9, 48)
+	f.Add(4.7e-9, 9.4e-9, 2.35e-9, 48)
+	// Non-finite inputs.
+	f.Add(math.NaN(), 1.0, 1.0, 8)
+	f.Add(math.Inf(1), math.Inf(-1), 0.0, 8)
+	// Integral locator but failed arithmetic/harmonic-mean identity (the
+	// two-equal-errors pattern that fools the double checksum).
+	f.Add(2.0, 4.0, 4.0/3.0, 8)
+	f.Fuzz(func(t *testing.T, d1, d2, d3 float64, n int) {
+		nn := fuzzDim(n)
+		deltas := []float64{d1, d2, d3}
+		absSums := []float64{1, float64(nn), 1}
+		diag := Diagnose(deltas, nn, absSums, DefaultTol())
+		if diag.Kind != SingleError {
+			return
+		}
+		if diag.Pos < 0 || diag.Pos >= nn {
+			t.Fatalf("single-error position %d out of range [0,%d)", diag.Pos, nn)
+		}
+		if !sameFloat(diag.Magnitude, d1) {
+			t.Errorf("single-error magnitude %g, want δ1 = %g", diag.Magnitude, d1)
+		}
+	})
+}
+
+// sameFloat compares bit patterns so NaN == NaN for assertion purposes.
+func sameFloat(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
 // FuzzChecksumVLO checks the Eq. (3) vector-linear-operation updates —
 // axpby, scale, and in-place axpy — against direct recomputation on the
 // operation's output.

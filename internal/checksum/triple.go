@@ -30,6 +30,28 @@ func (d Diagnosis) String() string {
 	}
 }
 
+// IntegralityTol bounds how far the locator ratio j = δ2/δ1 may sit from
+// the nearest integer before localization is rejected. The tolerance is
+// applied relative to max(1, |j|): round-off in δ1 and δ2 grows with the
+// weighted sums — and hence with the located index — so an absolute bound
+// tight enough for j near 1 would spuriously reject legitimate single
+// errors near the far end of a long vector, while an absolute bound loose
+// enough for large j would accept mislocations near the start.
+const IntegralityTol = 1e-3
+
+// nearestIndex rounds the locator ratio jf to the nearest 1-based index and
+// reports whether it is acceptably integral and within [1, n]. Rounding is
+// to-nearest (not truncation): under round-off the ratio lands on either
+// side of the true integer with equal probability, and truncating a value
+// like 6.9999994 would mislocate the error one element early.
+func nearestIndex(jf float64, n int) (j float64, ok bool) {
+	j = math.Round(jf)
+	if j < 1 || j > float64(n) {
+		return j, false
+	}
+	return j, math.Abs(jf-j) <= IntegralityTol*math.Max(1, math.Abs(j))
+}
+
 // TripleDiagnosis is the full result of analysing the three checksum
 // inconsistencies δ1, δ2, δ3 of an output vector.
 type TripleDiagnosis struct {
@@ -71,16 +93,15 @@ func Diagnose(deltas []float64, n int, absSums []float64, tol Tol) TripleDiagnos
 	if scale == 0 || math.Abs(lhs-rhs) > 1e-6*scale {
 		return TripleDiagnosis{Kind: MultipleErrors}
 	}
-	jf := d2 / d1
-	j := math.Round(jf)
-	if j < 1 || j > float64(n) || math.Abs(jf-j) > 1e-3 {
+	j, ok := nearestIndex(d2/d1, n)
+	if !ok {
 		return TripleDiagnosis{Kind: MultipleErrors}
 	}
 	// Cross-check against the harmonic locator δ1/δ3 = j.
 	//lint:ignore floatcmp exact zero guards the division below, not a detection decision
 	if d3 != 0 {
 		jh := d1 / d3
-		if math.Abs(jh-j) > 1e-3*math.Max(1, j) {
+		if math.Abs(jh-j) > IntegralityTol*math.Max(1, j) {
 			return TripleDiagnosis{Kind: MultipleErrors}
 		}
 	}
@@ -121,9 +142,8 @@ func DoubleLocate(d1, d2 float64, n int) (pos int, ok bool) {
 	if d1 == 0 {
 		return 0, false
 	}
-	jf := d2 / d1
-	j := math.Round(jf)
-	if j < 1 || j > float64(n) || math.Abs(jf-j) > 1e-3 {
+	j, ok := nearestIndex(d2/d1, n)
+	if !ok {
 		return 0, false
 	}
 	return int(j) - 1, true

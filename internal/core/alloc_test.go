@@ -52,6 +52,9 @@ func TestSolveSteadyStateZeroAllocs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation measurement solves are not short")
 	}
+	if raceEnabled {
+		t.Skip("AllocsPerRun under the race detector counts instrumentation allocations")
+	}
 	a := sparse.Laplacian3D(17, 17, 17) // n = 4913 > the kernel's serial cutover
 	n := a.Rows
 	b := make([]float64, n)

@@ -103,6 +103,23 @@ type Stats struct {
 	InjectedErrors int
 	// WastedIterations counts iterations discarded by rollbacks.
 	WastedIterations int
+	// ForwardRepairs counts outer-level in-place repairs applied under
+	// Options.ForwardRecovery: §5.2 single-error corrections, checksum
+	// re-anchorings when only the carried checksum state was corrupted,
+	// and reconstructions of a vector from still-clean state (one per
+	// repaired vector).
+	ForwardRepairs int
+	// RollbacksAvoided counts detection events fully resolved by forward
+	// repair — each one a checkpoint restoration that did not happen.
+	RollbacksAvoided int
+	// IterationsSaved accumulates, for every avoided rollback, the
+	// iterations the checkpoint restoration would have discarded (current
+	// iteration minus the latest snapshot's iteration).
+	IterationsSaved int
+	// RejectedCorrections counts forward corrections whose post-repair
+	// confirmation failed — fake-correction candidates that were undone
+	// and routed to rollback instead.
+	RejectedCorrections int
 }
 
 // Result is the outcome of a protected solve.
@@ -152,6 +169,17 @@ type Options struct {
 	// lazy variant moves 6 O(n) dots from every iteration to the rare
 	// error path. The eager mode remains for the Table 4 ablation.
 	EagerTriple bool
+	// ForwardRecovery enables the forward-recovery tier (ROADMAP item 5,
+	// after Fasi–Langou–Robert–Uçar, arXiv:1511.04478): the outer-level
+	// vectors carry all three §5.2 checksums, and a detection first
+	// attempts an in-place repair — single-error correction of the located
+	// element, re-anchoring when only the carried checksum state is
+	// corrupted, or reconstruction of r = b − A·x from clean state — then
+	// re-projects the dependent search direction, rolling back only when
+	// localization fails or a correction is rejected by its post-repair
+	// confirmation. The extra steady-state cost is two more checksum
+	// updates per vector operation (the Linear and Harmonic weights).
+	ForwardRecovery bool
 	// Injector supplies scheduled soft errors; nil runs fault-free.
 	Injector *fault.Injector
 	// Trace, when non-nil, receives the run's fault-tolerance timeline

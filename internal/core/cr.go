@@ -22,7 +22,13 @@ func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 		return res, err
 	}
 	opts.normalize()
-	e := newEngine(a, nil, checksum.Single, &opts, &res.Stats)
+	weights := checksum.Single
+	if opts.ForwardRecovery {
+		// Forward recovery needs the locating checksums δ2, δ3 on the
+		// outer-level vectors themselves, so all three weights are carried.
+		weights = checksum.Triple
+	}
+	e := newEngine(a, nil, weights, &opts, &res.Stats)
 	n := e.n
 
 	x := e.newTracked("x")
@@ -102,6 +108,109 @@ func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 		return res, rollbackStormErr("CR", Basic)
 	}
 
+	// forwardRepair is the forward-recovery tier for CR. Each failed vector
+	// is repaired individually; a data repair of r invalidates the whole
+	// product family (Ar was computed from the pre-repair r, p and Ap carry
+	// its propagation), so it triggers a CR restart: Ar = A·r, p := r,
+	// Ap := Ar, rᵀAr fresh. restart forces that rebuild even without a data
+	// repair — the convergence exit skips the recurrence tail.
+	//hot:cold forward recovery rides the recovery budget
+	forwardRepair := func(iter int, xOK, rOK, arOK, apOK, pOK, restart bool) bool {
+		if !opts.ForwardRecovery || res.Stats.ForwardRepairs >= opts.MaxRollbacks {
+			return false
+		}
+		repaired := 0
+		restartFamily := restart
+		reconstructR := false
+		if !xOK {
+			out, diag := e.forwardDiagnose(x)
+			switch out {
+			case forwardRejected:
+				res.Stats.RejectedCorrections++
+				opts.Trace.add(iter, EvForwardRepair, "rejected fake correction on x; falling back")
+				return false
+			case forwardFailed:
+				opts.Trace.add(iter, EvForwardRepair, "localization failed on x; falling back")
+				return false
+			case forwardCorrected:
+				// An in-place correction moves the iterate, so the carried
+				// residual no longer satisfies r = b − A·x even when r's own
+				// verification passed; rebuild it below.
+				reconstructR = true
+				opts.Trace.add(iter, EvForwardRepair, "corrected x[%d] -= %.6g", diag.Pos, diag.Magnitude)
+			case forwardReanchored:
+				// Re-anchoring accepts x's data, including any sub-screen
+				// perturbation the old checksums disagreed with, while the
+				// recurrence residual tracks the old checksum state; rebuild
+				// r = b − A·x below so the two cannot drift apart permanently.
+				reconstructR = true
+				opts.Trace.add(iter, EvForwardRepair, "re-anchored checksum(x)")
+			}
+			repaired++
+		}
+		if !rOK {
+			// No in-place diagnosis is trusted on r — not even a confirmed
+			// §5.2 correction: a collapsed recurrence scalar can shrink an
+			// aliased multi-error pattern below the confirmation threshold,
+			// and accepting it re-anchors corruption into the recurrence's
+			// fixed-point anchor (see the PCG twin of this branch). r = b − A·x
+			// holds for any step lengths taken, so a clean x rebuilds it
+			// exactly for the price of one MVM.
+			reconstructR = true
+			repaired++
+		}
+		if reconstructR {
+			if !e.verify(x) {
+				return false
+			}
+			e.mulVec(r.data, x.data)
+			vec.Sub(r.data, bT.data, r.data)
+			e.recompute(r)
+			res.Stats.RecoveryMVMs++
+			restartFamily = true
+			opts.Trace.add(iter, EvForwardRepair, "reconstructed r = b − A·x")
+		}
+		// The stored product family is never repaired element-wise. Ar and
+		// Ap must equal A·r and A·p *exactly* — x advances by α·p while r
+		// retreats by α·Ap, so any mismatch breaks the b − A·x invariant —
+		// and even a §5.2-confirmed correction can be a fake accepted under
+		// a collapsed scalar (see the r branch). A corrupted p additionally
+		// invalidates the rᵀAr scalar and the Ap recurrence computed from
+		// it. Every failed verification here routes to the family restart,
+		// which rebuilds all three vectors from identity-exact state — no
+		// trusted in-place repair, no rollback.
+		if !arOK {
+			restartFamily = true
+			repaired++
+		}
+		if !apOK {
+			restartFamily = true
+			repaired++
+		}
+		if !pOK {
+			restartFamily = true
+			repaired++
+		}
+		if restartFamily {
+			e.mulVec(ar.data, r.data)
+			e.recompute(ar)
+			res.Stats.RecoveryMVMs++
+			copyTracked(p, r)
+			copyTracked(ap, ar)
+			rAr = e.dot(r.data, ar.data)
+			opts.Trace.add(iter, EvForwardRepair, "re-projected {p, Ar, Ap} (CR restart)")
+		}
+		if repaired == 0 {
+			return false
+		}
+		res.Stats.ForwardRepairs += repaired
+		res.Stats.RollbacksAvoided++
+		if snap := store.Latest(); snap != nil {
+			res.Stats.IterationsSaved += iter - snap.Iteration
+		}
+		return true
+	}
+
 	i := 0
 	// Steady-state iteration: hotalloc polices allocations, checksumguard
 	// raw writes to the protected vectors (//hot:cold branches excluded).
@@ -123,24 +232,38 @@ func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 			// re-anchoring) them at every boundary breaks that growth and
 			// catches a fault while it still lives in the product
 			// recurrences, before it reaches x or r.
-			//hot:cold detection handling and rollback
-			if !e.verify(x) || !e.verify(r) || !e.verify(ar) || !e.verify(ap) {
+			var xOK, rOK, arOK, apOK, allOK bool
+			if opts.ForwardRecovery {
+				// Forward recovery needs every verdict (each failed vector
+				// is repaired individually); the rollback-only path keeps
+				// the short-circuit so its stats are unchanged.
+				xOK, rOK, arOK, apOK = e.verify(x), e.verify(r), e.verify(ar), e.verify(ap)
+				allOK = xOK && rOK && arOK && apOK
+			} else {
+				allOK = e.verify(x) && e.verify(r) && e.verify(ar) && e.verify(ap)
+			}
+			//hot:cold detection handling: forward repair first, else rollback
+			if !allOK {
 				opts.Trace.add(i, EvDetection, "outer-level: checksum(x)/checksum(r) mismatch")
-				var ok bool
-				if i, ok = rollback(i); !ok {
-					return storm()
+				if !forwardRepair(i, xOK, rOK, arOK, apOK, true, false) {
+					var ok bool
+					if i, ok = rollback(i); !ok {
+						return storm()
+					}
+					continue
 				}
-				continue
 			}
 		}
 		//hot:cold amortized checkpoint branch: once per cd iterations
 		if i%cd == 0 {
 			if i > 0 && !e.verify(p) {
-				var ok bool
-				if i, ok = rollback(i); !ok {
-					return storm()
+				if !forwardRepair(i, true, true, true, true, false, false) {
+					var ok bool
+					if i, ok = rollback(i); !ok {
+						return storm()
+					}
+					continue
 				}
-				continue
 			}
 			opts.Trace.add(i, EvCheckpoint, "snapshot {x, p}")
 			store.Save(i,
@@ -189,9 +312,24 @@ func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 		}
 		//hot:cold convergence exit: verified once per solve, rollback on a corrupted residual
 		if relres <= tolRes {
-			if e.verify(x) && e.verify(r) {
+			xOK := e.verify(x)
+			rOK := true
+			if xOK || opts.ForwardRecovery {
+				rOK = e.verify(r)
+			}
+			if xOK && rOK {
 				res.Converged = true
 				break
+			}
+			// The convergence exit skips the recurrence tail, so a forward
+			// repair here always rebuilds the product family (restart).
+			if forwardRepair(i, xOK, rOK, true, true, true, true) {
+				relres = e.norm2(r.data) / normB
+				if relres <= tolRes && e.verify(x) && e.verify(r) {
+					res.Converged = true
+					break
+				}
+				continue
 			}
 			var ok bool
 			if i, ok = rollback(i); !ok {

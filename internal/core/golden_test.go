@@ -50,6 +50,7 @@ func TestGoldenTraces(t *testing.T) {
 		name     string
 		events   []fault.Event
 		run      func(o Options) (Result, error)
+		forward  bool
 		wantFail bool
 	}{
 		{
@@ -75,6 +76,29 @@ func TestGoldenTraces(t *testing.T) {
 			run: func(o Options) (Result, error) { return BasicCR(a, b, o) },
 		},
 		{
+			// One localizable strike in the MVM output: the forward tier
+			// corrects the residual element in place and re-projects the
+			// search direction — the timeline must show no rollback.
+			name: "pcg_forward_repair",
+			events: []fault.Event{
+				{Iteration: 5, Site: fault.SiteMVM, Kind: fault.Arithmetic, Index: 17, Magnitude: 1e4},
+			},
+			run:     func(o Options) (Result, error) { return BasicPCG(a, m, b, o) },
+			forward: true,
+		},
+		{
+			// A two-element burst in the iterate update: localization fails
+			// (MultipleErrors), x has no identity to rebuild from, and the
+			// forward tier hands the detection to the checkpoint rollback.
+			name: "pcg_forward_fallback",
+			events: []fault.Event{
+				{Iteration: 5, Site: fault.SiteVLO, Kind: fault.Arithmetic, Index: 10, Magnitude: 1e4},
+				{Iteration: 5, Site: fault.SiteVLO, Kind: fault.Arithmetic, Index: 12, Magnitude: 1e4},
+			},
+			run:     func(o Options) (Result, error) { return BasicPCG(a, m, b, o) },
+			forward: true,
+		},
+		{
 			name: "pcg_checkpoint_attack",
 			events: []fault.Event{
 				{Iteration: 0, Site: fault.SiteCheckpoint, Kind: fault.Memory, Index: 3, BitFlip: true, Bit: 62},
@@ -89,6 +113,7 @@ func TestGoldenTraces(t *testing.T) {
 			trace := &Trace{}
 			o := opts(tc.events)
 			o.Trace = trace
+			o.ForwardRecovery = tc.forward
 			_, err := tc.run(o)
 			if tc.wantFail && err == nil {
 				t.Fatalf("expected the run to fail")

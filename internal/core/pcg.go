@@ -32,7 +32,9 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 	}
 	opts.normalize()
 	weights := checksum.Single
-	if scheme == TwoLevel && opts.EagerTriple {
+	if (scheme == TwoLevel && opts.EagerTriple) || opts.ForwardRecovery {
+		// Forward recovery needs the locating checksums δ2, δ3 on the
+		// outer-level vectors themselves, so all three weights are carried.
 		weights = checksum.Triple
 	}
 	e := newEngine(a, m, weights, &opts, &res.Stats)
@@ -128,6 +130,109 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 		return snapIter, true
 	}
 
+	// forwardRepair is the forward-recovery tier: attempt an in-place repair
+	// of every vector that failed verification, avoiding the rollback. xOK,
+	// rOK, pOK report which verifications passed; restart forces the search-
+	// direction re-projection even without a data repair (the convergence
+	// exit skips the recurrence tail, so z, p and ρ must be rebuilt before
+	// iterating on). Returns true when the solve may continue forward.
+	//hot:cold forward recovery rides the recovery budget
+	forwardRepair := func(iter int, xOK, rOK, pOK, restart bool) bool {
+		if !opts.ForwardRecovery || res.Stats.ForwardRepairs >= opts.MaxRollbacks {
+			return false
+		}
+		repaired := 0
+		dataRepair := restart
+		reconstructR := false
+		if !xOK {
+			out, diag := e.forwardDiagnose(x)
+			switch out {
+			case forwardRejected:
+				res.Stats.RejectedCorrections++
+				opts.Trace.add(iter, EvForwardRepair, "rejected fake correction on x; falling back")
+				return false
+			case forwardFailed:
+				opts.Trace.add(iter, EvForwardRepair, "localization failed on x; falling back")
+				return false
+			case forwardCorrected:
+				// An in-place correction moves the iterate, so the carried
+				// residual no longer satisfies r = b − A·x even when r's own
+				// verification passed; rebuild it below.
+				reconstructR = true
+				opts.Trace.add(iter, EvForwardRepair, "corrected x[%d] -= %.6g", diag.Pos, diag.Magnitude)
+			case forwardReanchored:
+				// Re-anchoring accepts x's data as the iterate going forward,
+				// including any sub-screen perturbation the old checksums
+				// disagreed with — and the recurrence residual tracks the old
+				// checksum state, not the data. Rebuilding r = b − A·x below
+				// re-couples them; without it a tiny absorbed x error becomes
+				// a permanent offset between the recurrence residual and the
+				// true one, i.e. silent data corruption at convergence.
+				reconstructR = true
+				opts.Trace.add(iter, EvForwardRepair, "re-anchored checksum(x)")
+			}
+			repaired++
+		}
+		if !rOK {
+			// No in-place diagnosis is trusted on r — not even a confirmed
+			// §5.2 correction. A fault that pollutes the recurrence scalar
+			// collapses α, shrinking an aliased multi-error pattern until the
+			// post-correction inconsistency (suppressed by ~1/j³ at large
+			// indices) hides below the confirmation threshold; accepting it
+			// re-anchors checksum-endorsed corruption into r, and since r is
+			// the recurrence's fixed-point anchor the solve then converges to
+			// the wrong answer with consistent checksums. r = b − A·x holds
+			// for any step lengths the recurrence took, so a clean (just
+			// verified or just repaired) x rebuilds it exactly, erasing
+			// whatever the corruption was for the price of one MVM.
+			reconstructR = true
+			repaired++
+		}
+		if reconstructR {
+			if !e.verify(x) {
+				return false
+			}
+			e.mulVec(r.data, x.data)
+			vec.Sub(r.data, bT.data, r.data)
+			e.recompute(r)
+			res.Stats.RecoveryMVMs++
+			dataRepair = true
+			opts.Trace.add(iter, EvForwardRepair, "reconstructed r = b − A·x")
+		}
+		if !pOK {
+			// Like r, the search direction is never taken at its word: the
+			// re-projection below rebuilds z and p exactly from the (just
+			// verified or just repaired) residual, so a failed verification
+			// of p routes there rather than through a trusted in-place
+			// repair or a rollback.
+			dataRepair = true
+			repaired++
+		}
+		if repaired == 0 {
+			return false
+		}
+		if dataRepair {
+			// z and p were computed from the pre-repair r at the tail of the
+			// previous iteration, so a data repair of r leaves them polluted
+			// with checksum-consistent garbage. Restart the recurrence from
+			// the repaired residual (z = M⁻¹r, p := z, ρ = rᵀz) — a CG
+			// restart, which preserves convergence at the cost of rebuilding
+			// the search direction.
+			if err := e.pco(-1, z, r); err != nil {
+				return false
+			}
+			copyTracked(p, z)
+			rho = e.dot(r.data, z.data)
+			opts.Trace.add(iter, EvForwardRepair, "re-projected search direction (CG restart)")
+		}
+		res.Stats.ForwardRepairs += repaired
+		res.Stats.RollbacksAvoided++
+		if snap := store.Latest(); snap != nil {
+			res.Stats.IterationsSaved += iter - snap.Iteration
+		}
+		return true
+	}
+
 	i := 0
 	// The steady-state iteration: every allocation inside is policed by
 	// the hotalloc analyzer, every raw write to the protected vectors by
@@ -148,16 +253,26 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 		// 5–6): verify only checksum(x) = cᵀx and checksum(r) = cᵀr —
 		// every other vector's error propagates into x or r (Table 2).
 		if i > 0 && i%d == 0 {
-			//hot:cold detection handling and rollback
-			if !e.verify(x) || !e.verify(r) {
+			xOK := e.verify(x)
+			rOK := true
+			if xOK || opts.ForwardRecovery {
+				// Forward recovery needs both verdicts (each failed vector
+				// is repaired individually); the rollback-only path keeps
+				// the short-circuit so its stats are unchanged.
+				rOK = e.verify(r)
+			}
+			//hot:cold detection handling: forward repair first, else rollback
+			if !xOK || !rOK {
 				opts.Trace.add(i, EvDetection, "outer-level: checksum(x)/checksum(r) mismatch")
-				var ok bool
-				if i, ok = rollback(i); !ok {
-					res.Residual = relres
-					res.Stats.InjectedErrors = e.injectedCount()
-					return res, rollbackStormErr("PCG", scheme)
+				if !forwardRepair(i, xOK, rOK, true, false) {
+					var ok bool
+					if i, ok = rollback(i); !ok {
+						res.Residual = relres
+						res.Stats.InjectedErrors = e.injectedCount()
+						return res, rollbackStormErr("PCG", scheme)
+					}
+					continue
 				}
-				continue
 			}
 		}
 		// Checkpoint every cd iterations; cd is a multiple of d, so x and
@@ -168,13 +283,15 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 		//hot:cold amortized checkpoint branch: once per cd iterations
 		if i%cd == 0 {
 			if i > 0 && !e.verify(p) {
-				var ok bool
-				if i, ok = rollback(i); !ok {
-					res.Residual = relres
-					res.Stats.InjectedErrors = e.injectedCount()
-					return res, rollbackStormErr("PCG", scheme)
+				if !forwardRepair(i, true, true, false, false) {
+					var ok bool
+					if i, ok = rollback(i); !ok {
+						res.Residual = relres
+						res.Stats.InjectedErrors = e.injectedCount()
+						return res, rollbackStormErr("PCG", scheme)
+					}
+					continue
 				}
-				continue
 			}
 			saveCheckpoint(i)
 		}
@@ -262,9 +379,25 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 		if relres <= tolRes {
 			// Verify before declaring victory so a corrupted small
 			// residual cannot smuggle out a wrong solution.
-			if e.verify(x) && e.verify(r) {
+			xOK := e.verify(x)
+			rOK := true
+			if xOK || opts.ForwardRecovery {
+				rOK = e.verify(r)
+			}
+			if xOK && rOK {
 				res.Converged = true
 				break
+			}
+			// The convergence exit skips the recurrence tail, so a forward
+			// repair here always re-projects (restart = true) before the
+			// next iteration reuses the search direction.
+			if forwardRepair(i, xOK, rOK, true, true) {
+				relres = e.norm2(r.data) / normB
+				if relres <= tolRes && e.verify(x) && e.verify(r) {
+					res.Converged = true
+					break
+				}
+				continue
 			}
 			var ok bool
 			if i, ok = rollback(i); !ok {

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation-count tests skip under it: AllocsPerRun then measures the
+// race runtime's own shadow-state allocations, not the solver's.
+const raceEnabled = true

@@ -555,3 +555,61 @@ func TestTwoLevelCorrectsBitFlipInline(t *testing.T) {
 		t.Errorf("true residual %.3e", tr)
 	}
 }
+
+// TestOfflineResidualPBiCGSTABRerunsOnCorruption forces the rerun path: a
+// large strike on the MVM output v ≠ A·p̂ enters s and r scaled by −α and
+// the resulting discrepancy r − (b − A·x) is invariant under the BiCGSTAB
+// update, so the first pass "converges" — small recurrence residual, wrong
+// answer — exactly the silent corruption the offline true-residual check
+// exists to catch. (A search-direction strike would NOT corrupt: the αp̂
+// step and its −αv residual update cancel in the discrepancy.) The rerun is
+// clean (events are one-shot) and must land on the genuine solution while
+// charging the wasted first pass to the stats.
+func TestOfflineResidualPBiCGSTABRerunsOnCorruption(t *testing.T) {
+	a, m, b := unsymSystem(t, 16)
+	inj := fault.NewInjector([]fault.Event{
+		{Iteration: 5, Site: fault.SiteMVM, Kind: fault.Arithmetic, Index: 40, Magnitude: 1e6},
+	}, 8)
+	res, err := OfflineResidualPBiCGSTAB(a, m, b, Options{
+		Options:  solver.Options{Tol: 1e-10, MaxIter: 20000},
+		Injector: inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Detections == 0 {
+		t.Errorf("corrupted first pass must be detected: %+v", res.Stats)
+	}
+	if res.Stats.WastedIterations == 0 {
+		t.Errorf("rerun must charge the wasted first pass: %+v", res.Stats)
+	}
+	if tr := TrueResidual(a, b, res.X); tr > 1e-8 {
+		t.Errorf("rerun true residual %.3e", tr)
+	}
+}
+
+// TestCloneStartLengthMismatch pins the X0 validation shared by the
+// BiCGSTAB-family entry points.
+func TestCloneStartLengthMismatch(t *testing.T) {
+	a, m, b := unsymSystem(t, 8)
+	_, err := UnprotectedPBiCGSTAB(a, m, b, Options{
+		Options: solver.Options{Tol: 1e-8, X0: make([]float64, a.Rows+1)},
+	})
+	if err == nil {
+		t.Fatal("mismatched X0 length must be rejected")
+	}
+}
+
+// TestApplyCleanIdentity: with no preconditioner the clean apply is a copy.
+func TestApplyCleanIdentity(t *testing.T) {
+	r := []float64{1, 2, 3}
+	z := make([]float64, 3)
+	if err := applyClean(nil, z, r); err != nil {
+		t.Fatal(err)
+	}
+	for i := range r {
+		if z[i] != r[i] {
+			t.Fatalf("z = %v, want %v", z, r)
+		}
+	}
+}

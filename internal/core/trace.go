@@ -17,6 +17,10 @@ const (
 	EvRollback
 	// EvCheckpoint: a snapshot was taken.
 	EvCheckpoint
+	// EvForwardRepair: the forward-recovery tier repaired state in place
+	// (correction, re-anchoring, reconstruction or re-projection) instead
+	// of rolling back.
+	EvForwardRepair
 )
 
 func (k EventKind) String() string {
@@ -29,6 +33,8 @@ func (k EventKind) String() string {
 		return "rollback"
 	case EvCheckpoint:
 		return "checkpoint"
+	case EvForwardRepair:
+		return "forward-repair"
 	default:
 		return "unknown-event"
 	}

@@ -3,6 +3,7 @@ package par
 import (
 	"fmt"
 
+	"newsum/internal/core"
 	"newsum/internal/sparse"
 )
 
@@ -79,6 +80,99 @@ func rankCR(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Options) (
 		return res, fmt.Errorf("par: ABFT CR: %w", ErrRollbackStorm)
 	}
 
+	// forwardRepair is the forward-recovery tier for distributed CR (see
+	// core's BasicCR for the rationale). A data repair of r invalidates the
+	// whole product family (Ar was computed from the pre-repair r, p and Ap
+	// carry its propagation), so it triggers a CR restart: Ar = A·r, p := r,
+	// Ap := Ar, rᵀAr fresh. Every verdict derives from all-reduced values,
+	// so the control flow is identical on every rank.
+	forwardRepair := func(iter int, xOK, rOK, arOK, apOK, pOK, restart bool) bool {
+		if !opts.ForwardRecovery || res.ForwardRepairs >= opts.MaxRollbacks {
+			return false
+		}
+		repaired := 0
+		restartFamily := restart
+		reconstructR := false
+		if !xOK {
+			out, diag := e.forwardDiagnose(x)
+			switch out {
+			case forwardRejected:
+				res.RejectedCorrections++
+				e.trace(iter, core.EvForwardRepair, "rejected fake correction on x; falling back")
+				return false
+			case forwardFailed:
+				e.trace(iter, core.EvForwardRepair, "localization failed on x; falling back")
+				return false
+			case forwardCorrected:
+				// An in-place correction moves the iterate, so the carried
+				// residual no longer satisfies r = b − A·x even when r's own
+				// verification passed; rebuild it below.
+				reconstructR = true
+				e.trace(iter, core.EvForwardRepair, "corrected x[%d] -= %.6g", diag.Pos, diag.Magnitude)
+			case forwardReanchored:
+				// Re-anchoring accepts x's data, including any sub-screen
+				// perturbation the old checksums disagreed with, while the
+				// recurrence residual tracks the old checksum state; rebuild
+				// r = b − A·x below so the two cannot drift apart permanently.
+				reconstructR = true
+				e.trace(iter, core.EvForwardRepair, "re-anchored checksum(x)")
+			}
+			repaired++
+		}
+		if !rOK {
+			// No in-place diagnosis is trusted on r — not even a confirmed
+			// §5.2 correction: a collapsed recurrence scalar can shrink an
+			// aliased multi-error pattern below the confirmation threshold,
+			// and accepting it re-anchors corruption into the recurrence's
+			// fixed-point anchor (see core's BasicPCG). r = b − A·x holds for
+			// any step lengths taken, so a clean x rebuilds it exactly.
+			reconstructR = true
+			repaired++
+		}
+		if reconstructR {
+			if !e.verify(x) {
+				return false
+			}
+			e.residualFresh(r, x)
+			restartFamily = true
+			e.trace(iter, core.EvForwardRepair, "reconstructed r = b − A·x")
+		}
+		// The stored product family is never repaired element-wise: Ar and
+		// Ap must equal A·r and A·p exactly or the r update breaks the
+		// b − A·x invariant, and even a §5.2-confirmed correction can be a
+		// fake accepted under a collapsed scalar (see core's BasicCR). Every
+		// failed verification here routes to the family restart, which
+		// rebuilds all three vectors from identity-exact state.
+		if !arOK {
+			restartFamily = true
+			repaired++
+		}
+		if !apOK {
+			restartFamily = true
+			repaired++
+		}
+		if !pOK {
+			restartFamily = true
+			repaired++
+		}
+		if restartFamily {
+			e.mvmFresh(ar, r)
+			copyDist(p, r)
+			copyDist(ap, ar)
+			rAr = e.dot(r, ar)
+			e.trace(iter, core.EvForwardRepair, "re-projected {p, Ar, Ap} (CR restart)")
+		}
+		if repaired == 0 {
+			return false
+		}
+		res.ForwardRepairs += repaired
+		res.RollbacksAvoided++
+		if snap := e.store.Latest(); snap != nil {
+			res.IterationsSaved += iter - snap.Iteration
+		}
+		return true
+	}
+
 	i := 0
 	for i < opts.MaxIter {
 		e.beginIter(i)
@@ -93,13 +187,25 @@ func rankCR(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Options) (
 			// Verifying (and thereby re-anchoring) them at every detect
 			// boundary breaks that growth and catches a fault while it still
 			// lives in the product recurrences, before it reaches x or r.
-			if !e.verify(x) || !e.verify(r) || !e.verify(ar) || !e.verify(ap) {
+			var xOK, rOK, arOK, apOK, allOK bool
+			if opts.ForwardRecovery {
+				// Forward recovery needs every verdict (each failed vector
+				// is repaired individually); the rollback-only path keeps
+				// the short-circuit so its stats are unchanged.
+				xOK, rOK, arOK, apOK = e.verify(x), e.verify(r), e.verify(ar), e.verify(ap)
+				allOK = xOK && rOK && arOK && apOK
+			} else {
+				allOK = e.verify(x) && e.verify(r) && e.verify(ar) && e.verify(ap)
+			}
+			if !allOK {
 				e.detect(i, "outer-level: checksum mismatch in {x, r, Ar, Ap}")
-				var ok bool
-				if i, ok = rollback(i); !ok {
-					return storm()
+				if !forwardRepair(i, xOK, rOK, arOK, apOK, true, false) {
+					var ok bool
+					if i, ok = rollback(i); !ok {
+						return storm()
+					}
+					continue
 				}
-				continue
 			}
 		}
 		if i%cd == 0 {
@@ -108,11 +214,13 @@ func rankCR(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Options) (
 			// above — cd is a multiple of d).
 			if i > 0 && !e.verify(p) {
 				e.detect(i, "pre-checkpoint: checksum(p) mismatch")
-				var ok bool
-				if i, ok = rollback(i); !ok {
-					return storm()
+				if !forwardRepair(i, true, true, true, true, false, false) {
+					var ok bool
+					if i, ok = rollback(i); !ok {
+						return storm()
+					}
+					continue
 				}
-				continue
 			}
 			save(i)
 		}
@@ -135,11 +243,26 @@ func rankCR(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Options) (
 
 		relres = e.norm2(r) / normB
 		if relres <= opts.Tol {
-			if e.verify(x) && e.verify(r) {
+			xOK := e.verify(x)
+			rOK := true
+			if xOK || opts.ForwardRecovery {
+				rOK = e.verify(r)
+			}
+			if xOK && rOK {
 				res.Converged = true
 				break
 			}
 			e.detect(i, "converged residual failed verification")
+			// The convergence exit skips the recurrence tail, so a forward
+			// repair here always rebuilds the product family (restart).
+			if forwardRepair(i, xOK, rOK, true, true, true, true) {
+				relres = e.norm2(r) / normB
+				if relres <= opts.Tol && e.verify(x) && e.verify(r) {
+					res.Converged = true
+					break
+				}
+				continue
+			}
 			var ok bool
 			if i, ok = rollback(i); !ok {
 				return storm()

@@ -115,6 +115,14 @@ type Options struct {
 	// corrects a located single error in place, and multiple errors
 	// trigger a coordinated rollback.
 	TwoLevel bool
+	// ForwardRecovery enables the forward-recovery tier at the outer
+	// level: every tracked vector carries all three §5.2 partial
+	// checksums, and a boundary detection first attempts a replicated
+	// in-place repair (owner-rank single-error correction, checksum
+	// re-anchoring, or reconstruction from clean state) before falling
+	// back to the coordinated rollback. Every repair verdict derives from
+	// all-reduced values, so it is identical on every rank.
+	ForwardRecovery bool
 	// Topology selects the collective algorithm family (default Tree;
 	// Linear keeps the O(P) baseline for comparison).
 	Topology Topology
@@ -177,6 +185,18 @@ type Result struct {
 	Checkpoints int
 	Detections  int
 	Corrections int
+	// WastedIterations sums the iterations each rollback discarded
+	// (replicated-deterministic, mirroring core.Stats.WastedIterations).
+	WastedIterations int
+	// ForwardRepairs, RollbacksAvoided, IterationsSaved and
+	// RejectedCorrections mirror core.Stats: in-place repairs applied by
+	// the forward-recovery tier, detection events resolved without a
+	// rollback, iterations those avoided rollbacks would have discarded,
+	// and corrections undone by their post-repair confirmation.
+	ForwardRepairs      int
+	RollbacksAvoided    int
+	IterationsSaved     int
+	RejectedCorrections int
 	// InjectedFaults counts scheduled faults that actually fired, summed
 	// over all ranks.
 	InjectedFaults int
@@ -249,12 +269,19 @@ type rankEngine struct {
 	weights []checksum.Weight
 	tol     checksum.Tol
 	dScalar float64
-	// rowA is this rank's [lo, hi) slice of checksum(A) = cᵀA − d·cᵀ.
-	rowA []float64
+	// rowAs[k] is this rank's [lo, hi) slice of checksum(A) = c_kᵀA − d·c_kᵀ
+	// for weight k (one row without forward recovery, three with).
+	rowAs [][]float64
 	// Local block preconditioner stages with their encodings (nil without
 	// preconditioning).
 	stages []precond.Stage
 	encStg []*checksum.Matrix
+	// pco scratch, hoisted out of the per-iteration path: each rank engine
+	// applies its preconditioner sequentially, so two ping-pong data
+	// buffers and two checksum buffers serve any stage-chain length with
+	// zero steady-state allocations.
+	pcoBuf, pcoBuf2 []float64
+	pcoS, pcoS2     []float64
 	// Lazy diagnosis state for the two-level inner check: this rank's
 	// column slices of c_kᵀA for the locating weights.
 	diagWeights []checksum.Weight
@@ -278,16 +305,26 @@ type rankEngine struct {
 // factorization fails cannot strand its peers in a collective.
 func newRankEngine(c *Comm, a *sparse.CSR, b []float64, part Partition, opts *Options, res *Result, withPrecond bool) (*rankEngine, error) {
 	lo, hi := part.Range(c.Rank())
+	weights := checksum.Single
+	if opts.ForwardRecovery {
+		// Forward recovery needs the locating checksums δ2, δ3 on the
+		// outer-level vectors themselves, so all three weights are carried.
+		weights = checksum.Triple
+	}
 	e := &rankEngine{
 		c: c, a: a, dm: SplitPartition(a, part, c.Rank()),
 		lo: lo, hi: hi, local: hi - lo, n: a.Rows,
 		opts: opts, res: res,
-		weights: checksum.Single,
+		weights: weights,
 		tol:     checksum.Tol{Theta: opts.Theta},
 		dScalar: checksum.PracticalD(a),
 		xg:      make([]float64, a.Rows),
 		fired:   make([]bool, len(opts.Faults)),
 	}
+	e.pcoBuf = make([]float64, e.local)
+	e.pcoBuf2 = make([]float64, e.local)
+	e.pcoS = make([]float64, len(e.weights))
+	e.pcoS2 = make([]float64, len(e.weights))
 
 	var setupErr error
 	if withPrecond {
@@ -324,12 +361,16 @@ func newRankEngine(c *Comm, a *sparse.CSR, b []float64, part Partition, opts *Op
 		e.encStg[i] = checksum.EncodeMatrix(st.M, shifted, e.dScalar)
 	}
 
-	// This rank's slice of checksum(A): partial cᵀA from the owned rows,
-	// all-reduced over the team, then sliced and shifted.
-	full := make([]float64, e.n)
-	checksum.PartialMatrixRow(a, e.weights[0], lo, hi, full)
-	c.AllReduceVec(full, full)
-	e.rowA = checksum.LocalRowSlice(full, e.weights[0], e.dScalar, lo, hi)
+	// This rank's slices of checksum(A), one per carried weight: partial
+	// c_kᵀA from the owned rows, all-reduced over the team, then sliced
+	// and shifted.
+	e.rowAs = make([][]float64, len(e.weights))
+	for k, w := range e.weights {
+		full := make([]float64, e.n)
+		checksum.PartialMatrixRow(a, w, lo, hi, full)
+		c.AllReduceVec(full, full)
+		e.rowAs[k] = checksum.LocalRowSlice(full, w, e.dScalar, lo, hi)
+	}
 
 	if opts.TwoLevel {
 		e.diagWeights = []checksum.Weight{checksum.Linear, checksum.Harmonic}
@@ -475,11 +516,14 @@ func (e *rankEngine) mvmClean(dst, src *DistVector) {
 func (e *rankEngine) mvm(dst, src *DistVector) {
 	e.mvmClean(dst, src)
 	e.inject(dst)
-	var dot float64
-	for j := 0; j < e.local; j++ {
-		dot += e.rowA[j] * src.Data[j]
+	for k := range e.weights {
+		row := e.rowAs[k]
+		var dot float64
+		for j := 0; j < e.local; j++ {
+			dot += row[j] * src.Data[j]
+		}
+		dst.S[k] = dot + e.dScalar*src.S[k]
 	}
-	dst.S[0] = dot + e.dScalar*src.S[0]
 	e.injectChecksum(dst)
 	e.curSeq++
 }
@@ -502,24 +546,28 @@ func (e *rankEngine) residualFresh(r, x *DistVector) {
 // partial checksum through each solve (Eq. 4) or multiply (Eq. 2). With no
 // stages it is the identity.
 func (e *rankEngine) pco(dst, src *DistVector) error {
-	in, inS := src.Data, src.S[0]
-	buf := make([]float64, e.local)
-	bufS := make([]float64, len(e.weights))
+	in, inS := src.Data, src.S
+	// The engine-owned scratch ping-pongs through the stage chain: a
+	// stage's input (in, inS) is dead once consumed, so the next stage
+	// writes into the other buffer of each pair.
+	buf, spare := e.pcoBuf, e.pcoBuf2
+	bufS, spareS := e.pcoS, e.pcoS2
 	for k, st := range e.stages {
 		if err := st.Apply(buf, in); err != nil {
 			return err
 		}
 		switch st.Op {
 		case precond.StageSolve:
-			e.encStg[k].UpdatePCO(bufS, buf, []float64{inS})
+			e.encStg[k].UpdatePCO(bufS, buf, inS)
 		case precond.StageMul:
-			e.encStg[k].UpdateMVM(bufS, in, []float64{inS})
+			e.encStg[k].UpdateMVM(bufS, in, inS)
 		}
-		in, inS = buf, bufS[0]
-		buf = make([]float64, e.local)
+		in, inS = buf, bufS
+		buf, spare = spare, buf
+		bufS, spareS = spareS, bufS
 	}
 	copy(dst.Data, in)
-	dst.S[0] = inS
+	copy(dst.S, inS)
 	return nil
 }
 
@@ -527,17 +575,23 @@ func (e *rankEngine) pco(dst, src *DistVector) error {
 
 func (e *rankEngine) axpy(y *DistVector, alpha float64, x *DistVector) {
 	vec.Axpy(y.Data, alpha, x.Data)
-	y.S[0] += alpha * x.S[0]
+	for k := range y.S {
+		y.S[k] += alpha * x.S[k]
+	}
 }
 
 func (e *rankEngine) xpby(dst, x *DistVector, beta float64, y *DistVector) {
 	vec.Xpby(dst.Data, x.Data, beta, y.Data)
-	dst.S[0] = x.S[0] + beta*y.S[0]
+	for k := range dst.S {
+		dst.S[k] = x.S[k] + beta*y.S[k]
+	}
 }
 
 func (e *rankEngine) axpbyInto(dst *DistVector, alpha float64, x *DistVector, beta float64, y *DistVector) {
 	vec.Axpby(dst.Data, alpha, x.Data, beta, y.Data)
-	dst.S[0] = alpha*x.S[0] + beta*y.S[0]
+	for k := range dst.S {
+		dst.S[k] = alpha*x.S[k] + beta*y.S[k]
+	}
 }
 
 func copyDist(dst, src *DistVector) {
@@ -695,6 +749,7 @@ func (e *rankEngine) restore(vecs map[string]*DistVector, scalars map[string]flo
 	if err != nil {
 		return 0, false
 	}
+	e.res.WastedIterations += e.curIter - snapIter
 	e.trace(e.curIter, core.EvRollback, "restored iteration %d", snapIter)
 	return snapIter, true
 }

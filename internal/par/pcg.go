@@ -3,6 +3,7 @@ package par
 import (
 	"fmt"
 
+	"newsum/internal/core"
 	"newsum/internal/sparse"
 )
 
@@ -74,6 +75,87 @@ func rankPCG(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Options) 
 		return snapIter, true
 	}
 
+	// forwardRepair is the forward-recovery tier (see core's abftPCG for the
+	// full rationale): attempt a replicated in-place repair of every vector
+	// that failed verification, avoiding the coordinated rollback. Every
+	// verdict inside derives from all-reduced values, so the return — and
+	// therefore the control flow — is identical on every rank. restart
+	// forces the search-direction re-projection even without a data repair
+	// (the convergence exit skips the recurrence tail).
+	forwardRepair := func(iter int, xOK, rOK, restart bool) bool {
+		if !opts.ForwardRecovery || res.ForwardRepairs >= opts.MaxRollbacks {
+			return false
+		}
+		repaired := 0
+		dataRepair := restart
+		reconstructR := false
+		if !xOK {
+			out, diag := e.forwardDiagnose(x)
+			switch out {
+			case forwardRejected:
+				res.RejectedCorrections++
+				e.trace(iter, core.EvForwardRepair, "rejected fake correction on x; falling back")
+				return false
+			case forwardFailed:
+				e.trace(iter, core.EvForwardRepair, "localization failed on x; falling back")
+				return false
+			case forwardCorrected:
+				// An in-place correction moves the iterate, so the carried
+				// residual no longer satisfies r = b − A·x even when r's own
+				// verification passed; rebuild it below.
+				reconstructR = true
+				e.trace(iter, core.EvForwardRepair, "corrected x[%d] -= %.6g", diag.Pos, diag.Magnitude)
+			case forwardReanchored:
+				// Re-anchoring accepts x's data, including any sub-screen
+				// perturbation the old checksums disagreed with, while the
+				// recurrence residual tracks the old checksum state; rebuild
+				// r = b − A·x below so the two cannot drift apart permanently.
+				reconstructR = true
+				e.trace(iter, core.EvForwardRepair, "re-anchored checksum(x)")
+			}
+			repaired++
+		}
+		if !rOK {
+			// No in-place diagnosis is trusted on r — not even a confirmed
+			// §5.2 correction: a collapsed recurrence scalar can shrink an
+			// aliased multi-error pattern below the confirmation threshold
+			// (suppressed by ~1/j³ at large indices), and accepting it
+			// re-anchors checksum-endorsed corruption into the recurrence's
+			// fixed-point anchor (see core's BasicPCG). r = b − A·x holds for
+			// any step lengths taken, so a clean x rebuilds it exactly.
+			reconstructR = true
+			repaired++
+		}
+		if reconstructR {
+			if !e.verify(x) {
+				return false
+			}
+			e.residualFresh(r, x)
+			dataRepair = true
+			e.trace(iter, core.EvForwardRepair, "reconstructed r = b − A·x")
+		}
+		if repaired == 0 && !restart {
+			return false
+		}
+		if dataRepair {
+			// z and p were computed from the pre-repair r at the previous
+			// tail, so a data repair of r restarts the recurrence from the
+			// repaired residual (z = M⁻¹r, p := z, ρ = rᵀz).
+			if err := e.pco(z, r); err != nil {
+				return false
+			}
+			copyDist(p, z)
+			rho = e.dot(r, z)
+			e.trace(iter, core.EvForwardRepair, "re-projected search direction (CG restart)")
+		}
+		res.ForwardRepairs += repaired
+		res.RollbacksAvoided++
+		if snap := e.store.Latest(); snap != nil {
+			res.IterationsSaved += iter - snap.Iteration
+		}
+		return true
+	}
+
 	i := 0
 	for i < opts.MaxIter {
 		e.beginIter(i)
@@ -82,14 +164,23 @@ func rankPCG(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Options) 
 			return res, e.cancelErr("ABFT PCG")
 		}
 		if i > 0 && i%d == 0 {
-			if !e.verify(x) || !e.verify(r) {
+			xOK := e.verify(x)
+			rOK := true
+			if xOK || opts.ForwardRecovery {
+				// Forward recovery needs both verdicts; the rollback-only
+				// path keeps the short-circuit so its stats are unchanged.
+				rOK = e.verify(r)
+			}
+			if !xOK || !rOK {
 				e.detect(i, "outer-level: checksum(x)/checksum(r) mismatch")
-				var ok bool
-				if i, ok = rollback(i); !ok {
-					res.Residual = relres
-					return res, fmt.Errorf("par: ABFT PCG: %w", ErrRollbackStorm)
+				if !forwardRepair(i, xOK, rOK, false) {
+					var ok bool
+					if i, ok = rollback(i); !ok {
+						res.Residual = relres
+						return res, fmt.Errorf("par: ABFT PCG: %w", ErrRollbackStorm)
+					}
+					continue
 				}
-				continue
 			}
 		}
 		if i%cd == 0 {
@@ -123,11 +214,26 @@ func rankPCG(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Options) 
 
 		relres = e.norm2(r) / normB
 		if relres <= opts.Tol {
-			if e.verify(x) && e.verify(r) {
+			xOK := e.verify(x)
+			rOK := true
+			if xOK || opts.ForwardRecovery {
+				rOK = e.verify(r)
+			}
+			if xOK && rOK {
 				res.Converged = true
 				break
 			}
 			e.detect(i, "converged residual failed verification")
+			// The convergence exit skips the recurrence tail, so a forward
+			// repair here always re-projects (restart = true).
+			if forwardRepair(i, xOK, rOK, true) {
+				relres = e.norm2(r) / normB
+				if relres <= opts.Tol && e.verify(x) && e.verify(r) {
+					res.Converged = true
+					break
+				}
+				continue
+			}
 			var ok bool
 			if i, ok = rollback(i); !ok {
 				res.Residual = relres

@@ -255,6 +255,10 @@ type Request struct {
 	// MaxRollbacks bounds per-attempt recovery before the solve aborts
 	// retryably (default: engine default).
 	MaxRollbacks int `json:"max_rollbacks,omitempty"`
+	// Forward enables the engines' forward-recovery tier: a detection first
+	// attempts an in-place triple-checksum repair before falling back to
+	// checkpoint rollback. Supported for pcg and cr on both engines.
+	Forward bool `json:"forward,omitempty"`
 	// TimeoutMillis caps the job's wall time, queue wait included; 0 uses
 	// the service default.
 	TimeoutMillis int `json:"timeout_ms,omitempty"`
@@ -339,6 +343,9 @@ func (r *Request) validate(maxRows int) error {
 	if r.Precond == "ilu0" && (r.engine() != "serial" || r.solver() == "cr") {
 		return fmt.Errorf("%w: ilu0 preconditioning applies to serial pcg/bicgstab only", ErrBadRequest)
 	}
+	if r.Forward && r.solver() == "bicgstab" {
+		return fmt.Errorf("%w: forward recovery applies to pcg and cr only", ErrBadRequest)
+	}
 	if r.ChaosFaults < 0 || r.ChaosFaults > 64 {
 		return fmt.Errorf("%w: chaos_faults %d out of range [0, 64]", ErrBadRequest, r.ChaosFaults)
 	}
@@ -422,6 +429,14 @@ type Response struct {
 	Corrections    int `json:"corrections"`
 	Rollbacks      int `json:"rollbacks"`
 	InjectedFaults int `json:"injected_faults"`
+	// Forward-recovery counters (Request.Forward), summed across attempts:
+	// in-place repairs applied, rollbacks those repairs avoided, iterations
+	// the avoided rollbacks would have discarded, and corrections undone by
+	// their post-repair confirmation.
+	ForwardRepairs      int `json:"forward_repairs,omitempty"`
+	RollbacksAvoided    int `json:"rollbacks_avoided,omitempty"`
+	IterationsSaved     int `json:"iterations_saved,omitempty"`
+	RejectedCorrections int `json:"rejected_corrections,omitempty"`
 
 	QueueMillis float64 `json:"queue_ms"`
 	SolveMillis float64 `json:"solve_ms"`

@@ -351,6 +351,11 @@ type attemptResult struct {
 	rollbacks   int
 	injected    int
 	trace       []core.TraceEvent
+
+	forwardRepairs      int
+	rollbacksAvoided    int
+	iterationsSaved     int
+	rejectedCorrections int
 }
 
 // run executes one job end to end: resolve, attempt loop with retry, SDC
@@ -381,6 +386,11 @@ func (s *Service) run(j *job, pool *kernel.Pool) {
 			switch outcome {
 			case "completed":
 				st.completed++
+			case "forward-recovered":
+				// A completion whose faults were absorbed by the forward-
+				// recovery tier instead of rollbacks — completed, sub-counted.
+				st.completed++
+				st.forwardRecovered++
 			case "canceled":
 				st.canceled++
 			default:
@@ -438,6 +448,10 @@ func (s *Service) run(j *job, pool *kernel.Pool) {
 		resp.Corrections += ar.corrections
 		resp.Rollbacks += ar.rollbacks
 		resp.InjectedFaults += ar.injected
+		resp.ForwardRepairs += ar.forwardRepairs
+		resp.RollbacksAvoided += ar.rollbacksAvoided
+		resp.IterationsSaved += ar.iterationsSaved
+		resp.RejectedCorrections += ar.rejectedCorrections
 		resp.Iterations = ar.iterations
 		resp.Converged = ar.converged
 		resp.Residual = ar.residual
@@ -475,6 +489,8 @@ func (s *Service) run(j *job, pool *kernel.Pool) {
 	}
 
 	switch {
+	case solveErr == nil && resp.RollbacksAvoided > 0:
+		finish(nil, "forward-recovered")
 	case solveErr == nil:
 		finish(nil, "completed")
 	case errors.Is(solveErr, context.Canceled) || errors.Is(solveErr, context.DeadlineExceeded):
@@ -601,13 +617,14 @@ func (s *Service) dispatch(ctx context.Context, req *Request, a *sparse.CSR, enc
 	m precond.Preconditioner, b []float64, attempt, d int, pool *kernel.Pool) (attemptResult, error) {
 	if req.engine() == "par" {
 		popts := par.Options{
-			Tol:            req.Tol,
-			MaxIter:        req.MaxIter,
-			DetectInterval: d,
-			MaxRollbacks:   req.MaxRollbacks,
-			TwoLevel:       req.scheme() == "twolevel",
-			Faults:         parFaultsFor(req, attempt),
-			Ctx:            ctx,
+			Tol:             req.Tol,
+			MaxIter:         req.MaxIter,
+			DetectInterval:  d,
+			MaxRollbacks:    req.MaxRollbacks,
+			TwoLevel:        req.scheme() == "twolevel",
+			ForwardRecovery: req.Forward,
+			Faults:          parFaultsFor(req, attempt),
+			Ctx:             ctx,
 		}
 		var res par.Result
 		var err error
@@ -629,6 +646,11 @@ func (s *Service) dispatch(ctx context.Context, req *Request, a *sparse.CSR, enc
 			rollbacks:   res.Rollbacks,
 			injected:    res.InjectedFaults,
 			trace:       res.Trace,
+
+			forwardRepairs:      res.ForwardRepairs,
+			rollbacksAvoided:    res.RollbacksAvoided,
+			iterationsSaved:     res.IterationsSaved,
+			rejectedCorrections: res.RejectedCorrections,
 		}, err
 	}
 
@@ -641,14 +663,15 @@ func (s *Service) dispatch(ctx context.Context, req *Request, a *sparse.CSR, enc
 		tr = &core.Trace{}
 	}
 	opts := core.Options{
-		Options:        solver.Options{Tol: req.Tol, MaxIter: req.MaxIter},
-		DetectInterval: d,
-		MaxRollbacks:   req.MaxRollbacks,
-		Injector:       inj,
-		Trace:          tr,
-		Encoding:       enc,
-		Pool:           pool,
-		Ctx:            ctx,
+		Options:         solver.Options{Tol: req.Tol, MaxIter: req.MaxIter},
+		DetectInterval:  d,
+		MaxRollbacks:    req.MaxRollbacks,
+		ForwardRecovery: req.Forward,
+		Injector:        inj,
+		Trace:           tr,
+		Encoding:        enc,
+		Pool:            pool,
+		Ctx:             ctx,
 	}
 	var res core.Result
 	var err error
@@ -673,6 +696,11 @@ func (s *Service) dispatch(ctx context.Context, req *Request, a *sparse.CSR, enc
 		corrections: res.Stats.Corrections,
 		rollbacks:   res.Stats.Rollbacks,
 		injected:    res.Stats.InjectedErrors,
+
+		forwardRepairs:      res.Stats.ForwardRepairs,
+		rollbacksAvoided:    res.Stats.RollbacksAvoided,
+		iterationsSaved:     res.Stats.IterationsSaved,
+		rejectedCorrections: res.Stats.RejectedCorrections,
 	}
 	if tr != nil {
 		ar.trace = tr.Events

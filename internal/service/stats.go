@@ -35,6 +35,11 @@ type stats struct {
 	rollbacks          int64
 	injectedFaults     int64
 	verifiedResiduals  int64
+	forwardRepairs     int64
+	rollbacksAvoided   int64
+	iterationsSaved    int64
+	rejectedRepairs    int64
+	forwardRecovered   int64
 	solveMillisSamples [latRingCap]float64
 	sampleNext         int
 	sampleCount        int
@@ -69,6 +74,14 @@ type Snapshot struct {
 	InjectedFaults int64 `json:"injected_faults"`
 	// VerifiedResiduals counts server-side end-to-end residual checks.
 	VerifiedResiduals int64 `json:"verified_residuals"`
+	// Forward recovery: in-place repairs, rollbacks avoided, iterations
+	// those avoided rollbacks would have discarded, corrections undone by
+	// their confirmation, and jobs that completed on the forward path.
+	ForwardRepairs      int64 `json:"forward_repairs"`
+	RollbacksAvoided    int64 `json:"rollbacks_avoided"`
+	IterationsSaved     int64 `json:"iterations_saved"`
+	RejectedCorrections int64 `json:"rejected_corrections"`
+	ForwardRecovered    int64 `json:"forward_recovered"`
 
 	// Streaming.
 	EventsDropped int64 `json:"events_dropped"`
@@ -100,6 +113,10 @@ func (s *stats) recordSolve(resp *Response, solveMillis float64) {
 	s.corrections += int64(resp.Corrections)
 	s.rollbacks += int64(resp.Rollbacks)
 	s.injectedFaults += int64(resp.InjectedFaults)
+	s.forwardRepairs += int64(resp.ForwardRepairs)
+	s.rollbacksAvoided += int64(resp.RollbacksAvoided)
+	s.iterationsSaved += int64(resp.IterationsSaved)
+	s.rejectedRepairs += int64(resp.RejectedCorrections)
 	s.solveMillisSamples[s.sampleNext] = solveMillis
 	s.sampleNext = (s.sampleNext + 1) % latRingCap
 	if s.sampleCount < latRingCap {
@@ -163,6 +180,12 @@ func (s *stats) snapshot() Snapshot {
 		VerifiedResiduals: s.verifiedResiduals,
 		EventsDropped:     s.eventsDropped,
 		LatencySamples:    s.sampleCount,
+
+		ForwardRepairs:      s.forwardRepairs,
+		RollbacksAvoided:    s.rollbacksAvoided,
+		IterationsSaved:     s.iterationsSaved,
+		RejectedCorrections: s.rejectedRepairs,
+		ForwardRecovered:    s.forwardRecovered,
 	}
 	samples := make([]float64, s.sampleCount)
 	copy(samples, s.solveMillisSamples[:s.sampleCount])

@@ -51,7 +51,7 @@ go test -run '^$' -bench . -benchmem -benchtime=1x -short . >"$bench_out"
 go run ./cmd/newsum-benchdiff -baseline BENCH_CORE.json -exclude '^BenchmarkServe' -smoke -input "$bench_out"
 go run ./cmd/newsum-benchdiff -baseline BENCH_SERVE.json -only '^BenchmarkServe' -smoke -input "$bench_out"
 
-echo "== coverage gate (fault, checksum, accuracy, service, kernel, analysis >= 80%) =="
+echo "== coverage gate (fault, checksum, accuracy, service, kernel, analysis, core, par >= 80%) =="
 # The packages that decide whether a fault is caught — and the service
 # layer that promises retry-to-convergence and server-side verification —
 # must themselves be thoroughly exercised; docs/testing.md records the
@@ -60,7 +60,10 @@ echo "== coverage gate (fault, checksum, accuracy, service, kernel, analysis >= 
 # checksum comparisons would then misread as a fault. internal/analysis
 # joins because the lint tier is itself a correctness gate: an analyzer
 # with untested branches silently stops enforcing its invariant.
-go test -cover ./internal/fault/ ./internal/checksum/ ./internal/accuracy/ ./internal/service/ ./internal/kernel/ ./internal/analysis/ |
+# internal/core and internal/par join with the forward-recovery tier: the
+# repair/fallback branching in the solvers is now deep enough that an
+# unexercised path is exactly where a fake correction would hide.
+go test -cover ./internal/fault/ ./internal/checksum/ ./internal/accuracy/ ./internal/service/ ./internal/kernel/ ./internal/analysis/ ./internal/core/ ./internal/par/ |
 	awk '
 		{ print }
 		/coverage:/ {
