@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table3|table4|table5|fig5|fig6|fig7|fig8|fig9|fig10|par|accuracy|serve|kernels|all")
+		exp     = flag.String("exp", "all", "experiment: table3|table4|table5|fig5|fig6|fig7|fig8|fig9|fig10|par|accuracy|serve|shard|kernels|all")
 		n       = flag.Int("n", 40000, "target matrix order for empirical experiments")
 		blocks  = flag.Int("blocks", 16, "block-Jacobi block count (stand-in for MPI ranks)")
 		repeats = flag.Int("repeats", 3, "timing repetitions (median reported)")
@@ -339,6 +339,26 @@ func run(exp string, n, blocks, repeats int, seed int64, csvDir string, collecte
 		}
 		fmt.Fprintln(os.Stdout)
 	}
+	if all || exp == "shard" {
+		// Router-vs-single comparison at a matched total worker budget:
+		// backends=1 is one process with all the workers, wider fleets put
+		// a consistent-hash router in front. Zero-class corruption
+		// counters ride along so a sharded fleet is held to the same
+		// no-silent-errors bar as a single process.
+		pts, err := bench.ShardSweep([]int{1, 2, 4}, 2, 8, 64, seed)
+		if err != nil {
+			return err
+		}
+		title := "Shard: router-vs-single throughput at matched worker budget (2 workers/backend, 8 closed-loop clients, 64 jobs, 1 chaos fault/job)"
+		if err := bench.WriteShardTable(out, title, pts); err != nil {
+			return err
+		}
+		collect(bench.ShardBenches(pts)...)
+		if err := writeCSV("shard.csv", func(f *os.File) error { return bench.WriteShardCSV(f, pts) }); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stdout)
+	}
 	if all || exp == "kernels" {
 		// Shared-memory kernel sweep: workers × n × kernel over the
 		// internal/kernel layer, with an in-benchmark bitwise check that
@@ -363,7 +383,7 @@ func run(exp string, n, blocks, repeats int, seed int64, csvDir string, collecte
 		fmt.Fprintln(os.Stdout)
 	}
 	switch exp {
-	case "all", "table3", "table4", "table5", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "par", "accuracy", "serve", "kernels":
+	case "all", "table3", "table4", "table5", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "par", "accuracy", "serve", "shard", "kernels":
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)

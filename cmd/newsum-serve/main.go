@@ -36,6 +36,8 @@ func main() {
 	retries := flag.Int("retries", 0, "max automatic retries per job (0 = default 2, negative disables)")
 	timeout := flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
 	maxRows := flag.Int("max-rows", 0, "admission bound on operator size (0 = default 262144)")
+	batchWindow := flag.Duration("batch-window", 0, "multi-RHS coalescing window (0 = batching disabled)")
+	maxBatch := flag.Int("max-batch", 0, "max right-hand sides per batched solve (0 = default 8)")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown grace period for in-flight jobs")
 	flag.Parse()
 
@@ -47,6 +49,8 @@ func main() {
 		MaxRetries:     *retries,
 		DefaultTimeout: *timeout,
 		MaxMatrixRows:  *maxRows,
+		BatchWindow:    *batchWindow,
+		MaxBatch:       *maxBatch,
 	})
 	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
 

@@ -1,0 +1,253 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"newsum/internal/bench/trajectory"
+	"newsum/internal/router"
+	"newsum/internal/service"
+)
+
+// The shard experiment: the same closed-loop protected-solve load offered
+// to a consistent-hash router over K backends versus one single process
+// holding the identical total worker budget (K×W workers, one shared
+// encoding cache and admission queue). Both sides are driven over real
+// HTTP so the comparison includes the transport the router actually adds;
+// what it measures is whether fingerprint affinity — every operator's
+// encoding cached hot on exactly one backend, K independent admission
+// queues — buys back more than the extra hop costs.
+
+// ShardPoint is one fleet-shape measurement.
+type ShardPoint struct {
+	// Backends is the fleet width; 1 means the single-process control
+	// (no router in front).
+	Backends int
+	// Workers is the per-backend worker count; the single-process control
+	// gets Backends×Workers so the total solve budget matches.
+	Workers    int
+	Clients    int
+	Jobs       int
+	Seconds    float64
+	Throughput float64 // completed jobs per second
+	// Redispatches and RoutedAround are router counters (0 for the
+	// control); SDCSuspects and FailedJobs are summed across the fleet and
+	// must be zero.
+	Redispatches int64
+	RoutedAround int64
+	SDCSuspects  int64
+	FailedJobs   int64
+}
+
+// shardSpecs is the operator pool for the shard load: more distinct
+// fingerprints than serveSpecs so the ring has something to spread.
+func shardSpecs() []service.MatrixSpec {
+	return []service.MatrixSpec{
+		{Kind: "laplace2d", N: 12},
+		{Kind: "laplace2d", N: 16},
+		{Kind: "laplace2d", N: 20},
+		{Kind: "spd", N: 300, Degree: 4, Seed: 7},
+		{Kind: "circuit", N: 300, Seed: 11},
+		{Kind: "circuit", N: 256, Seed: 13},
+	}
+}
+
+func shardBackendConfig(workers int) service.Config {
+	return service.Config{Workers: workers, QueueDepth: 64, CacheSize: 16, KernelWorkers: -1}
+}
+
+// MeasureShardPoint drives jobs protected solves from clients closed-loop
+// HTTP clients at a fleet of the given shape and reports the aggregate.
+func MeasureShardPoint(backends, workers, clients, jobs int, seed int64) (ShardPoint, error) {
+	p := ShardPoint{Backends: backends, Workers: workers, Clients: clients, Jobs: jobs}
+
+	var url string
+	var fleet []*router.LocalBackend
+	if backends > 1 {
+		cfgs := make([]router.Backend, backends)
+		for i := range cfgs {
+			lb := &router.LocalBackend{Cfg: shardBackendConfig(workers)}
+			fleet = append(fleet, lb)
+			cfgs[i] = lb
+		}
+		rt, err := router.New(router.Config{Backends: cfgs})
+		if err != nil {
+			return p, err
+		}
+		defer func() {
+			_ = rt.Close() //lint:ignore errdrop bench teardown: backend stop errors cannot affect the measured point
+		}()
+		srv := httptest.NewServer(rt.Handler())
+		defer srv.Close()
+		url = srv.URL
+		elapsed, err := driveShardLoad(url, clients, jobs, seed)
+		if err != nil {
+			return p, err
+		}
+		p.Seconds = elapsed
+		st := rt.Stats()
+		p.Redispatches, p.RoutedAround = st.Redispatches, st.RoutedAround
+		for _, lb := range fleet {
+			if svc := lb.Service(); svc != nil {
+				snap := svc.Stats()
+				p.SDCSuspects += snap.SDCSuspects
+				p.FailedJobs += snap.Failed
+			}
+		}
+	} else {
+		svc := service.New(shardBackendConfig(backends * workers))
+		defer svc.Close()
+		srv := httptest.NewServer(svc.Handler())
+		defer srv.Close()
+		url = srv.URL
+		elapsed, err := driveShardLoad(url, clients, jobs, seed)
+		if err != nil {
+			return p, err
+		}
+		p.Seconds = elapsed
+		snap := svc.Stats()
+		p.SDCSuspects, p.FailedJobs = snap.SDCSuspects, snap.Failed
+	}
+	if p.Seconds > 0 {
+		p.Throughput = float64(jobs) / p.Seconds
+	}
+	return p, nil
+}
+
+// driveShardLoad offers jobs solves from clients closed-loop HTTP clients,
+// honoring 429 backpressure by waiting and re-offering the same job.
+func driveShardLoad(url string, clients, jobs int, seed int64) (float64, error) {
+	specs := shardSpecs()
+	work := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				req := service.Request{
+					Matrix:      specs[i%len(specs)],
+					ChaosFaults: 1,
+					Seed:        seed + int64(i),
+				}
+				buf, err := json.Marshal(req)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				for {
+					resp, err := http.Post(url+"/solve", "application/json", bytes.NewReader(buf))
+					if err != nil {
+						fail(fmt.Errorf("bench: shard job %d: %w", i, err))
+						break
+					}
+					if resp.StatusCode == http.StatusTooManyRequests {
+						secs, _ := strconv.Atoi(resp.Header.Get("Retry-After")) //lint:ignore errdrop a missing or garbled header falls back to the 1-tick floor below
+						_, _ = io.Copy(io.Discard, resp.Body)                   //lint:ignore errdrop draining a rejected response; the retry is the recovery
+						resp.Body.Close()
+						if secs < 1 {
+							secs = 1
+						}
+						// Closed-loop client: honor the hint (capped well
+						// below the header's scale to keep the bench moving)
+						// and offer the same job again.
+						time.Sleep(time.Duration(secs) * time.Millisecond)
+						continue
+					}
+					var out service.Response
+					err = json.NewDecoder(resp.Body).Decode(&out)
+					_ = resp.Body.Close() //lint:ignore errdrop body already decoded; a close failure cannot change the outcome
+					if resp.StatusCode != http.StatusOK {
+						fail(fmt.Errorf("bench: shard job %d: status %d", i, resp.StatusCode))
+					} else if err != nil {
+						fail(fmt.Errorf("bench: shard job %d: decode: %w", i, err))
+					} else if !out.Converged {
+						fail(fmt.Errorf("bench: shard job %d did not converge", i))
+					}
+					break
+				}
+			}
+		}()
+	}
+	for i := 0; i < jobs; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+// ShardSweep measures each fleet width at a fixed per-backend worker count.
+func ShardSweep(backendCounts []int, workers, clients, jobs int, seed int64) ([]ShardPoint, error) {
+	var points []ShardPoint
+	for _, k := range backendCounts {
+		p, err := MeasureShardPoint(k, workers, clients, jobs, seed)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// ShardBenches flattens the sweep into trajectory metrics: jobs/s per
+// fleet shape plus the Zero-class corruption counters.
+func ShardBenches(pts []ShardPoint) []trajectory.Bench {
+	var bs []trajectory.Bench
+	for _, p := range pts {
+		n := fmt.Sprintf("shard/backends=%d/workers=%d", p.Backends, p.Workers)
+		bs = appendBench(bs, n, p.Throughput, "jobs/s")
+		bs = appendBench(bs, n+"/sdc-suspects", float64(p.SDCSuspects), "sdc-suspects")
+		bs = appendBench(bs, n+"/failed-jobs", float64(p.FailedJobs), "failed-jobs")
+	}
+	return bs
+}
+
+// WriteShardTable renders the sweep in the standard report format.
+func WriteShardTable(out io.Writer, title string, points []ShardPoint) error {
+	var s sink
+	s.println(out, title)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	s.println(tw, "backends\tworkers\tjobs\ttime(s)\tjobs/s\tredispatch\trouted-around\tsdc-suspects\tfailed")
+	for _, p := range points {
+		s.printf(tw, "%d\t%d\t%d\t%.3f\t%.1f\t%d\t%d\t%d\t%d\n",
+			p.Backends, p.Workers, p.Jobs, p.Seconds, p.Throughput,
+			p.Redispatches, p.RoutedAround, p.SDCSuspects, p.FailedJobs)
+	}
+	s.flush(tw)
+	return s.err
+}
+
+// WriteShardCSV emits the sweep as CSV with one row per point.
+func WriteShardCSV(w io.Writer, points []ShardPoint) error {
+	var s sink
+	s.println(w, "backends,workers,clients,jobs,seconds,jobs_per_sec,redispatches,routed_around,sdc_suspects,failed_jobs")
+	for _, p := range points {
+		s.printf(w, "%d,%d,%d,%d,%.6f,%.3f,%d,%d,%d,%d\n",
+			p.Backends, p.Workers, p.Clients, p.Jobs, p.Seconds, p.Throughput,
+			p.Redispatches, p.RoutedAround, p.SDCSuspects, p.FailedJobs)
+	}
+	return s.err
+}

@@ -1,0 +1,82 @@
+package checksum
+
+// Columnwise (multi-RHS) forms of the Eq. (2)–(4) checksum updates. The
+// new-sum relations are linear in the protected vector, so a block solve
+// against k right-hand sides carries k independent checksum states — one
+// (s, η) slot set per column — and updates them column by column from the
+// SAME encoded matrix. One offline encoding (cᵀA − d·cᵀ) therefore
+// amortizes across the whole batch, which is the checksum half of the
+// batched multi-RHS story: the solver half (one matrix traversal feeding
+// k columns) lives in kernel.MulVecBlock.
+//
+// Every columnwise form applies the scalar update to each column in
+// column order, so column j's checksum trajectory is bitwise-identical to
+// the one a single-RHS solve of that column would carry. The block
+// property tests pin this: a batched update must be indistinguishable,
+// bit for bit, from k independent single-RHS updates — otherwise a
+// batched solve's verification thresholds would drift from the
+// single-solve calibration.
+
+// UpdateMVMBoundCols applies the Eq. (2) update with η propagation to k
+// columns: dsts[j], etaDsts[j] are column j's checksum and bound slots,
+// us[j] its MVM input data, sus[j]/etaSrcs[j] the input's carried state.
+// Bitwise-identical per column to k calls of UpdateMVMBound.
+//
+//hot:loop Eq. (2) columnwise update on the batched protected solve path
+func (m *Matrix) UpdateMVMBoundCols(dsts, etaDsts, us, sus, etaSrcs [][]float64) {
+	if len(etaDsts) != len(dsts) || len(us) != len(dsts) ||
+		len(sus) != len(dsts) || len(etaSrcs) != len(dsts) {
+		panic("checksum: column count mismatch in UpdateMVMBoundCols")
+	}
+	for j := range dsts {
+		m.UpdateMVMBound(dsts[j], etaDsts[j], us[j], sus[j], etaSrcs[j])
+	}
+}
+
+// UpdatePCOBoundCols applies the Eq. (4) preconditioner-solve update with
+// η propagation to k columns. Bitwise-identical per column to k calls of
+// UpdatePCOBound.
+//
+//hot:loop Eq. (4) columnwise update on the batched protected solve path
+func (m *Matrix) UpdatePCOBoundCols(dsts, etaDsts, ws, sus, etaSrcs [][]float64) {
+	if len(etaDsts) != len(dsts) || len(ws) != len(dsts) ||
+		len(sus) != len(dsts) || len(etaSrcs) != len(dsts) {
+		panic("checksum: column count mismatch in UpdatePCOBoundCols")
+	}
+	for j := range dsts {
+		m.UpdatePCOBound(dsts[j], etaDsts[j], ws[j], sus[j], etaSrcs[j])
+	}
+}
+
+// UpdateVLOAxpyBoundCols applies the in-place Eq. (3) axpy update with η
+// propagation to k columns, each with its own scalar alphas[j] (the block
+// solve's per-column step lengths stay independent). Bitwise-identical
+// per column to k calls of UpdateVLOAxpyBound.
+//
+//hot:loop Eq. (3) columnwise in-place update on the batched protected solve path
+func UpdateVLOAxpyBoundCols(sys, etaYs [][]float64, alphas []float64, sxs, etaXs [][]float64) {
+	if len(etaYs) != len(sys) || len(alphas) != len(sys) ||
+		len(sxs) != len(sys) || len(etaXs) != len(sys) {
+		panic("checksum: column count mismatch in UpdateVLOAxpyBoundCols")
+	}
+	for j := range sys {
+		UpdateVLOAxpyBound(sys[j], etaYs[j], alphas[j], sxs[j], etaXs[j])
+	}
+}
+
+// UpdateVLOAxpbyBoundCols applies the Eq. (3) axpby update with η
+// propagation to k columns with per-column scalars. Bitwise-identical per
+// column to k calls of UpdateVLOAxpbyBound.
+//
+//hot:loop Eq. (3) columnwise update on the batched protected solve path
+func UpdateVLOAxpbyBoundCols(dsts, etaDsts [][]float64, alphas []float64, sxs, etaXs [][]float64,
+	betas []float64, sys, etaYs [][]float64) {
+	if len(etaDsts) != len(dsts) || len(alphas) != len(dsts) || len(betas) != len(dsts) ||
+		len(sxs) != len(dsts) || len(etaXs) != len(dsts) ||
+		len(sys) != len(dsts) || len(etaYs) != len(dsts) {
+		panic("checksum: column count mismatch in UpdateVLOAxpbyBoundCols")
+	}
+	for j := range dsts {
+		UpdateVLOAxpbyBound(dsts[j], etaDsts[j], alphas[j], sxs[j], etaXs[j], betas[j], sys[j], etaYs[j])
+	}
+}

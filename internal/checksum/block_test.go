@@ -1,0 +1,156 @@
+package checksum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"newsum/internal/sparse"
+)
+
+// colState is one column's carried checksum state (s, η) for a couple of
+// tracked vectors, mirrored between the batched and single-RHS paths.
+type colState struct {
+	u, w     []float64
+	su, eta  []float64
+	sw, etaW []float64
+}
+
+func newColState(rng *rand.Rand, n, k int) *colState {
+	c := &colState{
+		u: randVec(rng, n), w: randVec(rng, n),
+		su: make([]float64, k), eta: make([]float64, k),
+		sw: make([]float64, k), etaW: make([]float64, k),
+	}
+	for j := 0; j < k; j++ {
+		c.su[j] = rng.NormFloat64()
+		c.eta[j] = math.Abs(rng.NormFloat64()) * 1e-12
+		c.sw[j] = rng.NormFloat64()
+		c.etaW[j] = math.Abs(rng.NormFloat64()) * 1e-12
+	}
+	return c
+}
+
+func (c *colState) clone() *colState {
+	d := &colState{}
+	d.u = append([]float64(nil), c.u...)
+	d.w = append([]float64(nil), c.w...)
+	d.su = append([]float64(nil), c.su...)
+	d.eta = append([]float64(nil), c.eta...)
+	d.sw = append([]float64(nil), c.sw...)
+	d.etaW = append([]float64(nil), c.etaW...)
+	return d
+}
+
+func bitsEq(t *testing.T, what string, col int, got, want []float64) {
+	t.Helper()
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s col %d slot %d: batched %x, single-RHS %x", what, col, i, got[i], want[i])
+		}
+	}
+}
+
+// TestColumnwiseUpdatesBitwise is the Eqs. (2)–(4) block property test: a
+// chained trajectory of columnwise MVM, PCO, axpy and axpby updates over k
+// columns must leave every column's (s, η) state bitwise-identical to the
+// state k independent single-RHS trajectories carry. This is the contract
+// that lets a batched solve reuse the single-solve verification
+// calibration unchanged.
+func TestColumnwiseUpdatesBitwise(t *testing.T) {
+	a := sparse.Laplacian2D(9, 9)
+	rng := rand.New(rand.NewSource(17))
+	for _, weights := range [][]Weight{Single, Triple} {
+		m := EncodeMatrix(a, weights, 64)
+		nw := len(weights)
+		for _, k := range []int{1, 3, 8} {
+			batch := make([]*colState, k)
+			single := make([]*colState, k)
+			alphas := make([]float64, k)
+			betas := make([]float64, k)
+			for j := 0; j < k; j++ {
+				batch[j] = newColState(rng, a.Rows, nw)
+				single[j] = batch[j].clone()
+				alphas[j] = rng.NormFloat64()
+				betas[j] = rng.NormFloat64()
+			}
+			gather := func(pick func(c *colState) []float64, cols []*colState) [][]float64 {
+				out := make([][]float64, k)
+				for j, c := range cols {
+					out[j] = pick(c)
+				}
+				return out
+			}
+			sus := func(c *colState) []float64 { return c.su }
+			etas := func(c *colState) []float64 { return c.eta }
+			sws := func(c *colState) []float64 { return c.sw }
+			etaWs := func(c *colState) []float64 { return c.etaW }
+			us := func(c *colState) []float64 { return c.u }
+			wsv := func(c *colState) []float64 { return c.w }
+
+			// Several rounds so errors in η propagation compound and a
+			// single-round coincidence cannot pass.
+			for round := 0; round < 4; round++ {
+				// Eq. (2): w-state <- MVM(u-state), columnwise vs single.
+				m.UpdateMVMBoundCols(gather(sws, batch), gather(etaWs, batch),
+					gather(us, batch), gather(sus, batch), gather(etas, batch))
+				for j, c := range single {
+					m.UpdateMVMBound(c.sw, c.etaW, c.u, c.su, c.eta)
+					bitsEq(t, "MVM s", j, batch[j].sw, c.sw)
+					bitsEq(t, "MVM eta", j, batch[j].etaW, c.etaW)
+				}
+				// Eq. (4): u-state <- PCO(w-state).
+				m.UpdatePCOBoundCols(gather(sus, batch), gather(etas, batch),
+					gather(wsv, batch), gather(sws, batch), gather(etaWs, batch))
+				for j, c := range single {
+					m.UpdatePCOBound(c.su, c.eta, c.w, c.sw, c.etaW)
+					bitsEq(t, "PCO s", j, batch[j].su, c.su)
+					bitsEq(t, "PCO eta", j, batch[j].eta, c.eta)
+				}
+				// Eq. (3) in place: u-state += α_j · w-state, per-column scalars.
+				UpdateVLOAxpyBoundCols(gather(sus, batch), gather(etas, batch),
+					alphas, gather(sws, batch), gather(etaWs, batch))
+				for j, c := range single {
+					UpdateVLOAxpyBound(c.su, c.eta, alphas[j], c.sw, c.etaW)
+					bitsEq(t, "axpy s", j, batch[j].su, c.su)
+					bitsEq(t, "axpy eta", j, batch[j].eta, c.eta)
+				}
+				// Eq. (3) two-operand: w-state <- α_j·u-state + β_j·w-state.
+				UpdateVLOAxpbyBoundCols(gather(sws, batch), gather(etaWs, batch),
+					alphas, gather(sus, batch), gather(etas, batch),
+					betas, gather(sws, batch), gather(etaWs, batch))
+				for j, c := range single {
+					UpdateVLOAxpbyBound(c.sw, c.etaW, alphas[j], c.su, c.eta, betas[j], c.sw, c.etaW)
+					bitsEq(t, "axpby s", j, batch[j].sw, c.sw)
+					bitsEq(t, "axpby eta", j, batch[j].etaW, c.etaW)
+				}
+			}
+		}
+	}
+}
+
+// TestColumnwisePanics pins the column-count validation of every Cols
+// form: a ragged gather must panic before any column is touched.
+func TestColumnwisePanics(t *testing.T) {
+	a := sparse.Laplacian2D(4, 4)
+	m := EncodeMatrix(a, Single, 64)
+	one := [][]float64{{0}}
+	two := [][]float64{{0}, {0}}
+	al := []float64{1}
+	cases := map[string]func(){
+		"mvm":   func() { m.UpdateMVMBoundCols(one, two, one, one, one) },
+		"pco":   func() { m.UpdatePCOBoundCols(one, one, two, one, one) },
+		"axpy":  func() { UpdateVLOAxpyBoundCols(one, one, al, two, one) },
+		"axpby": func() { UpdateVLOAxpbyBoundCols(one, one, al, one, one, []float64{1, 2}, one, one) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

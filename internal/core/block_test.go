@@ -1,0 +1,235 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"newsum/internal/fault"
+	"newsum/internal/kernel"
+	"newsum/internal/solver"
+	"newsum/internal/sparse"
+)
+
+// blockRHS builds k distinct right-hand sides for one operator.
+func blockRHS(a *sparse.CSR, k int) [][]float64 {
+	bs := make([][]float64, k)
+	for j := 0; j < k; j++ {
+		b := make([]float64, a.Rows)
+		for i := range b {
+			b[i] = math.Sin(float64(i+1)*0.7) + float64(j)*math.Cos(float64(i+3))
+		}
+		bs[j] = b
+	}
+	return bs
+}
+
+// TestBlockPCGBitwiseMatchesSingle is the batched solve's headline
+// contract: fault-free, every column of BasicBlockPCG — solution,
+// iteration count, residual, checksum-update and verification counters —
+// is bitwise-identical to an independent single-RHS BasicPCG of that
+// column, across column counts straddling the kernel chunk and across
+// serial and pooled execution.
+func TestBlockPCGBitwiseMatchesSingle(t *testing.T) {
+	a, m, _, _ := testSystem(t, 400)
+	for _, workers := range []int{1, 4} {
+		pool := kernel.NewPool(workers)
+		if pool != nil {
+			defer pool.Close()
+		}
+		for _, k := range []int{1, 3, 9} {
+			bs := blockRHS(a, k)
+			opts := Options{
+				Options:        solver.Options{Tol: 1e-10},
+				DetectInterval: 4,
+				Pool:           pool,
+			}
+			br, err := BasicBlockPCG(a, m, bs, BlockOptions{Options: opts})
+			if err != nil {
+				t.Fatalf("workers=%d k=%d: block solve: %v", workers, k, err)
+			}
+			for j := 0; j < k; j++ {
+				if br.Errs[j] != nil {
+					t.Fatalf("workers=%d k=%d col %d: %v", workers, k, j, br.Errs[j])
+				}
+				single, err := BasicPCG(a, m, bs[j], opts)
+				if err != nil {
+					t.Fatalf("workers=%d k=%d col %d single: %v", workers, k, j, err)
+				}
+				col := br.Cols[j]
+				if !col.Converged || col.Iterations != single.Iterations {
+					t.Fatalf("workers=%d k=%d col %d: converged=%v iters=%d, single iters=%d",
+						workers, k, j, col.Converged, col.Iterations, single.Iterations)
+				}
+				if math.Float64bits(col.Residual) != math.Float64bits(single.Residual) {
+					t.Fatalf("workers=%d k=%d col %d: residual %x, single %x",
+						workers, k, j, col.Residual, single.Residual)
+				}
+				for i := range col.X {
+					if math.Float64bits(col.X[i]) != math.Float64bits(single.X[i]) {
+						t.Fatalf("workers=%d k=%d col %d: x[%d] = %x, single %x",
+							workers, k, j, i, col.X[i], single.X[i])
+					}
+				}
+				if col.Stats.ChecksumUpdates != single.Stats.ChecksumUpdates ||
+					col.Stats.Verifications != single.Stats.Verifications ||
+					col.Stats.Checkpoints != single.Stats.Checkpoints {
+					t.Fatalf("workers=%d k=%d col %d: stats (upd=%d ver=%d ckpt=%d), single (%d %d %d)",
+						workers, k, j,
+						col.Stats.ChecksumUpdates, col.Stats.Verifications, col.Stats.Checkpoints,
+						single.Stats.ChecksumUpdates, single.Stats.Verifications, single.Stats.Checkpoints)
+				}
+				if col.Stats.Rollbacks != 0 || col.Stats.Detections != 0 {
+					t.Fatalf("workers=%d k=%d col %d: fault-free column rolled back (%d/%d)",
+						workers, k, j, col.Stats.Rollbacks, col.Stats.Detections)
+				}
+			}
+		}
+	}
+}
+
+// TestBlockPCGPerColumnFaultIsolation strikes exactly one column with a
+// transient MVM fault: the struck column must detect, roll back alone and
+// still converge; every clean column must be bitwise-identical to its
+// fault-free single-RHS solve, with zero rollbacks — one corrupted RHS
+// does not restart the batch.
+func TestBlockPCGPerColumnFaultIsolation(t *testing.T) {
+	a, m, _, _ := testSystem(t, 400)
+	const k = 4
+	const struck = 1
+	bs := blockRHS(a, k)
+	opts := Options{
+		Options:            solver.Options{Tol: 1e-10},
+		DetectInterval:     2,
+		CheckpointInterval: 6,
+	}
+	injs := make([]*fault.Injector, k)
+	injs[struck] = fault.NewInjector([]fault.Event{
+		{Iteration: 7, Site: fault.SiteMVM, Kind: fault.Arithmetic, Index: 13},
+	}, 1)
+	br, err := BasicBlockPCG(a, m, bs, BlockOptions{Options: opts, ColInjectors: injs})
+	if err != nil {
+		t.Fatalf("block solve: %v", err)
+	}
+	for j := 0; j < k; j++ {
+		if br.Errs[j] != nil {
+			t.Fatalf("col %d: %v", j, br.Errs[j])
+		}
+		if !br.Cols[j].Converged {
+			t.Fatalf("col %d did not converge", j)
+		}
+		checkSolution(t, a, bs[j], br.Cols[j].X, 1e-9)
+	}
+	if br.Cols[struck].Stats.Detections == 0 || br.Cols[struck].Stats.Rollbacks == 0 {
+		t.Fatalf("struck column: detections=%d rollbacks=%d, want both > 0",
+			br.Cols[struck].Stats.Detections, br.Cols[struck].Stats.Rollbacks)
+	}
+	if br.Cols[struck].Stats.InjectedErrors != 1 {
+		t.Fatalf("struck column: injected=%d, want 1", br.Cols[struck].Stats.InjectedErrors)
+	}
+	for j := 0; j < k; j++ {
+		if j == struck {
+			continue
+		}
+		if br.Cols[j].Stats.Rollbacks != 0 || br.Cols[j].Stats.Detections != 0 ||
+			br.Cols[j].Stats.WastedIterations != 0 {
+			t.Fatalf("clean col %d was disturbed: rollbacks=%d detections=%d wasted=%d",
+				j, br.Cols[j].Stats.Rollbacks, br.Cols[j].Stats.Detections,
+				br.Cols[j].Stats.WastedIterations)
+		}
+		single, err := BasicPCG(a, m, bs[j], opts)
+		if err != nil {
+			t.Fatalf("col %d single: %v", j, err)
+		}
+		for i := range br.Cols[j].X {
+			if math.Float64bits(br.Cols[j].X[i]) != math.Float64bits(single.X[i]) {
+				t.Fatalf("clean col %d: x[%d] differs from fault-free single solve", j, i)
+			}
+		}
+	}
+}
+
+// TestBlockPCGPerColumnFailureIsolation drives one column into a rollback
+// storm (persistent faults, zero rollback budget): that column alone
+// reports an error in Errs; its siblings converge untouched.
+func TestBlockPCGPerColumnFailureIsolation(t *testing.T) {
+	a, m, _, _ := testSystem(t, 400)
+	const k = 3
+	const doomed = 2
+	bs := blockRHS(a, k)
+	events := make([]fault.Event, 0, 40)
+	for i := 1; i < 40; i++ {
+		events = append(events, fault.Event{Iteration: i, Site: fault.SiteMVM, Kind: fault.Arithmetic, Index: i % a.Rows})
+	}
+	injs := make([]*fault.Injector, k)
+	injs[doomed] = fault.NewInjector(events, 1)
+	br, err := BasicBlockPCG(a, m, bs, BlockOptions{
+		Options: Options{
+			Options:        solver.Options{Tol: 1e-10},
+			DetectInterval: 2,
+			MaxRollbacks:   2,
+		},
+		ColInjectors: injs,
+	})
+	if err != nil {
+		t.Fatalf("block solve: %v", err)
+	}
+	if br.Errs[doomed] == nil {
+		t.Fatalf("doomed column returned no error (rollbacks=%d)", br.Cols[doomed].Stats.Rollbacks)
+	}
+	for j := 0; j < k; j++ {
+		if j == doomed {
+			continue
+		}
+		if br.Errs[j] != nil || !br.Cols[j].Converged {
+			t.Fatalf("sibling col %d failed alongside the doomed column: %v", j, br.Errs[j])
+		}
+		checkSolution(t, a, bs[j], br.Cols[j].X, 1e-9)
+	}
+}
+
+// TestBlockPCGValidation pins the argument and mode rejection paths.
+func TestBlockPCGValidation(t *testing.T) {
+	a, m, b, _ := testSystem(t, 400)
+	if _, err := BasicBlockPCG(a, m, nil, BlockOptions{}); err == nil {
+		t.Fatalf("empty batch accepted")
+	}
+	if _, err := BasicBlockPCG(a, m, [][]float64{b[:10]}, BlockOptions{}); err == nil {
+		t.Fatalf("short column accepted")
+	}
+	if _, err := BasicBlockPCG(a, m, [][]float64{b}, BlockOptions{
+		ColInjectors: make([]*fault.Injector, 2),
+	}); err == nil {
+		t.Fatalf("mismatched injector count accepted")
+	}
+	if _, err := BasicBlockPCG(a, m, [][]float64{b}, BlockOptions{
+		Options: Options{ForwardRecovery: true},
+	}); err == nil {
+		t.Fatalf("forward recovery accepted on the block path")
+	}
+	if _, err := BasicBlockPCG(a, m, [][]float64{b}, BlockOptions{
+		Options: Options{EagerDetection: true},
+	}); err == nil {
+		t.Fatalf("eager detection accepted on the block path")
+	}
+}
+
+// TestBlockPCGContextCancel checks a canceled context fails every
+// still-active column with the cancellation error.
+func TestBlockPCGContextCancel(t *testing.T) {
+	a, m, _, _ := testSystem(t, 400)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	bs := blockRHS(a, 2)
+	br, err := BasicBlockPCG(a, m, bs, BlockOptions{
+		Options: Options{Options: solver.Options{Tol: 1e-10}, Ctx: ctx},
+	})
+	if err != nil {
+		t.Fatalf("block solve: %v", err)
+	}
+	for j := range br.Errs {
+		if br.Errs[j] == nil {
+			t.Fatalf("col %d: no error after cancellation", j)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"newsum/internal/sparse"
+)
+
+// TestMulVecBlockBitwise is the block kernel's determinism contract test:
+// every output column of MulVecBlock must be bitwise-identical to a
+// single-RHS MulVec of that column, for column counts straddling the chunk
+// boundary, worker counts 1/2/4, and matrices straddling minParallel.
+func TestMulVecBlockBitwise(t *testing.T) {
+	mats := map[string]*sparse.CSR{
+		"small":       sparse.Laplacian2D(10, 10),   // below minParallel: serial path
+		"laplacian2d": sparse.Laplacian2D(40, 40),   // above minParallel: pooled path
+		"circuit":     sparse.CircuitLike(3000, 11), // irregular row weights
+	}
+	rng := rand.New(rand.NewSource(11))
+	// 1 hits the single-column fall-through; 7/8/9 straddle blockColChunk;
+	// 16 exercises a multiple of the chunk; 19 a ragged tail.
+	for _, k := range []int{1, 2, 7, 8, 9, 16, 19} {
+		for name, a := range mats {
+			xs := make([][]float64, k)
+			want := make([][]float64, k)
+			for j := 0; j < k; j++ {
+				xs[j] = randVec(rng, a.Cols)
+				want[j] = make([]float64, a.Rows)
+				a.MulVec(want[j], xs[j])
+			}
+			for _, workers := range workerCounts {
+				p := poolFor(t, workers)
+				ys := make([][]float64, k)
+				for j := range ys {
+					ys[j] = make([]float64, a.Rows)
+				}
+				for run := 0; run < 2; run++ {
+					p.MulVecBlock(a, ys, xs)
+					for j := range ys {
+						for i := range ys[j] {
+							if !bitEq(ys[j][i], want[j][i]) {
+								t.Fatalf("%s k=%d workers=%d run=%d: col %d row %d = %x, single-RHS %x",
+									name, k, workers, run, j, i, ys[j][i], want[j][i])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMulVecBlockEmpty checks the zero-column call is a no-op rather than
+// a panic — the batcher can momentarily gather an empty set.
+func TestMulVecBlockEmpty(t *testing.T) {
+	a := sparse.Laplacian2D(4, 4)
+	var p *Pool
+	p.MulVecBlock(a, nil, nil)
+}
+
+// TestMulVecBlockPanics pins the argument validation: mismatched column
+// counts or dimensions must panic on the calling goroutine before any
+// part is dispatched to a helper.
+func TestMulVecBlockPanics(t *testing.T) {
+	a := sparse.Laplacian2D(4, 4)
+	n := a.Rows
+	good := [][]float64{make([]float64, n), make([]float64, n)}
+	short := [][]float64{make([]float64, n), make([]float64, n-1)}
+	cases := map[string]func(){
+		"count":  func() { (*Pool)(nil).MulVecBlock(a, good, good[:1]) },
+		"dimens": func() { (*Pool)(nil).MulVecBlock(a, good, short) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// BenchmarkMulVecBlock quantifies the amortization: one block call over k
+// columns versus k single-RHS calls on the same matrix.
+func BenchmarkMulVecBlock(b *testing.B) {
+	a := sparse.Laplacian2D(256, 256)
+	rng := rand.New(rand.NewSource(2))
+	const k = 8
+	xs := make([][]float64, k)
+	ys := make([][]float64, k)
+	for j := 0; j < k; j++ {
+		xs[j] = randVec(rng, a.Cols)
+		ys[j] = make([]float64, a.Rows)
+	}
+	b.Run("block", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			(*Pool)(nil).MulVecBlock(a, ys, xs)
+		}
+	})
+	b.Run("single", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < k; j++ {
+				a.MulVec(ys[j], xs[j])
+			}
+		}
+	})
+}

@@ -67,6 +67,8 @@ const (
 	opScale
 	// sparse matrix–vector product over nnz-balanced row ranges.
 	opMulVec
+	// multi-RHS SpMV over the same row ranges: one traversal, k columns.
+	opMulVecBlock
 )
 
 // op is the operand set of the in-flight kernel call. The launching
@@ -82,6 +84,7 @@ type op struct {
 	out1, out2  []float64
 	w           func(i int) float64
 	a           *sparse.CSR
+	dsts, xss   [][]float64
 }
 
 // Pool is a persistent worker pool. NewPool(w) spawns w−1 helper
@@ -239,6 +242,8 @@ func (p *Pool) execPart(part int) {
 		}
 	case opMulVec:
 		o.a.MulVecRange(o.dst, o.x, p.bounds[part], p.bounds[part+1])
+	case opMulVecBlock:
+		mulVecBlockRange(o.a, o.dsts, o.xss, p.bounds[part], p.bounds[part+1])
 	}
 }
 

@@ -1,0 +1,423 @@
+package router
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"newsum/internal/service"
+)
+
+// The proxy layer: each /solve request is hashed to its ring order and
+// forwarded to the first healthy, non-saturated slot. Three failure shapes
+// are handled distinctly:
+//
+//   - Network failure (connection refused/reset, mid-response drop): the
+//     crash signature. The slot is reported to the supervisor and the job
+//     is re-dispatched to the next slot in ring order, bounded by the retry
+//     budget. A streamed job may replay progress lines from attempt one;
+//     the terminal result/error line is only ever relayed once.
+//   - Saturation (backend 429, or a streamed queue-full error line): the
+//     slot is marked saturated for this job and routed around WITHOUT
+//     consuming retry budget — an overloaded backend is healthy, just
+//     busy. Only when every live replica is saturated does the router
+//     surface 429, with Retry-After aggregated as the minimum hint across
+//     replicas (the soonest any backend expects capacity).
+//   - Application outcome (2xx/4xx/5xx from a completed solve): relayed
+//     verbatim. The router adds no interpretation of solver results.
+const maxBodyBytes = 64 << 20
+
+// httpError mirrors the backend's error body shape.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+var (
+	errAllSaturated = errors.New("router: all backends saturated")
+	errNoBackend    = errors.New("router: no healthy backend")
+	errBudget       = errors.New("router: retry budget exhausted")
+)
+
+// Handler returns the router's HTTP surface — the same endpoints as one
+// newsum-serve, so clients cannot tell a router from a single backend.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", rt.handleSolve)
+	mux.HandleFunc("/stats", rt.handleStats)
+	mux.HandleFunc("/healthz", rt.handleHealth)
+	return mux
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, httpError{Error: "GET only"})
+		return
+	}
+	writeJSON(w, http.StatusOK, rt.Stats())
+}
+
+// handleHealth reports 200 while at least one slot is dispatchable: the
+// tier is up as long as any replica can take work.
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	for _, s := range rt.slots {
+		if _, ok := s.healthyURL(); ok {
+			w.WriteHeader(http.StatusOK)
+			_, _ = io.WriteString(w, "ok\n") //lint:ignore errdrop health probe reply; a hangup is the prober's problem
+			return
+		}
+	}
+	writeJSON(w, http.StatusServiceUnavailable, httpError{Error: errNoBackend.Error()})
+}
+
+func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, httpError{Error: "POST only"})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf("read request: %v", err)})
+		return
+	}
+	// Decode only to learn the routing key; the original bytes are what get
+	// forwarded, so the backend sees exactly what the client sent.
+	var req service.Request
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf("decode request: %v", err)})
+		return
+	}
+	rt.count(func(c *routerCounters) { c.jobs++ })
+	d := &dispatch{
+		rt:        rt,
+		order:     rt.ring.order(req.Matrix.Fingerprint()),
+		budget:    rt.cfg.RetryBudget,
+		saturated: map[int]int{},
+		waitUntil: time.Now().Add(rt.cfg.DispatchWait),
+	}
+	if r.URL.Query().Get("stream") == "1" {
+		rt.streamProxy(w, r, d, body)
+		return
+	}
+	rt.proxy(w, r, d, body)
+}
+
+// dispatch is one job's routing state: its ring order, remaining retry
+// budget, and the slots found saturated (with their Retry-After hints).
+type dispatch struct {
+	rt        *Router
+	order     []int
+	budget    int
+	saturated map[int]int
+	waitUntil time.Time
+}
+
+// pick selects the next target: the first healthy, non-saturated slot in
+// ring order. When every healthy slot is saturated it reports saturation;
+// when no slot is healthy it waits, within the dispatch budget, for the
+// supervisor to revive one — a restart takes milliseconds, and failing the
+// job instead would surface a recoverable fault to the client.
+func (d *dispatch) pick(ctx context.Context) (int, string, error) {
+	for {
+		sawHealthy := false
+		for _, idx := range d.order {
+			url, ok := d.rt.slots[idx].healthyURL()
+			if !ok {
+				continue
+			}
+			sawHealthy = true
+			if _, sat := d.saturated[idx]; sat {
+				continue
+			}
+			return idx, url, nil
+		}
+		if sawHealthy {
+			return 0, "", errAllSaturated
+		}
+		if time.Now().After(d.waitUntil) {
+			return 0, "", errNoBackend
+		}
+		select {
+		case <-ctx.Done():
+			return 0, "", ctx.Err()
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// spendRetry consumes one unit of retry budget after a backend failure and
+// reports whether the job may be re-dispatched.
+func (d *dispatch) spendRetry(idx int) bool {
+	d.rt.noteFailure(idx)
+	d.budget--
+	if d.budget < 0 {
+		return false
+	}
+	d.rt.count(func(c *routerCounters) { c.redispatches++ })
+	return true
+}
+
+// routeAround marks a slot saturated for this job (no budget consumed).
+func (d *dispatch) routeAround(idx, retryAfter int) {
+	d.saturated[idx] = retryAfter
+	d.rt.count(func(c *routerCounters) { c.routedAround++ })
+}
+
+// minRetryAfter aggregates the backpressure hint across saturated replicas:
+// the soonest any of them expects to have capacity.
+func (d *dispatch) minRetryAfter() int {
+	min := 0
+	for _, ra := range d.saturated {
+		if min == 0 || ra < min {
+			min = ra
+		}
+	}
+	if min <= 0 {
+		min = 1
+	}
+	return min
+}
+
+// forward sends the job body to one backend.
+func (rt *Router) forward(ctx context.Context, url string, body []byte, stream bool) (*http.Response, error) {
+	target := url + "/solve"
+	if stream {
+		target += "?stream=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return rt.client.Do(req)
+}
+
+func retryAfterHeader(resp *http.Response) int {
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		return secs
+	}
+	return 1
+}
+
+func drainClose(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body) //lint:ignore errdrop draining a doomed body so the connection can be reused; errors change nothing
+	resp.Body.Close()
+}
+
+// proxy relays a buffered (non-streaming) solve. The backend's response is
+// read in full before a byte reaches the client, so a backend dying
+// mid-response is indistinguishable from one dying before it — both
+// re-dispatch.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, d *dispatch, body []byte) {
+	for {
+		idx, url, perr := d.pick(r.Context())
+		if perr != nil {
+			rt.failJob(w, d, perr)
+			return
+		}
+		s := rt.slots[idx]
+		s.mu.Lock()
+		s.dispatched++
+		s.mu.Unlock()
+		resp, err := rt.forward(r.Context(), url, body, false)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return // the client is gone; nothing to deliver or retry for
+			}
+			if !d.spendRetry(idx) {
+				rt.failJob(w, d, fmt.Errorf("%w: %v", errBudget, err))
+				return
+			}
+			continue
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			d.routeAround(idx, retryAfterHeader(resp))
+			drainClose(resp)
+			continue
+		}
+		out, rerr := io.ReadAll(resp.Body)
+		_ = resp.Body.Close() //lint:ignore errdrop body fully read; rerr above already carries any transport failure
+		if rerr != nil {
+			if r.Context().Err() != nil {
+				return
+			}
+			if !d.spendRetry(idx) {
+				rt.failJob(w, d, fmt.Errorf("%w: %v", errBudget, rerr))
+				return
+			}
+			continue
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "" {
+			w.Header().Set("Content-Type", ct)
+		}
+		w.WriteHeader(resp.StatusCode)
+		_, _ = w.Write(out) //lint:ignore errdrop response already committed; a client hangup here is unactionable
+		return
+	}
+}
+
+// failJob surfaces a dispatch failure on a response that has not started.
+func (rt *Router) failJob(w http.ResponseWriter, d *dispatch, err error) {
+	switch {
+	case errors.Is(err, errAllSaturated):
+		rt.count(func(c *routerCounters) { c.saturated++ })
+		w.Header().Set("Retry-After", strconv.Itoa(d.minRetryAfter()))
+		writeJSON(w, http.StatusTooManyRequests, httpError{Error: err.Error()})
+	case errors.Is(err, errNoBackend):
+		rt.count(func(c *routerCounters) { c.noBackend++ })
+		writeJSON(w, http.StatusServiceUnavailable, httpError{Error: err.Error()})
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeJSON(w, http.StatusGatewayTimeout, httpError{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadGateway, httpError{Error: err.Error()})
+	}
+}
+
+// streamLine is the minimal decode of one upstream NDJSON line: enough to
+// recognize the terminal result/error line and the admission-overload
+// error. Lines are relayed as raw bytes, never re-encoded.
+type streamLine struct {
+	Event string `json:"event"`
+	Error string `json:"error"`
+}
+
+// streamProxy relays a streamed solve line by line. Progress lines flow
+// through as they arrive; if the upstream dies before its terminal line,
+// the job is re-dispatched and the client sees the new attempt's lines on
+// the same response. An upstream queue-full error line counts as
+// saturation (route around, no budget), provided nothing of that attempt
+// has been relayed yet — which holds because admission is checked before
+// the first progress event exists.
+func (rt *Router) streamProxy(w http.ResponseWriter, r *http.Request, d *dispatch, body []byte) {
+	flusher, _ := w.(http.Flusher)
+	wroteHeader := false
+	for {
+		idx, url, perr := d.pick(r.Context())
+		if perr != nil {
+			rt.failStream(w, d, perr, wroteHeader, flusher)
+			return
+		}
+		s := rt.slots[idx]
+		s.mu.Lock()
+		s.dispatched++
+		s.mu.Unlock()
+		resp, err := rt.forward(r.Context(), url, body, true)
+		if err == nil && resp.StatusCode == http.StatusTooManyRequests {
+			// Defensive: the backend streams 429 as an error line, but a
+			// header-level 429 still means saturation.
+			d.routeAround(idx, retryAfterHeader(resp))
+			drainClose(resp)
+			continue
+		}
+		if err == nil && resp.StatusCode != http.StatusOK {
+			// Pre-stream rejection (e.g. 400): relay verbatim once.
+			out, rerr := io.ReadAll(resp.Body)
+			_ = resp.Body.Close() //lint:ignore errdrop body fully read; rerr above already carries any transport failure
+			if rerr == nil {
+				if !wroteHeader {
+					if ct := resp.Header.Get("Content-Type"); ct != "" {
+						w.Header().Set("Content-Type", ct)
+					}
+					w.WriteHeader(resp.StatusCode)
+				}
+				_, _ = w.Write(out) //lint:ignore errdrop response already committed
+				return
+			}
+			err = rerr
+		}
+		if err != nil {
+			if r.Context().Err() != nil {
+				return
+			}
+			if !d.spendRetry(idx) {
+				rt.failStream(w, d, fmt.Errorf("%w: %v", errBudget, err), wroteHeader, flusher)
+				return
+			}
+			continue
+		}
+		done, saturated, serr := rt.relayStream(w, flusher, resp, &wroteHeader)
+		if done {
+			return
+		}
+		if saturated {
+			d.routeAround(idx, 1)
+			continue
+		}
+		if r.Context().Err() != nil {
+			return
+		}
+		if !d.spendRetry(idx) {
+			rt.failStream(w, d, fmt.Errorf("%w: %v", errBudget, serr), wroteHeader, flusher)
+			return
+		}
+	}
+}
+
+// relayStream copies upstream NDJSON lines to the client until the
+// terminal line (done=true), an admission-overload first line
+// (saturated=true, nothing relayed), or an upstream failure (both false).
+func (rt *Router) relayStream(w http.ResponseWriter, flusher http.Flusher, resp *http.Response, wroteHeader *bool) (done, saturated bool, err error) {
+	defer resp.Body.Close() //lint:ignore errdrop relay outcome is decided by the line loop; the close is cleanup
+	br := bufio.NewReader(resp.Body)
+	first := true
+	//hot:loop proxy relay: one upstream NDJSON line per solver progress event
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if len(line) > 0 {
+			var sl streamLine
+			//lint:ignore errdrop,hotalloc a malformed upstream line is still relayed verbatim; the two-field decode (one small boxed pointer per progress line) is what makes terminal-line detection possible at all
+			_ = json.Unmarshal(line, &sl)
+			if first && sl.Event == "error" && strings.Contains(sl.Error, "queue full") {
+				return false, true, nil
+			}
+			first = false
+			if !*wroteHeader {
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				w.WriteHeader(http.StatusOK)
+				*wroteHeader = true
+			}
+			_, _ = w.Write(line) //lint:ignore errdrop a mid-stream client hangup only ends the relay early
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if sl.Event == "result" || sl.Event == "error" {
+				return true, false, nil
+			}
+		}
+		if rerr != nil {
+			return false, false, rerr
+		}
+	}
+}
+
+// failStream surfaces a dispatch failure on a stream: as a proper status
+// while the response is unstarted, as a terminal error line after.
+func (rt *Router) failStream(w http.ResponseWriter, d *dispatch, err error, wroteHeader bool, flusher http.Flusher) {
+	if !wroteHeader {
+		rt.failJob(w, d, err)
+		return
+	}
+	line, _ := json.Marshal(streamLine{Event: "error", Error: err.Error()}) //lint:ignore errdrop marshaling a flat struct of two strings cannot fail
+	line = append(line, '\n')
+	_, _ = w.Write(line) //lint:ignore errdrop terminal line races a client hangup; nothing to recover
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v) //lint:ignore errdrop the response is already committed; a client hangup here is unactionable
+}

@@ -1,0 +1,50 @@
+package router
+
+import "testing"
+
+// The ring is the routing contract: deterministic (every router instance
+// over the same slot set routes identically), a full permutation (so
+// fail-over always has somewhere to go), and roughly balanced (vnodes do
+// their job).
+func TestRingOrderDeterministicPermutation(t *testing.T) {
+	r1 := newRing(5, 64)
+	r2 := newRing(5, 64)
+	for i := 0; i < 1000; i++ {
+		fp := hashPoint(i, 424242)
+		o1, o2 := r1.order(fp), r2.order(fp)
+		if len(o1) != 5 {
+			t.Fatalf("order(%#x) has %d slots, want 5", fp, len(o1))
+		}
+		seen := make(map[int]bool)
+		for k, s := range o1 {
+			if s < 0 || s >= 5 || seen[s] {
+				t.Fatalf("order(%#x) = %v is not a permutation", fp, o1)
+			}
+			seen[s] = true
+			if o2[k] != s {
+				t.Fatalf("order(%#x) differs across identical rings: %v vs %v", fp, o1, o2)
+			}
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	const slots, probes = 4, 4000
+	r := newRing(slots, 64)
+	counts := make([]int, slots)
+	for i := 0; i < probes; i++ {
+		counts[r.order(hashPoint(i, 777))[0]]++
+	}
+	for s, c := range counts {
+		if c < probes/10 {
+			t.Fatalf("slot %d is primary for only %d/%d fingerprints: %v", s, c, probes, counts)
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := &ring{slots: 0}
+	if got := r.order(12345); len(got) != 0 {
+		t.Fatalf("empty ring order = %v, want empty", got)
+	}
+}

@@ -147,6 +147,12 @@ func (m *MatrixSpec) fingerprint() uint64 {
 	return h.Sum64()
 }
 
+// Fingerprint exposes the spec hash to routing tiers: the newsum-router
+// consistent-hashes jobs by it so each operator's encoding cache stays hot
+// on exactly one backend. Routing collisions are harmless (two operators
+// sharing a backend), unlike batching collisions, which equalSpec guards.
+func (m *MatrixSpec) Fingerprint() uint64 { return m.fingerprint() }
+
 // equalSpec reports whether two specs name the same operator, with inline
 // values compared bit-for-bit.
 func equalSpec(a, b *MatrixSpec) bool {
@@ -310,6 +316,40 @@ func (r *Request) tol() float64 {
 	return r.Tol
 }
 
+// batchable reports whether the job may join a batched multi-RHS solve:
+// the block engine covers exactly the serial basic-scheme unpreconditioned
+// PCG path, and fault-injection or tracing requests need the instrumented
+// per-column machinery of a solo solve, so they stay on the single-RHS
+// path. Everything here is a mode check — which *batch* a batchable job
+// may join is decided by batchParams plus a full-spec equality check.
+func (r *Request) batchable() bool {
+	return r.engine() == "serial" && r.solver() == "pcg" && r.scheme() == "basic" &&
+		(r.Precond == "" || r.Precond == "none") && !r.Forward && !r.Trace &&
+		len(r.Faults) == 0 && r.ChaosFaults == 0
+}
+
+// batchParams is the solve-parameter portion of a batch's identity: jobs
+// coalesce into one block solve only when the parameters that shape the
+// iteration — tolerance, caps, detection cadence, deadline — are equal, so
+// every column of the batch runs the iteration its request asked for.
+type batchParams struct {
+	tol           float64
+	maxIter       int
+	detect        int
+	maxRollbacks  int
+	timeoutMillis int
+}
+
+func (r *Request) batchParams() batchParams {
+	return batchParams{
+		tol:           r.Tol,
+		maxIter:       r.MaxIter,
+		detect:        r.DetectInterval,
+		maxRollbacks:  r.MaxRollbacks,
+		timeoutMillis: r.TimeoutMillis,
+	}
+}
+
 // validate vets the whole request against the service limits; every
 // failure wraps ErrBadRequest so the HTTP layer maps it to a 400.
 func (r *Request) validate(maxRows int) error {
@@ -423,6 +463,11 @@ type Response struct {
 	Attempts int      `json:"attempts"`
 	Retried  []string `json:"retried,omitempty"`
 	CacheHit bool     `json:"cache_hit"`
+	// Batched marks a job solved as one column of a coalesced multi-RHS
+	// block solve; BatchCols is that batch's column count. A batchable job
+	// that fell back to the single-RHS path reports Batched=false.
+	Batched   bool `json:"batched,omitempty"`
+	BatchCols int  `json:"batch_cols,omitempty"`
 
 	// Fault-tolerance counters, summed across attempts.
 	Detections     int `json:"detections"`

@@ -10,8 +10,12 @@ package newsum
 
 import (
 	"context"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"newsum/internal/bench"
 	"newsum/internal/service"
 )
 
@@ -91,6 +95,125 @@ func BenchmarkServeCacheHit(b *testing.B) {
 	}
 	b.StopTimer()
 	reportServeInvariants(b, s)
+}
+
+// BenchmarkServeBatch compares k same-operator protected solves offered
+// one at a time against the same k arriving concurrently and coalescing
+// into one multi-RHS block solve. jobs/s is the figure of record: the
+// batched side must amortize the per-iteration matrix traversal and
+// checksum verification across columns and come out ahead.
+func BenchmarkServeBatch(b *testing.B) {
+	const k = 8
+	spec := service.MatrixSpec{Kind: "laplace2d", N: 20}
+	rhs := func(col int) []float64 {
+		v := make([]float64, 400)
+		for i := range v {
+			v[i] = 1 + float64((i*7+col*13)%11)
+		}
+		return v
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		s := service.New(serveBenchConfig(1))
+		defer s.Close()
+		// Warm the encoding cache so the one-time encode is not amortized
+		// over b.N — B/op must not depend on the iteration count.
+		if _, err := s.Submit(context.Background(), service.Request{Matrix: spec, RHS: rhs(0)}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for c := 0; c < k; c++ {
+				resp, err := s.Submit(context.Background(), service.Request{Matrix: spec, RHS: rhs(c)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !resp.Converged {
+					b.Fatal("job did not converge")
+				}
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(k*b.N)/b.Elapsed().Seconds(), "jobs/s")
+		reportServeInvariants(b, s)
+	})
+
+	b.Run("batched", func(b *testing.B) {
+		cfg := serveBenchConfig(1)
+		cfg.BatchWindow = 5 * time.Millisecond
+		cfg.MaxBatch = k
+		s := service.New(cfg)
+		defer s.Close()
+		if _, err := s.Submit(context.Background(), service.Request{Matrix: spec, RHS: rhs(0)}); err != nil {
+			b.Fatal(err)
+		}
+		var batched int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for c := 0; c < k; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					resp, err := s.Submit(context.Background(), service.Request{Matrix: spec, RHS: rhs(c)})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if !resp.Converged {
+						b.Error("job did not converge")
+						return
+					}
+					if resp.Batched {
+						atomic.AddInt64(&batched, 1)
+					}
+				}(c)
+			}
+			wg.Wait()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(k*b.N)/b.Elapsed().Seconds(), "jobs/s")
+		if batched == 0 {
+			b.Fatal("no job was ever batched; the coalescing window never filled")
+		}
+		reportServeInvariants(b, s)
+	})
+}
+
+// BenchmarkServeShard compares a router-fronted 2-backend fleet against a
+// single process holding the same total worker budget, both driven over
+// real HTTP by closed-loop clients (internal/bench MeasureShardPoint, the
+// same harness as newsum-bench -exp shard).
+func BenchmarkServeShard(b *testing.B) {
+	jobs := 48
+	if testing.Short() {
+		jobs = 24
+	}
+	for _, tc := range []struct {
+		name     string
+		backends int
+	}{
+		{"single", 1},
+		{"router", 2},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var done, sdc, failed int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pt, err := bench.MeasureShardPoint(tc.backends, 2, 8, jobs, benchSeed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				done += int64(pt.Jobs)
+				sdc += pt.SDCSuspects
+				failed += pt.FailedJobs
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(done)/b.Elapsed().Seconds(), "jobs/s")
+			b.ReportMetric(float64(sdc), "sdc-suspects")
+			b.ReportMetric(float64(failed), "failed-jobs")
+		})
+	}
 }
 
 // BenchmarkServeConcurrent drives parallel closed-loop submitters with

@@ -33,8 +33,8 @@ go test ./...
 echo "== fuzz seed replay (checksum) =="
 go test -run Fuzz -fuzz='^$' ./internal/checksum/...
 
-echo "== go test -race (par, core, service, kernel) =="
-go test -race ./internal/par/... ./internal/core/... ./internal/service/... ./internal/kernel/...
+echo "== go test -race (par, core, service, kernel, router) =="
+go test -race ./internal/par/... ./internal/core/... ./internal/service/... ./internal/kernel/... ./internal/router/...
 
 echo "== bench smoke + trajectory gate (docs/benchmarks.md) =="
 # One quick pass over the whole root bench suite (1 iteration, -short
@@ -51,7 +51,7 @@ go test -run '^$' -bench . -benchmem -benchtime=1x -short . >"$bench_out"
 go run ./cmd/newsum-benchdiff -baseline BENCH_CORE.json -exclude '^BenchmarkServe' -smoke -input "$bench_out"
 go run ./cmd/newsum-benchdiff -baseline BENCH_SERVE.json -only '^BenchmarkServe' -smoke -input "$bench_out"
 
-echo "== coverage gate (fault, checksum, accuracy, service, kernel, analysis, core, par >= 80%) =="
+echo "== coverage gate (fault, checksum, accuracy, service, kernel, analysis, core, par, router >= 80%) =="
 # The packages that decide whether a fault is caught — and the service
 # layer that promises retry-to-convergence and server-side verification —
 # must themselves be thoroughly exercised; docs/testing.md records the
@@ -63,7 +63,10 @@ echo "== coverage gate (fault, checksum, accuracy, service, kernel, analysis, co
 # internal/core and internal/par join with the forward-recovery tier: the
 # repair/fallback branching in the solvers is now deep enough that an
 # unexercised path is exactly where a fake correction would hide.
-go test -cover ./internal/fault/ ./internal/checksum/ ./internal/accuracy/ ./internal/service/ ./internal/kernel/ ./internal/analysis/ ./internal/core/ ./internal/par/ |
+# internal/router joins with the sharded front tier: its re-dispatch and
+# supervision branches are the whole-process recovery story, and an
+# untested one is a client-visible outage waiting for a crash to find it.
+go test -cover ./internal/fault/ ./internal/checksum/ ./internal/accuracy/ ./internal/service/ ./internal/kernel/ ./internal/analysis/ ./internal/core/ ./internal/par/ ./internal/router/ |
 	awk '
 		{ print }
 		/coverage:/ {
