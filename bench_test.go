@@ -26,6 +26,7 @@ import (
 
 	"newsum/internal/accuracy"
 	"newsum/internal/bench"
+	"newsum/internal/checkpoint"
 	"newsum/internal/checksum"
 	"newsum/internal/core"
 	"newsum/internal/fault"
@@ -592,6 +593,48 @@ func BenchmarkDetectionCampaign(b *testing.B) {
 			b.ReportMetric(latSum/float64(latN), "latency-iters")
 		}
 		b.ReportMetric(float64(sdc), "sdc-rate")
+	}
+}
+
+// BenchmarkCheckpoint runs the seeded snapshot-codec sweep for PCG and CR
+// and reports each arm's storage and recovery cost. All metrics are
+// deterministic at the committed seed, so the trajectory comparator gates
+// them exactly even in smoke mode: stored-bytes and extra-iters may not
+// grow, and aborted/sdc-rate are Zero-class — a lossy restart that fails
+// to recover, or recovers to the wrong answer, fails the gate outright.
+func BenchmarkCheckpoint(b *testing.B) {
+	cfg := accuracy.Config{
+		Side:             8,
+		Solvers:          []string{"pcg", "cr"},
+		Trials:           2,
+		CheckpointBounds: []float64{1e-4, 1e-8},
+		Seed:             benchSeed,
+	}
+	points, err := accuracy.CompareCheckpoint(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full := map[string]accuracy.CheckpointPoint{}
+	for _, p := range points {
+		if p.Codec == checkpoint.Full {
+			full[fmt.Sprintf("%s/%d", p.Solver, p.Strikes)] = p
+		}
+	}
+	for _, p := range points {
+		p := p
+		label := p.Codec.String()
+		if p.RelBound > 0 {
+			label = fmt.Sprintf("%s-%.0e", label, p.RelBound)
+		}
+		ref := full[fmt.Sprintf("%s/%d", p.Solver, p.Strikes)]
+		b.Run(fmt.Sprintf("%s/%s/strikes=%d", p.Solver, label, p.Strikes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+			}
+			b.ReportMetric(float64(p.BytesStored), "stored-bytes")
+			b.ReportMetric(float64(p.ExtraIterations(ref)), "extra-iters")
+			b.ReportMetric(float64(p.Aborted), "aborted")
+			b.ReportMetric(float64(p.SDC), "sdc-rate")
+		})
 	}
 }
 

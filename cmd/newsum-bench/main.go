@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table3|table4|table5|fig5|fig6|fig7|fig8|fig9|fig10|par|accuracy|serve|shard|kernels|all")
+		exp     = flag.String("exp", "all", "experiment: table3|table4|table5|fig5|fig6|fig7|fig8|fig9|fig10|par|accuracy|checkpoint|serve|shard|kernels|all")
 		n       = flag.Int("n", 40000, "target matrix order for empirical experiments")
 		blocks  = flag.Int("blocks", 16, "block-Jacobi block count (stand-in for MPI ranks)")
 		repeats = flag.Int("repeats", 3, "timing repetitions (median reported)")
@@ -320,6 +320,32 @@ func run(exp string, n, blocks, repeats int, seed int64, csvDir string, collecte
 		}
 		fmt.Fprintln(os.Stdout)
 	}
+	if all || exp == "checkpoint" {
+		// The snapshot-codec sweep: codec × error bound × fault rate on
+		// identical strike schedules, measuring checkpoint bytes stored
+		// against extra iterations after lossy restarts. Everything is
+		// deterministic at the committed seed.
+		cfg := accuracy.Config{
+			Side:             minInt(isqrt(n), 20),
+			Trials:           3,
+			CheckpointBounds: []float64{1e-4, 1e-8},
+			Seed:             seed,
+		}
+		points, err := bench.RunCheckpoint(cfg)
+		if err != nil {
+			return err
+		}
+		title := fmt.Sprintf("Checkpoint: snapshot codec sweep (full/diff/lossy × bound × fault rate), %d² unknowns, %d trials/arm",
+			cfg.Side, cfg.Trials)
+		if err := bench.WriteCheckpointReport(out, title, points); err != nil {
+			return err
+		}
+		collect(bench.CheckpointBenches(points)...)
+		if err := writeCSV("checkpoint.csv", func(f *os.File) error { return bench.WriteCheckpointCSV(f, points) }); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stdout)
+	}
 	if all || exp == "serve" {
 		// The serving-layer sweep: worker-pool width × admission-queue
 		// depth × encoding cache, under closed-loop clients with one chaos
@@ -383,7 +409,7 @@ func run(exp string, n, blocks, repeats int, seed int64, csvDir string, collecte
 		fmt.Fprintln(os.Stdout)
 	}
 	switch exp {
-	case "all", "table3", "table4", "table5", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "par", "accuracy", "serve", "shard", "kernels":
+	case "all", "table3", "table4", "table5", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "par", "accuracy", "checkpoint", "serve", "shard", "kernels":
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)

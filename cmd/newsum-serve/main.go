@@ -38,6 +38,9 @@ func main() {
 	maxRows := flag.Int("max-rows", 0, "admission bound on operator size (0 = default 262144)")
 	batchWindow := flag.Duration("batch-window", 0, "multi-RHS coalescing window (0 = batching disabled)")
 	maxBatch := flag.Int("max-batch", 0, "max right-hand sides per batched solve (0 = default 8)")
+	ckptCodec := flag.String("checkpoint-codec", "", "snapshot codec for solver checkpoints: full (default), lossy, diff")
+	ckptRelBound := flag.Float64("checkpoint-rel-bound", 0, "lossy codec per-element relative error bound (0 = package default)")
+	ckptAbsBound := flag.Float64("checkpoint-abs-bound", 0, "lossy codec per-element absolute error bound (0 = relative only)")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown grace period for in-flight jobs")
 	flag.Parse()
 
@@ -51,6 +54,10 @@ func main() {
 		MaxMatrixRows:  *maxRows,
 		BatchWindow:    *batchWindow,
 		MaxBatch:       *maxBatch,
+
+		CheckpointCodec:    *ckptCodec,
+		CheckpointRelBound: *ckptRelBound,
+		CheckpointAbsBound: *ckptAbsBound,
 	})
 	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
 

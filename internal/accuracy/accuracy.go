@@ -162,6 +162,9 @@ type Config struct {
 	// solve of a solver that supports it (pcg, cr), populating the Cells'
 	// forward columns and shifting recoveries from rollback to repair.
 	Forward bool
+	// CheckpointBounds is the lossy-codec relative error bound axis of the
+	// checkpoint sweep; nil means {1e-4, 1e-8}.
+	CheckpointBounds []float64
 	// Seed offsets every per-trial seed so campaigns are reproducible but
 	// not all identical.
 	Seed int64
@@ -199,6 +202,9 @@ type Report struct {
 	// Forward compares forward recovery against rollback-only recovery on
 	// identical strike schedules, per (engine × solver).
 	Forward []ForwardPoint
+	// Checkpoint characterizes the snapshot codecs — bytes stored vs extra
+	// iterations after lossy restarts — on identical strike schedules.
+	Checkpoint []CheckpointPoint
 }
 
 // Run executes the full campaign: the serial and parallel detection grids,
@@ -231,6 +237,11 @@ func Run(cfg Config) (Report, error) {
 		return rep, fmt.Errorf("accuracy: forward comparison: %w", err)
 	}
 	rep.Forward = fw
+	cp, err := CompareCheckpoint(cfg)
+	if err != nil {
+		return rep, fmt.Errorf("accuracy: checkpoint comparison: %w", err)
+	}
+	rep.Checkpoint = cp
 	return rep, nil
 }
 

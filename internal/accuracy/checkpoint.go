@@ -1,0 +1,172 @@
+package accuracy
+
+import (
+	"fmt"
+
+	"newsum/internal/checkpoint"
+	"newsum/internal/core"
+	"newsum/internal/fault"
+	"newsum/internal/precond"
+	"newsum/internal/solver"
+	"newsum/internal/sparse"
+	"newsum/internal/vec"
+)
+
+// The checkpoint comparison characterizes the trade the lossy and
+// differential codecs make: how many checkpoint bytes they avoid storing
+// versus how many extra iterations a solve pays when a rollback restores
+// quantized state (Tao et al.'s lossy-checkpointing trade-off, grafted
+// onto the paper's online ABFT recovery loop). Every arm of one grid
+// point replays the identical strike schedule, so the arms differ in
+// nothing but the snapshot codec and its error bound.
+
+// CheckpointPoint aggregates one (solver × codec × bound × strikes) arm
+// over Trials identical strike schedules.
+type CheckpointPoint struct {
+	Solver string
+	Codec  checkpoint.Codec
+	// RelBound is the lossy arm's relative error bound (0 for the exact
+	// codecs).
+	RelBound float64
+	// Strikes is the number of faults scheduled per trial — the campaign's
+	// fault-rate axis.
+	Strikes int
+	Trials  int
+	// Outcome tallies against the fault-free baseline. A lossy restart is
+	// only acceptable if it still classifies Recovered: the solve converges
+	// to the baseline answer, merely later.
+	Recovered, Aborted, SDC int
+	// Recovery traffic summed over trials.
+	Rollbacks     int
+	LossyRestores int
+	Checkpoints   int
+	// BytesCopied is the logical snapshot volume (8 bytes per vector and
+	// checksum element); BytesStored is what the codec actually kept.
+	// Their ratio is the codec's compression on this solver's state.
+	BytesCopied, BytesStored int64
+	// IterationsRun sums each trial's executed iterations including the
+	// rolled-back ones (Iterations + WastedIterations): comparing arms
+	// yields the extra iterations a lossy restart costs.
+	IterationsRun int
+}
+
+// ExtraIterations is this arm's iteration cost relative to a reference arm
+// (normally the full-codec arm of the same solver and strike count).
+func (p CheckpointPoint) ExtraIterations(ref CheckpointPoint) int {
+	return p.IterationsRun - ref.IterationsRun
+}
+
+// StoredFraction is BytesStored / BytesCopied — below 1 the codec
+// compresses, at 1 it breaks even (the full codec reports exactly 1 for
+// vector payloads plus raw checksum slots).
+func (p CheckpointPoint) StoredFraction() float64 {
+	if p.BytesCopied == 0 {
+		return 0
+	}
+	return float64(p.BytesStored) / float64(p.BytesCopied)
+}
+
+// checkpointArm is one codec configuration of the sweep.
+type checkpointArm struct {
+	codec    checkpoint.Codec
+	relBound float64
+}
+
+// checkpointArms builds the sweep arms: the exact codecs plus one lossy
+// arm per configured bound.
+func checkpointArms(bounds []float64) []checkpointArm {
+	arms := []checkpointArm{
+		{codec: checkpoint.Full},
+		{codec: checkpoint.Diff},
+	}
+	for _, bd := range bounds {
+		arms = append(arms, checkpointArm{codec: checkpoint.Lossy, relBound: bd})
+	}
+	return arms
+}
+
+// CompareCheckpoint sweeps codec × error bound × fault rate for every
+// serial solver in the grid. Strikes are detectable additive MVM-output
+// corruptions — each one forces a detection and a rollback through the
+// configured codec's restore path.
+func CompareCheckpoint(cfg Config) ([]CheckpointPoint, error) {
+	cfg.normalize()
+	if len(cfg.CheckpointBounds) == 0 {
+		cfg.CheckpointBounds = []float64{1e-4, 1e-8}
+	}
+	a, b, _ := system(cfg.Side)
+	m, err := precond.BlockJacobiILU0(a, 4)
+	if err != nil {
+		return nil, err
+	}
+	var points []CheckpointPoint
+	seed := cfg.Seed
+	for _, sv := range cfg.Solvers {
+		base, err := runSerial(sv, "basic", a, m, b, core.Options{
+			Options:            solver.Options{Tol: 1e-10},
+			DetectInterval:     serialDetect,
+			CheckpointInterval: serialCheckpoint,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint baseline serial/%s: %w", sv, err)
+		}
+		for _, strikes := range []int{1, 2} {
+			// The strike schedule is fixed per (solver, strikes, trial) and
+			// replayed identically under every arm.
+			schedules := make([][]fault.Event, cfg.Trials)
+			seeds := make([]int64, cfg.Trials)
+			for trial := 0; trial < cfg.Trials; trial++ {
+				seed++
+				seeds[trial] = seed
+				for s := 0; s < strikes; s++ {
+					iter := strikeIteration(base.Iterations, trial*strikes+s, cfg.Trials*strikes)
+					schedules[trial] = append(schedules[trial], fault.Event{
+						Iteration: iter, Site: fault.SiteMVM, Kind: fault.Arithmetic,
+						Index: -1, Magnitude: 1e4,
+					})
+				}
+			}
+			for _, arm := range checkpointArms(cfg.CheckpointBounds) {
+				pt, err := runCheckpointArm(sv, arm, strikes, a, m, b, base, schedules, seeds)
+				if err != nil {
+					return nil, err
+				}
+				points = append(points, pt)
+			}
+		}
+	}
+	return points, nil
+}
+
+func runCheckpointArm(sv string, arm checkpointArm, strikes int, a *sparse.CSR, m precond.Preconditioner,
+	b []float64, base core.Result, schedules [][]fault.Event, seeds []int64) (CheckpointPoint, error) {
+	pt := CheckpointPoint{Solver: sv, Codec: arm.codec, RelBound: arm.relBound, Strikes: strikes}
+	for trial := range schedules {
+		opts := core.Options{
+			Options:            solver.Options{Tol: 1e-10},
+			DetectInterval:     serialDetect,
+			CheckpointInterval: serialCheckpoint,
+			MaxRollbacks:       serialRollbacks,
+			Injector:           fault.NewInjector(schedules[trial], seeds[trial]),
+			CheckpointCodec:    arm.codec,
+			CheckpointRelBound: arm.relBound,
+		}
+		res, err := runSerial(sv, "basic", a, m, b, opts)
+		switch {
+		case err != nil:
+			pt.Aborted++
+		case vec.Equal(res.X, base.X, 1e-6):
+			pt.Recovered++
+		default:
+			pt.SDC++
+		}
+		pt.Rollbacks += res.Stats.Rollbacks
+		pt.LossyRestores += res.Stats.LossyRestores
+		pt.Checkpoints += res.Stats.Checkpoints
+		pt.BytesCopied += res.Stats.CheckpointBytes
+		pt.BytesStored += res.Stats.CheckpointStoredBytes
+		pt.IterationsRun += res.Iterations + res.Stats.WastedIterations
+		pt.Trials++
+	}
+	return pt, nil
+}

@@ -1,0 +1,111 @@
+package accuracy
+
+import (
+	"testing"
+
+	"newsum/internal/checkpoint"
+)
+
+// TestCompareCheckpointAcceptance pins the PR's acceptance bar for the
+// codec sweep on one deterministic campaign:
+//
+//   - every rollback-from-lossy trial classifies Recovered — quantized
+//     restarts may cost iterations but never an abort or an SDC;
+//   - the lossy and differential codecs store fewer bytes per job than
+//     full copies while copying the same logical volume;
+//   - the full-codec arm is present as the reference against which extra
+//     iterations are measured.
+func TestCompareCheckpointAcceptance(t *testing.T) {
+	cfg := Config{
+		Side:             12,
+		Solvers:          []string{"pcg", "bicgstab", "cr"},
+		Trials:           3,
+		CheckpointBounds: []float64{1e-4, 1e-8},
+		Seed:             7,
+	}
+	points, err := CompareCheckpoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 solvers × 2 strike counts × (full + diff + 2 lossy bounds).
+	if want := 3 * 2 * 4; len(points) != want {
+		t.Fatalf("got %d points, want %d", len(points), want)
+	}
+
+	full := map[string]CheckpointPoint{}
+	for _, p := range points {
+		if p.Codec == checkpoint.Full {
+			full[p.Solver] = p // one per (solver, strikes); last wins is fine for byte checks
+		}
+	}
+	for _, p := range points {
+		id := p.Solver
+		if p.Codec == checkpoint.Lossy {
+			if p.Recovered != p.Trials {
+				t.Errorf("%s/lossy(%.0e,strikes=%d): %d/%d recovered (aborted=%d sdc=%d) — lossy restart must stay recoverable",
+					id, p.RelBound, p.Strikes, p.Recovered, p.Trials, p.Aborted, p.SDC)
+			}
+			if p.LossyRestores == 0 {
+				t.Errorf("%s/lossy(%.0e,strikes=%d): no lossy restores — the quantized restore path was never exercised",
+					id, p.RelBound, p.Strikes)
+			}
+		}
+		if p.SDC > 0 {
+			t.Errorf("%s/%s(strikes=%d): %d SDC trials — no codec may corrupt silently", id, p.Codec, p.Strikes, p.SDC)
+		}
+		if p.Rollbacks == 0 {
+			t.Errorf("%s/%s(strikes=%d): strikes never forced a rollback", id, p.Codec, p.Strikes)
+		}
+		if p.BytesCopied == 0 || p.BytesStored == 0 {
+			t.Errorf("%s/%s(strikes=%d): byte counters unpopulated (copied=%d stored=%d)",
+				id, p.Codec, p.Strikes, p.BytesCopied, p.BytesStored)
+		}
+		switch p.Codec {
+		case checkpoint.Full:
+			if p.BytesStored != p.BytesCopied {
+				t.Errorf("%s/full: stored %d ≠ copied %d — full copies must break even exactly",
+					id, p.BytesStored, p.BytesCopied)
+			}
+		case checkpoint.Lossy, checkpoint.Diff:
+			if p.StoredFraction() >= 1 {
+				t.Errorf("%s/%s(%.0e): stored fraction %.3f — codec failed to compress",
+					id, p.Codec, p.RelBound, p.StoredFraction())
+			}
+		}
+	}
+
+	// The iterations-lost characterization must be well-formed: with the
+	// reference arm subtracted, no arm can report negative total work
+	// smaller than losing every rolled-back iteration of the baseline.
+	for _, p := range points {
+		ref, ok := full[p.Solver]
+		if !ok {
+			t.Fatalf("no full-codec reference for %s", p.Solver)
+		}
+		if p.IterationsRun <= 0 || ref.IterationsRun <= 0 {
+			t.Errorf("%s/%s: empty iteration accounting", p.Solver, p.Codec)
+		}
+	}
+}
+
+// TestCompareCheckpointDeterministic pins that two runs at the same seed
+// produce identical points — the property the bench baselines rely on.
+func TestCompareCheckpointDeterministic(t *testing.T) {
+	cfg := Config{Side: 10, Solvers: []string{"pcg"}, Trials: 2, Seed: 3}
+	a, err := CompareCheckpoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CompareCheckpoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("length mismatch: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("point %d differs between identical runs:\n  %+v\n  %+v", i, a[i], b[i])
+		}
+	}
+}

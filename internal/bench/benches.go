@@ -211,6 +211,27 @@ func AccuracyBenches(rep accuracy.Report) []trajectory.Bench {
 	return bs
 }
 
+// CheckpointBenches flattens the codec sweep: bytes each arm actually
+// stored, the extra iterations it paid relative to the full-codec arm,
+// and the abort/SDC counts that must stay zero. All deterministic at the
+// committed seed.
+func CheckpointBenches(points []accuracy.CheckpointPoint) []trajectory.Bench {
+	refs := checkpointRefs(points)
+	var bs []trajectory.Bench
+	for _, p := range points {
+		label := p.Codec.String()
+		if p.RelBound > 0 {
+			label = fmt.Sprintf("%s-%.0e", label, p.RelBound)
+		}
+		n := fmt.Sprintf("checkpoint/%s/%s/strikes=%d", p.Solver, label, p.Strikes)
+		bs = appendBench(bs, n+"/stored-bytes", float64(p.BytesStored), "stored-bytes")
+		bs = appendBench(bs, n+"/extra-iters", float64(p.ExtraIterations(refs[checkpointRefKey(p)])), "extra-iters")
+		bs = appendBench(bs, n+"/aborted", float64(p.Aborted), "aborted")
+		bs = appendBench(bs, n+"/sdc", float64(p.SDC), "sdc-rate")
+	}
+	return bs
+}
+
 // forwardBenches flattens the forward-vs-rollback comparison: the
 // iterations forward recovery saved, the rollbacks it avoided, both arms'
 // wasted iterations, and the mismatch count that must stay zero.

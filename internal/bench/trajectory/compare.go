@@ -78,11 +78,17 @@ func DefaultRules() RuleSet {
 			"iters":         {Class: Exact},
 			"repairs":       {Class: Exact},
 			"mismatches":    {Class: Zero},
-			"interval":      {Class: Exact},
-			"cells":         {Class: Exact},
-			"model-%":       {Class: Exact},
-			"model-s":       {Class: Exact},
-			"model-ms":      {Class: Exact},
+			// Checkpoint-codec sweep units: deterministic at the committed
+			// seed. A codec may store fewer bytes or recover in fewer
+			// iterations, never more; an aborted trial fails outright.
+			"stored-bytes": {Class: LowerIsBetter},
+			"extra-iters":  {Class: LowerIsBetter},
+			"aborted":      {Class: Zero},
+			"interval":     {Class: Exact},
+			"cells":        {Class: Exact},
+			"model-%":      {Class: Exact},
+			"model-s":      {Class: Exact},
+			"model-ms":     {Class: Exact},
 			// Wall-clock-derived custom units.
 			"overhead-%": {Class: LowerIsBetter, RelTol: 0.25, Timing: true},
 			"jobs/s":     {Class: HigherIsBetter, RelTol: 0.25, Timing: true},

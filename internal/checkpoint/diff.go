@@ -1,0 +1,88 @@
+package checkpoint
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// The Diff codec stores each vector as the bitwise XOR delta against the
+// reference state (the previous checkpoint's reconstruction). Between
+// nearby checkpoints most elements agree in sign, exponent and the high
+// mantissa bits, so the XOR word is zero in its high bytes; only the
+// significant low bytes are stored.
+//
+// Wire format: elements are processed in pairs. Each pair contributes one
+// control byte holding two nibbles — the significant-byte counts n0 (low
+// nibble) and n1 (high nibble), 0..8 — followed by the n0 low-order bytes
+// of the first delta word and the n1 low-order bytes of the second, both
+// little-endian. A trailing odd element uses n1 = 0. The decode is exact:
+// Full-precision state is reconstructed bit-for-bit.
+
+// encodeDiff appends the delta encoding of v against ref (same length) to
+// dst and returns the extended slice.
+func encodeDiff(dst []byte, v, ref []float64) []byte {
+	for i := 0; i < len(v); i += 2 {
+		x0 := math.Float64bits(v[i]) ^ math.Float64bits(ref[i])
+		n0 := (bits.Len64(x0) + 7) / 8
+		var x1 uint64
+		n1 := 0
+		if i+1 < len(v) {
+			x1 = math.Float64bits(v[i+1]) ^ math.Float64bits(ref[i+1])
+			n1 = (bits.Len64(x1) + 7) / 8
+		}
+		dst = append(dst, byte(n0|n1<<4))
+		for k := 0; k < n0; k++ {
+			dst = append(dst, byte(x0>>(8*k)))
+		}
+		for k := 0; k < n1; k++ {
+			dst = append(dst, byte(x1>>(8*k)))
+		}
+	}
+	return dst
+}
+
+// decodeDiff reconstructs dst[i] = ref[i] ⊕ delta[i] from the encoding in
+// src. dst and ref must have equal lengths; dst may alias ref, in which
+// case the delta is applied in place.
+func decodeDiff(dst, ref []float64, src []byte) error {
+	if len(dst) != len(ref) {
+		return fmt.Errorf("diff reference length %d, want %d", len(ref), len(dst))
+	}
+	pos := 0
+	for i := 0; i < len(dst); i += 2 {
+		if pos >= len(src) {
+			return errTruncated
+		}
+		ctrl := src[pos]
+		pos++
+		n0 := int(ctrl & 0x0f)
+		n1 := int(ctrl >> 4)
+		if n0 > 8 || n1 > 8 {
+			return fmt.Errorf("corrupt diff control byte %#x", ctrl)
+		}
+		if pos+n0+n1 > len(src) {
+			return errTruncated
+		}
+		var x uint64
+		for k := 0; k < n0; k++ {
+			x |= uint64(src[pos]) << (8 * k)
+			pos++
+		}
+		dst[i] = math.Float64frombits(math.Float64bits(ref[i]) ^ x)
+		if i+1 < len(dst) {
+			x = 0
+			for k := 0; k < n1; k++ {
+				x |= uint64(src[pos]) << (8 * k)
+				pos++
+			}
+			dst[i+1] = math.Float64frombits(math.Float64bits(ref[i+1]) ^ x)
+		} else if n1 != 0 {
+			return fmt.Errorf("corrupt diff control byte %#x at tail", ctrl)
+		}
+	}
+	if pos != len(src) {
+		return errTrailing
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// The Lossy codec quantizes each vector in independent 256-element blocks.
+// Per block the effective elementwise bound is
+//
+//	e = max(AbsBound, RelBound·maxAbs)
+//
+// with maxAbs the largest magnitude in the block (the per-block scale), and
+// values are rounded to the uniform grid of step 2e, so every restored
+// element is within e of the saved one. The quantized indices are packed at
+// the fixed width needed for the block's largest index.
+//
+// Block wire format, one of:
+//
+//	0x00                          all-zero block
+//	0xFF | 8 bytes per element    raw fallback (NaN/Inf, zero bound, or
+//	                              indices too wide to quantize profitably)
+//	nbits (1..52) | step float64 LE | ceil(n·nbits/8) packed bytes
+//
+// Packed values are the offset-encoded indices u = q + 2^(nbits-1),
+// little-endian bit order, padded to a byte boundary per block.
+const (
+	lossyBlock  = 256
+	blockZero   = 0
+	blockRaw    = 255
+	maxPackBits = 52
+)
+
+// encodeLossy appends the quantized encoding of v to dst and returns the
+// extended slice.
+func (s *Store) encodeLossy(dst []byte, v []float64) []byte {
+	abs, rel := s.AbsBound, s.RelBound
+	if abs <= 0 && rel <= 0 {
+		rel = DefaultRelBound
+	}
+	for start := 0; start < len(v); start += lossyBlock {
+		end := min(start+lossyBlock, len(v))
+		dst = s.encodeLossyBlock(dst, v[start:end], abs, rel)
+	}
+	return dst
+}
+
+func (s *Store) encodeLossyBlock(dst []byte, blk []float64, abs, rel float64) []byte {
+	maxAbs, finite := 0.0, true
+	for _, x := range blk {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			finite = false
+			break
+		}
+		if a := math.Abs(x); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if finite && maxAbs <= 0 {
+		return append(dst, blockZero)
+	}
+	bound := abs
+	if r := rel * maxAbs; r > bound {
+		bound = r
+	}
+	step := 2 * bound
+	if !finite || step <= 0 || math.IsInf(step, 0) {
+		return appendRawBlock(dst, blk)
+	}
+	if cap(s.qbuf) < len(blk) {
+		s.qbuf = make([]int64, lossyBlock)
+	}
+	q := s.qbuf[:len(blk)]
+	var qmax uint64
+	for i, x := range blk {
+		f := math.Round(x / step)
+		// Indices at or past 2^51 would need >52 packed bits — the grid
+		// is finer than the float spacing there, so raw is both exact and
+		// no larger.
+		if !(math.Abs(f) < float64(int64(1)<<51)) {
+			return appendRawBlock(dst, blk)
+		}
+		q[i] = int64(f)
+		u := uint64(q[i])
+		if q[i] < 0 {
+			u = uint64(-q[i])
+		}
+		if u > qmax {
+			qmax = u
+		}
+	}
+	nbits := bits.Len64(qmax) + 1
+	dst = append(dst, byte(nbits))
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], math.Float64bits(step))
+	dst = append(dst, b8[:]...)
+	offset := int64(1) << (nbits - 1)
+	var acc uint64
+	nacc := 0
+	for _, qi := range q {
+		acc |= uint64(qi+offset) << nacc
+		nacc += nbits
+		for nacc >= 8 {
+			dst = append(dst, byte(acc))
+			acc >>= 8
+			nacc -= 8
+		}
+	}
+	if nacc > 0 {
+		dst = append(dst, byte(acc))
+	}
+	return dst
+}
+
+func appendRawBlock(dst []byte, blk []float64) []byte {
+	dst = append(dst, blockRaw)
+	var b8 [8]byte
+	for _, x := range blk {
+		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(x))
+		dst = append(dst, b8[:]...)
+	}
+	return dst
+}
+
+// decodeLossy fills dst from the encoding in src. dst's length selects the
+// block layout and must match the encoded vector's.
+func decodeLossy(dst []float64, src []byte) error {
+	pos := 0
+	for start := 0; start < len(dst); start += lossyBlock {
+		end := min(start+lossyBlock, len(dst))
+		blk := dst[start:end]
+		if pos >= len(src) {
+			return errTruncated
+		}
+		h := src[pos]
+		pos++
+		switch {
+		case h == blockZero:
+			for i := range blk {
+				blk[i] = 0
+			}
+		case h == blockRaw:
+			if pos+8*len(blk) > len(src) {
+				return errTruncated
+			}
+			for i := range blk {
+				blk[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[pos:]))
+				pos += 8
+			}
+		case int(h) <= maxPackBits:
+			nbits := int(h)
+			if pos+8 > len(src) {
+				return errTruncated
+			}
+			step := math.Float64frombits(binary.LittleEndian.Uint64(src[pos:]))
+			pos += 8
+			offset := int64(1) << (nbits - 1)
+			mask := uint64(1)<<nbits - 1
+			var acc uint64
+			nacc := 0
+			for i := range blk {
+				for nacc < nbits {
+					if pos >= len(src) {
+						return errTruncated
+					}
+					acc |= uint64(src[pos]) << nacc
+					pos++
+					nacc += 8
+				}
+				blk[i] = float64(int64(acc&mask)-offset) * step
+				acc >>= nbits
+				nacc -= nbits
+			}
+		default:
+			return fmt.Errorf("corrupt lossy block header %d", h)
+		}
+	}
+	if pos != len(src) {
+		return errTrailing
+	}
+	return nil
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package checkpoint
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package checkpoint
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation-count tests skip under it: AllocsPerRun then measures the
+// race runtime's own shadow-state allocations, not the store's.
+const raceEnabled = true

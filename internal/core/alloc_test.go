@@ -73,6 +73,12 @@ func TestSolveSteadyStateZeroAllocs(t *testing.T) {
 		{"BasicPCG", func(opts Options) (Result, error) { return BasicPCG(a, m, b, opts) }},
 		{"TwoLevelPCG", func(opts Options) (Result, error) { return TwoLevelPCG(a, m, b, opts) }},
 		{"BasicPBiCGSTAB", func(opts Options) (Result, error) { return BasicPBiCGSTAB(a, m, b, opts) }},
+		// GMRES ignores CheckpointInterval — it snapshots at every restart
+		// boundary — so a short restart length pulls the checkpoint-save and
+		// triangular-solve paths into the measured steady state. This pins the
+		// ISSUE 10 fix that hoisted the y workspace out of the restart loop
+		// and the Store's double-buffered snapshot reuse.
+		{"BasicGMRES", func(opts Options) (Result, error) { return BasicGMRES(a, m, b, 8, opts) }},
 	}
 	const k = 24
 	for _, workers := range []int{0, 4} {

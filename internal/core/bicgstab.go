@@ -1,7 +1,6 @@
 package core
 
 import (
-	"newsum/internal/checkpoint"
 	"newsum/internal/checksum"
 	"newsum/internal/precond"
 	"newsum/internal/sparse"
@@ -87,7 +86,7 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 
 	rhoPrev, alpha, omega := 1.0, 1.0, 1.0
 
-	var store checkpoint.Store
+	store := opts.newStore()
 	d, cd := opts.DetectInterval, opts.CheckpointInterval
 
 	//hot:cold checkpoint machinery: invoked once per cd iterations, off the steady-state budget
@@ -99,6 +98,8 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 			map[string][]float64{"x": x.s, "p": p.s, "x.eta": x.eta, "p.eta": p.eta},
 		)
 		res.Stats.Checkpoints++
+		res.Stats.CheckpointBytes = store.BytesCopied
+		res.Stats.CheckpointStoredBytes = store.BytesStored
 		e.corruptCheckpoint(iter, &store)
 	}
 	// rollback restores {x, p} and the scalars, then reconstructs
@@ -119,12 +120,33 @@ func abftBiCGSTAB(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Opt
 			return iter, false
 		}
 		rhoPrev, alpha, omega = scal["rhoPrev"], scal["alpha"], scal["omega"]
+		if store.Lossy() {
+			// Quantized restore: re-anchor x's checksums from the perturbed
+			// data before anything verifies them. The restored direction and
+			// scalars belong to the exact snapshot state; against the
+			// reconstructed residual — dominated by the quantization noise
+			// A·δx — the stale ρ makes the first β = (ρ/ρ')·(α/ω) blow up
+			// and permanently poison p. A lossy restore is therefore a
+			// BiCGStab restart: α := 0 forces β = 0 at the next iteration,
+			// so the direction update collapses to p := r and the stale
+			// {p, v, ρ', ω} never enter the recurrence.
+			e.recompute(x)
+			res.Stats.LossyRestores++
+			rhoPrev, alpha, omega = 1, 0, 1
+		}
 		e.mulVec(r.data, x.data)
 		vec.Sub(r.data, bT.data, r.data)
 		e.recompute(r)
 		res.Stats.RecoveryMVMs++
+		if store.Lossy() {
+			copyTracked(p, r)
+		}
 		if snapIter > 0 {
-			// v = A·M⁻¹·p, needed by the search-direction update.
+			// v = A·M⁻¹·p, needed by the search-direction update — and by
+			// the next detection boundary, which verifies v and must not
+			// re-flag a corruption the rollback already discarded. Under a
+			// lossy restart p is the reconstructed residual, so v is rebuilt
+			// against the restarted direction.
 			if err := applyClean(m, phat.data, p.data); err != nil {
 				return iter, false
 			}

@@ -152,9 +152,10 @@ func BasicBlockPCG(a *sparse.CSR, m precond.Preconditioner, bs [][]float64, opts
 
 	for j := range bs {
 		c := &blockCol{
-			res: &br.Cols[j],
-			err: &br.Errs[j],
-			b:   bs[j],
+			res:   &br.Cols[j],
+			err:   &br.Errs[j],
+			b:     bs[j],
+			store: opts.newStore(),
 		}
 		if opts.ColInjectors != nil {
 			c.inj = opts.ColInjectors[j]
@@ -239,6 +240,8 @@ func (s *blockSolver) saveCheckpoint(c *blockCol) {
 		map[string][]float64{"p": c.p.s, "x": c.x.s, "p.eta": c.p.eta, "x.eta": c.x.eta},
 	)
 	c.res.Stats.Checkpoints++
+	c.res.Stats.CheckpointBytes = c.store.BytesCopied
+	c.res.Stats.CheckpointStoredBytes = c.store.BytesStored
 	s.e.corruptCheckpoint(c.i, &c.store)
 }
 
@@ -262,10 +265,27 @@ func (s *blockSolver) rollback(c *blockCol) bool {
 		return false
 	}
 	c.rho = scal["rho"]
+	if c.store.Lossy() {
+		// Quantized restore: re-anchor this column's restored checksums
+		// from the perturbed data before anything verifies them.
+		s.e.recompute(c.x)
+		c.res.Stats.LossyRestores++
+	}
 	s.e.mulVec(c.r.data, c.x.data)
 	vec.Sub(c.r.data, c.bT.data, c.r.data)
 	s.e.recompute(c.r)
 	c.res.Stats.RecoveryMVMs++
+	if c.store.Lossy() {
+		// The restored direction and ρ belong to the exact snapshot state;
+		// against the reconstructed residual the stale ρ makes the first
+		// β = ρ'/ρ blow up and poison p (see BasicPCG's rollback). Restart
+		// this column: z = M⁻¹r, p := z, ρ = rᵀz.
+		if err := s.e.pco(-1, c.z, c.r); err != nil {
+			return false
+		}
+		copyTracked(c.p, c.z)
+		c.rho = s.e.dot(c.r.data, c.z.data)
+	}
 	c.res.Stats.WastedIterations += c.i - snapIter
 	c.i = snapIter
 	return true

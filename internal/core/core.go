@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 
+	"newsum/internal/checkpoint"
 	"newsum/internal/checksum"
 	"newsum/internal/fault"
 	"newsum/internal/kernel"
@@ -120,6 +121,18 @@ type Stats struct {
 	// confirmation failed — fake-correction candidates that were undone
 	// and routed to rollback instead.
 	RejectedCorrections int
+	// CheckpointBytes is the logical state volume captured across all
+	// checkpoints of the solve — vector and checksum-slot float64s — the
+	// §5.1 copy-overhead accounting, independent of codec.
+	CheckpointBytes int64
+	// CheckpointStoredBytes is the volume actually held in memory after
+	// the snapshot codec's encoding; equals CheckpointBytes for the Full
+	// codec and shrinks under Lossy/Diff (ROADMAP item 4).
+	CheckpointStoredBytes int64
+	// LossyRestores counts rollbacks that restored quantized state; each
+	// one re-anchored the restored vectors' checksums from the perturbed
+	// data so verification doesn't false-alarm on quantization error.
+	LossyRestores int
 }
 
 // Result is the outcome of a protected solve.
@@ -169,6 +182,22 @@ type Options struct {
 	// lazy variant moves 6 O(n) dots from every iteration to the rare
 	// error path. The eager mode remains for the Table 4 ablation.
 	EagerTriple bool
+	// CheckpointCodec selects how outer-level snapshots are held in memory
+	// (ROADMAP item 4, after Tao et al., arXiv:1804.11268):
+	// checkpoint.Full deep copies (the default — restores are bitwise),
+	// checkpoint.Lossy error-bounded quantization, or checkpoint.Diff
+	// bitwise XOR deltas against the previous checkpoint. After a rollback
+	// from a Lossy store the solver re-anchors every restored vector's
+	// checksums from the (perturbed) data, so online verification never
+	// false-alarms on quantization error; the price is a mildly degraded
+	// restart iterate, characterized in internal/accuracy.
+	CheckpointCodec checkpoint.Codec
+	// CheckpointAbsBound and CheckpointRelBound set the Lossy codec's
+	// elementwise error bound max(abs, rel·maxAbs) per 256-element block;
+	// both zero selects checkpoint.DefaultRelBound. Ignored by the exact
+	// codecs.
+	CheckpointAbsBound float64
+	CheckpointRelBound float64
 	// ForwardRecovery enables the forward-recovery tier (ROADMAP item 5,
 	// after Fasi–Langou–Robert–Uçar, arXiv:1511.04478): the outer-level
 	// vectors carry all three §5.2 checksums, and a detection first
@@ -246,6 +275,16 @@ func (o *Options) normalize() {
 	}
 	if o.MaxRollbacks <= 0 {
 		o.MaxRollbacks = 1000
+	}
+}
+
+// newStore builds a checkpoint store configured with the solve's snapshot
+// codec and error bounds.
+func (o *Options) newStore() checkpoint.Store {
+	return checkpoint.Store{
+		Codec:    o.CheckpointCodec,
+		AbsBound: o.CheckpointAbsBound,
+		RelBound: o.CheckpointRelBound,
 	}
 }
 

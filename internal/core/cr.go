@@ -1,7 +1,6 @@
 package core
 
 import (
-	"newsum/internal/checkpoint"
 	"newsum/internal/checksum"
 	"newsum/internal/sparse"
 	"newsum/internal/vec"
@@ -72,7 +71,7 @@ func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 	}
 	rAr := e.dot(r.data, ar.data)
 
-	var store checkpoint.Store
+	store := opts.newStore()
 	d, cd := opts.DetectInterval, opts.CheckpointInterval
 	//hot:cold recovery machinery: runs only after a detection
 	rollback := func(iter int) (int, bool) {
@@ -89,14 +88,34 @@ func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 			return iter, false
 		}
 		rAr = scal["rAr"]
+		if store.Lossy() {
+			// Quantized restore: re-anchor x's checksums from the perturbed
+			// data before anything verifies them.
+			e.recompute(x)
+			res.Stats.LossyRestores++
+		}
 		e.mulVec(r.data, x.data)
 		vec.Sub(r.data, bT.data, r.data)
 		e.recompute(r)
 		e.mulVec(ar.data, r.data)
 		e.recompute(ar)
-		e.mulVec(ap.data, p.data)
-		e.recompute(ap)
-		res.Stats.RecoveryMVMs += 3
+		if store.Lossy() {
+			// The restored direction and rᵀAr belong to the exact snapshot
+			// state; against the reconstructed residual — dominated by the
+			// quantization noise A·δx — the stale scalar makes the first
+			// β = rᵀAr'/rᵀAr blow up and permanently poison p, stalling the
+			// recurrence at the error bound. A lossy restore is therefore a
+			// CR restart: p := r, Ap := Ar, rᵀAr fresh (the same
+			// re-projection the forward-recovery tier performs).
+			copyTracked(p, r)
+			copyTracked(ap, ar)
+			rAr = e.dot(r.data, ar.data)
+			res.Stats.RecoveryMVMs += 2
+		} else {
+			e.mulVec(ap.data, p.data)
+			e.recompute(ap)
+			res.Stats.RecoveryMVMs += 3
+		}
 		res.Stats.WastedIterations += iter - snapIter
 		opts.Trace.add(iter, EvRollback, "restored iteration %d, recomputed r, Ar, Ap", snapIter)
 		return snapIter, true
@@ -205,8 +224,8 @@ func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 		}
 		res.Stats.ForwardRepairs += repaired
 		res.Stats.RollbacksAvoided++
-		if snap := store.Latest(); snap != nil {
-			res.Stats.IterationsSaved += iter - snap.Iteration
+		if snapIter, ok := store.LatestIteration(); ok {
+			res.Stats.IterationsSaved += iter - snapIter
 		}
 		return true
 	}
@@ -271,6 +290,8 @@ func BasicCR(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 				map[string]float64{"rAr": rAr},
 				map[string][]float64{"x": x.s, "p": p.s, "x.eta": x.eta, "p.eta": p.eta})
 			res.Stats.Checkpoints++
+			res.Stats.CheckpointBytes = store.BytesCopied
+			res.Stats.CheckpointStoredBytes = store.BytesStored
 			e.corruptCheckpoint(i, &store)
 		}
 

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"newsum/internal/checkpoint"
 	"newsum/internal/checksum"
@@ -261,18 +260,9 @@ func (e *engine) corruptCheckpoint(iter int, store *checkpoint.Store) {
 	if e.inj == nil {
 		return
 	}
-	snap := store.Latest()
-	if snap == nil {
-		return
-	}
-	names := make([]string, 0, len(snap.Vectors))
-	for name := range snap.Vectors {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		e.inj.InjectMemory(iter, fault.SiteCheckpoint, snap.Vectors[name])
-	}
+	store.Strike(func(_ string, data []float64) {
+		e.inj.InjectMemory(iter, fault.SiteCheckpoint, data)
+	})
 }
 
 // pco computes dst := M⁻¹·src stage by stage, carrying checksums through

@@ -68,14 +68,58 @@ func BasicGMRES(a *sparse.CSR, m precond.Preconditioner, b []float64, restart in
 	cs := make([]float64, restart)
 	sn := make([]float64, restart)
 	g := make([]float64, restart+1)
+	// y is the triangular-solve workspace for the restart-cycle solution
+	// update, sized once for the largest cycle (ISSUE 10: it used to be
+	// allocated inside the restart loop, churning every cycle).
+	y := make([]float64, restart)
 	w := e.newTracked("w")
 	zhat := e.newTracked("zhat")
-	xSave := e.newTracked("xsave")
 
 	res.X = x.data
 	var relres float64
 	total := 0
 	d := opts.DetectInterval
+
+	store := opts.newStore()
+	//hot:cold checkpoint machinery: invoked once per restart cycle
+	saveCheckpoint := func() {
+		store.Save(total,
+			map[string][]float64{"x": x.data}, nil,
+			map[string][]float64{"x": x.s, "x.eta": x.eta})
+		res.Stats.Checkpoints++
+		res.Stats.CheckpointBytes = store.BytesCopied
+		res.Stats.CheckpointStoredBytes = store.BytesStored
+		e.corruptCheckpoint(total, &store)
+	}
+	// restoreX rolls the solution back to the last cycle snapshot, charging
+	// one rollback and the cycle's wasted iterations against the budgets.
+	//hot:cold recovery machinery: runs only after a detection
+	restoreX := func(wasted int) bool {
+		res.Stats.Rollbacks++
+		res.Stats.WastedIterations += wasted
+		if res.Stats.Rollbacks > opts.MaxRollbacks {
+			return false
+		}
+		if !store.HasSnapshot() {
+			// Corruption before the first cycle's snapshot: restart from
+			// the zero iterate, matching the pre-store behavior.
+			vec.Zero(x.data)
+			e.recompute(x)
+			return true
+		}
+		if _, err := store.Restore(
+			map[string][]float64{"x": x.data}, nil,
+			map[string][]float64{"x": x.s, "x.eta": x.eta}); err != nil {
+			return false
+		}
+		if store.Lossy() {
+			// Quantized restore: re-anchor x's checksums from the perturbed
+			// data before the cycle-start verification sees them.
+			e.recompute(x)
+			res.Stats.LossyRestores++
+		}
+		return true
+	}
 
 	for total < maxIter {
 		if err := opts.ctxErr("GMRES"); err != nil {
@@ -89,16 +133,13 @@ func BasicGMRES(a *sparse.CSR, m precond.Preconditioner, b []float64, restart in
 		if !e.verify(x) {
 			// x corrupted between cycles (e.g. a memory fault): restore
 			// the previous snapshot.
-			res.Stats.Rollbacks++
-			if res.Stats.Rollbacks > opts.MaxRollbacks {
+			if !restoreX(0) {
 				res.Residual = relres
 				res.Stats.InjectedErrors = e.injectedCount()
 				return res, rollbackStormErr("GMRES", Basic)
 			}
-			copyTracked(x, xSave)
 		}
-		copyTracked(xSave, x)
-		res.Stats.Checkpoints++
+		saveCheckpoint()
 
 		e.mulVec(w.data, x.data)
 		vec.Sub(w.data, bT.data, w.data)
@@ -177,19 +218,15 @@ func BasicGMRES(a *sparse.CSR, m precond.Preconditioner, b []float64, restart in
 		if cycleBad {
 			// Recovery: discard the Krylov cycle, restore the snapshot and
 			// restart. No other state survives a cycle boundary.
-			res.Stats.Rollbacks++
-			res.Stats.WastedIterations += k
-			if res.Stats.Rollbacks > opts.MaxRollbacks {
+			if !restoreX(k) {
 				res.Residual = relres
 				res.Stats.InjectedErrors = e.injectedCount()
 				return res, rollbackStormErr("GMRES", Basic)
 			}
-			copyTracked(x, xSave)
 			continue
 		}
 
 		// x += M⁻¹·(V·y): triangular solve for y, then tracked updates.
-		y := make([]float64, k)
 		for i := k - 1; i >= 0; i-- {
 			s := g[i]
 			for j := i + 1; j < k; j++ {
@@ -210,14 +247,11 @@ func BasicGMRES(a *sparse.CSR, m precond.Preconditioner, b []float64, restart in
 		// Verify the updated solution; a corrupted update discards the
 		// cycle like any other error.
 		if !e.verify(x) {
-			res.Stats.Rollbacks++
-			res.Stats.WastedIterations += k
-			if res.Stats.Rollbacks > opts.MaxRollbacks {
+			if !restoreX(k) {
 				res.Residual = relres
 				res.Stats.InjectedErrors = e.injectedCount()
 				return res, rollbackStormErr("GMRES", Basic)
 			}
-			copyTracked(x, xSave)
 			continue
 		}
 

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"newsum/internal/checkpoint"
 	"newsum/internal/fault"
 	"newsum/internal/precond"
 	"newsum/internal/sparse"
@@ -72,7 +71,7 @@ func OrthoPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options
 	copy(p, z)
 	rho := vec.Dot(r, z)
 
-	var store checkpoint.Store
+	store := opts.newStore()
 	d, cd := opts.DetectInterval, opts.CheckpointInterval
 
 	save := func(iter int) {
@@ -80,6 +79,8 @@ func OrthoPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options
 			map[string][]float64{"x": x, "p": p, "r": r},
 			map[string]float64{"rho": rho}, nil)
 		res.Stats.Checkpoints++
+		res.Stats.CheckpointBytes = store.BytesCopied
+		res.Stats.CheckpointStoredBytes = store.BytesStored
 	}
 	rollback := func(iter int) (int, bool) {
 		res.Stats.Rollbacks++
@@ -93,6 +94,26 @@ func OrthoPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options
 			return iter, false
 		}
 		rho = scal["rho"]
+		if store.Lossy() {
+			// The restored state is quantized: x and r were rounded
+			// independently, so the residual relationship this baseline
+			// verifies no longer holds to residGapTol. Re-couple them by
+			// reconstructing r = b − A·x from the restored iterate — the
+			// orthogonality-baseline analogue of checksum re-anchoring.
+			a.MulVec(r, x)
+			vec.Sub(r, b, r)
+			res.Stats.RecoveryMVMs++
+			res.Stats.LossyRestores++
+			// The restored direction and ρ belong to the exact snapshot
+			// state; against the reconstructed residual the stale ρ makes
+			// the first β = ρ'/ρ blow up and poison p. Restart the
+			// recurrence from the reconstructed residual instead.
+			if err := applyCleanInj(m, inj, -1, z, r); err != nil {
+				return iter, false
+			}
+			copy(p, z)
+			rho = vec.Dot(r, z)
+		}
 		res.Stats.WastedIterations += iter - snapIter
 		return snapIter, true
 	}

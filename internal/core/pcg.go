@@ -1,7 +1,6 @@
 package core
 
 import (
-	"newsum/internal/checkpoint"
 	"newsum/internal/checksum"
 	"newsum/internal/precond"
 	"newsum/internal/sparse"
@@ -88,7 +87,7 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 	copyTracked(p, z)
 	rho := e.dot(r.data, z.data)
 
-	var store checkpoint.Store
+	store := opts.newStore()
 	d, cd := opts.DetectInterval, opts.CheckpointInterval
 
 	//hot:cold checkpoint machinery: invoked once per cd iterations, off the steady-state budget
@@ -100,6 +99,8 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 			map[string][]float64{"p": p.s, "x": x.s, "p.eta": p.eta, "x.eta": x.eta},
 		)
 		res.Stats.Checkpoints++
+		res.Stats.CheckpointBytes = store.BytesCopied
+		res.Stats.CheckpointStoredBytes = store.BytesStored
 		e.corruptCheckpoint(iter, &store)
 	}
 	// rollback restores p, x (and their checksums) and rho, then
@@ -121,10 +122,32 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 			return iter, false
 		}
 		rho = scal["rho"]
+		if store.Lossy() {
+			// The restored iterate is quantized: the exact checksums that
+			// came back with it disagree with the perturbed data by up to
+			// n·bound, which verification would flag as a fault. Re-anchor
+			// them from the restored data — the solve restarts from the
+			// perturbed (still verified-clean) state, per Tao et al.
+			e.recompute(x)
+			res.Stats.LossyRestores++
+		}
 		e.mulVec(r.data, x.data)
 		vec.Sub(r.data, bT.data, r.data)
 		e.recompute(r)
 		res.Stats.RecoveryMVMs++
+		if store.Lossy() {
+			// The restored direction and ρ belong to the *exact* snapshot
+			// state; against the reconstructed residual — dominated by the
+			// quantization noise A·δx rather than the old convergence tail —
+			// the stale ρ makes the first β = ρ'/ρ blow up and permanently
+			// poison p, stalling the recurrence at the error bound. A lossy
+			// restore is therefore a CG restart: z = M⁻¹r, p := z, ρ = rᵀz.
+			if err := e.pco(-1, z, r); err != nil {
+				return iter, false
+			}
+			copyTracked(p, z)
+			rho = e.dot(r.data, z.data)
+		}
 		res.Stats.WastedIterations += iter - snapIter
 		opts.Trace.add(iter, EvRollback, "restored iteration %d, recomputed r", snapIter)
 		return snapIter, true
@@ -227,8 +250,8 @@ func abftPCG(a *sparse.CSR, m precond.Preconditioner, b []float64, opts Options,
 		}
 		res.Stats.ForwardRepairs += repaired
 		res.Stats.RollbacksAvoided++
-		if snap := store.Latest(); snap != nil {
-			res.Stats.IterationsSaved += iter - snap.Iteration
+		if snapIter, ok := store.LatestIteration(); ok {
+			res.Stats.IterationsSaved += iter - snapIter
 		}
 		return true
 	}

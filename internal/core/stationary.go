@@ -1,7 +1,6 @@
 package core
 
 import (
-	"newsum/internal/checkpoint"
 	"newsum/internal/checksum"
 	"newsum/internal/precond"
 	"newsum/internal/sparse"
@@ -54,10 +53,27 @@ func BasicJacobi(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 		maxIter = 10 * n
 	}
 
-	var store checkpoint.Store
+	store := opts.newStore()
 	d, cd := opts.DetectInterval, opts.CheckpointInterval
 	res.X = x.data
 	var relres float64
+	// restoreX rolls x (data + checksums) back to the latest snapshot; a
+	// lossy restore re-anchors the checksums from the quantized data so the
+	// next verification doesn't flag the rounding as a fault.
+	restoreX := func(iter int) (int, error) {
+		snapIter, rerr := store.Restore(
+			map[string][]float64{"x": x.data}, nil,
+			map[string][]float64{"x": x.s, "x.eta": x.eta})
+		if rerr != nil {
+			return 0, rerr
+		}
+		if store.Lossy() {
+			e.recompute(x)
+			res.Stats.LossyRestores++
+		}
+		res.Stats.WastedIterations += iter - snapIter
+		return snapIter, nil
+	}
 
 	i := 0
 	for i < maxIter {
@@ -74,13 +90,10 @@ func BasicJacobi(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 					res.Stats.InjectedErrors = e.injectedCount()
 					return res, rollbackStormErr("Jacobi", Basic)
 				}
-				snapIter, rerr := store.Restore(
-					map[string][]float64{"x": x.data}, nil,
-					map[string][]float64{"x": x.s, "x.eta": x.eta})
+				snapIter, rerr := restoreX(i)
 				if rerr != nil {
 					return res, rerr
 				}
-				res.Stats.WastedIterations += i - snapIter
 				i = snapIter
 				continue
 			}
@@ -89,6 +102,8 @@ func BasicJacobi(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 			store.Save(i, map[string][]float64{"x": x.data}, nil,
 				map[string][]float64{"x": x.s, "x.eta": x.eta})
 			res.Stats.Checkpoints++
+			res.Stats.CheckpointBytes = store.BytesCopied
+			res.Stats.CheckpointStoredBytes = store.BytesStored
 		}
 
 		e.mvm(i, w, x)                  // w = A·x
@@ -108,13 +123,10 @@ func BasicJacobi(a *sparse.CSR, b []float64, opts Options) (Result, error) {
 				res.Stats.InjectedErrors = e.injectedCount()
 				return res, rollbackStormErr("Jacobi", Basic)
 			}
-			snapIter, rerr := store.Restore(
-				map[string][]float64{"x": x.data}, nil,
-				map[string][]float64{"x": x.s, "x.eta": x.eta})
+			snapIter, rerr := restoreX(i)
 			if rerr != nil {
 				return res, rerr
 			}
-			res.Stats.WastedIterations += i - snapIter
 			i = snapIter
 			continue
 		}
@@ -184,7 +196,7 @@ func BasicChebyshev(a *sparse.CSR, m precond.Preconditioner, b []float64, lmin, 
 	delta := (lmax - lmin) / 2
 	var alpha, beta float64
 
-	var store checkpoint.Store
+	store := opts.newStore()
 	d, cd := opts.DetectInterval, opts.CheckpointInterval
 	res.X = x.data
 	relres := vec.Norm2(r.data) / normB
@@ -208,6 +220,13 @@ func BasicChebyshev(a *sparse.CSR, m precond.Preconditioner, b []float64, lmin, 
 			return iter, false
 		}
 		alpha = scal["alpha"]
+		if store.Lossy() {
+			// Quantized restore: re-anchor the restored vectors' checksums
+			// from the perturbed data before anything verifies them.
+			e.recompute(x)
+			e.recompute(p)
+			res.Stats.LossyRestores++
+		}
 		a.MulVec(r.data, x.data)
 		vec.Sub(r.data, bT.data, r.data)
 		e.recompute(r)
@@ -249,6 +268,8 @@ func BasicChebyshev(a *sparse.CSR, m precond.Preconditioner, b []float64, lmin, 
 				map[string]float64{"alpha": alpha},
 				map[string][]float64{"x": x.s, "p": p.s, "x.eta": x.eta, "p.eta": p.eta})
 			res.Stats.Checkpoints++
+			res.Stats.CheckpointBytes = store.BytesCopied
+			res.Stats.CheckpointStoredBytes = store.BytesStored
 		}
 
 		if err := e.pco(i, z, r); err != nil {

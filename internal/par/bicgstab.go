@@ -75,6 +75,17 @@ func rankBiCGStab(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Opti
 		}
 		rhoPrev, alpha, omega = scal["rhoPrev"], scal["alpha"], scal["omega"]
 		e.residualFresh(r, x)
+		if e.store.Lossy() {
+			// The restored direction and scalars belong to the exact
+			// snapshot state; against the reconstructed residual the stale ρ
+			// makes the first β = (ρ/ρ')·(α/ω) blow up and permanently
+			// poison p. A lossy restore is therefore a BiCGStab restart:
+			// α := 0 forces β = 0 at the next iteration, collapsing the
+			// direction update to p := r, so the stale {p, v, ρ', ω} never
+			// enter the recurrence.
+			copyDist(p, r)
+			rhoPrev, alpha, omega = 1, 0, 1
+		}
 		if snapIter > 0 {
 			// v = A·M⁻¹·p, needed by the search-direction update.
 			if err := e.pco(phat, p); err != nil {

@@ -72,7 +72,18 @@ func rankCR(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Options) (
 		rAr = scal["rAr"]
 		e.residualFresh(r, x)
 		e.mvmFresh(ar, r)
-		e.mvmFresh(ap, p)
+		if e.store.Lossy() {
+			// The restored direction and rᵀAr belong to the exact snapshot
+			// state; against the reconstructed residual the stale scalar
+			// makes the first β blow up and permanently poison p. A lossy
+			// restore is therefore a CR restart: p := r, Ap := Ar, rᵀAr
+			// fresh — the same re-projection the forward tier performs.
+			copyDist(p, r)
+			copyDist(ap, ar)
+			rAr = e.dot(r, ar)
+		} else {
+			e.mvmFresh(ap, p)
+		}
 		return snapIter, true
 	}
 	storm := func() (Result, error) {
@@ -167,8 +178,8 @@ func rankCR(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Options) (
 		}
 		res.ForwardRepairs += repaired
 		res.RollbacksAvoided++
-		if snap := e.store.Latest(); snap != nil {
-			res.IterationsSaved += iter - snap.Iteration
+		if snapIter, ok := e.store.LatestIteration(); ok {
+			res.IterationsSaved += iter - snapIter
 		}
 		return true
 	}

@@ -129,6 +129,15 @@ type Options struct {
 	// EvenRows forces the legacy even row partition instead of the
 	// nnz-balanced partitioner (benchmarks compare the two).
 	EvenRows bool
+	// CheckpointCodec selects the snapshot codec every rank checkpoints
+	// through: full deep copies (default), error-bounded lossy
+	// quantization, or differential encoding against the last verified
+	// snapshot (see internal/checkpoint).
+	CheckpointCodec checkpoint.Codec
+	// CheckpointAbsBound and CheckpointRelBound bound the lossy codec's
+	// per-element restore error; both zero selects the package default
+	// relative bound. Ignored by the full and differential codecs.
+	CheckpointAbsBound, CheckpointRelBound float64
 	// Faults schedules arithmetic MVM errors.
 	Faults []Fault
 	// Ctx, when non-nil, lets the caller cancel a running distributed solve.
@@ -197,6 +206,14 @@ type Result struct {
 	RollbacksAvoided    int
 	IterationsSaved     int
 	RejectedCorrections int
+	// CheckpointBytes and CheckpointStoredBytes sum, over all ranks, the
+	// logical bytes snapshotted (vectors + carried checksums at 8 bytes
+	// per element) and the bytes the configured codec actually stored.
+	CheckpointBytes, CheckpointStoredBytes int64
+	// LossyRestores counts rollbacks that restored quantized state and
+	// re-anchored the carried checksums from it (replicated, so rank 0's
+	// count is the team's).
+	LossyRestores int
 	// InjectedFaults counts scheduled faults that actually fired, summed
 	// over all ranks.
 	InjectedFaults int
@@ -243,6 +260,8 @@ func runTeam(nranks int, topo Topology, body func(c *Comm) (Result, error)) (Res
 	res := results[0]
 	for r := 1; r < nranks; r++ {
 		res.InjectedFaults += results[r].InjectedFaults
+		res.CheckpointBytes += results[r].CheckpointBytes
+		res.CheckpointStoredBytes += results[r].CheckpointStoredBytes
 		res.Comm.Merge(results[r].Comm)
 	}
 	for _, err := range errs {
@@ -320,6 +339,11 @@ func newRankEngine(c *Comm, a *sparse.CSR, b []float64, part Partition, opts *Op
 		dScalar: checksum.PracticalD(a),
 		xg:      make([]float64, a.Rows),
 		fired:   make([]bool, len(opts.Faults)),
+		store: checkpoint.Store{
+			Codec:    opts.CheckpointCodec,
+			AbsBound: opts.CheckpointAbsBound,
+			RelBound: opts.CheckpointRelBound,
+		},
 	}
 	e.pcoBuf = make([]float64, e.local)
 	e.pcoBuf2 = make([]float64, e.local)
@@ -710,24 +734,26 @@ func (e *rankEngine) save(iter int, vecs map[string]*DistVector, scalars map[str
 	sort.Strings(names)
 	e.store.Save(iter, data, scalars, sums)
 	e.res.Checkpoints++
+	e.res.CheckpointBytes = e.store.BytesCopied
+	e.res.CheckpointStoredBytes = e.store.BytesStored
 	e.trace(iter, core.EvCheckpoint, "snapshot {%s}", strings.Join(names, ", "))
 	for fi, f := range e.opts.Faults {
 		if f.Target != TargetCheckpoint || f.Iteration != iter || f.Rank != e.c.Rank() || e.fired[fi] {
 			continue
 		}
-		snap := e.store.Latest()
 		e.fired[fi] = true
 		e.res.InjectedFaults++
-		// Strike every snapshotted vector in sorted-name order so the
-		// corruption is deterministic regardless of map iteration.
-		for _, name := range names {
-			buf := snap.Vectors[name]
+		// Strike every snapshotted vector in sorted-name order (Strike's
+		// visit order) so the corruption is deterministic regardless of
+		// map iteration — it lands in the stored payload, whichever codec
+		// encodes it, and stays dormant until a rollback.
+		e.store.Strike(func(_ string, buf []float64) {
 			idx := f.Index
 			if idx < 0 || idx >= len(buf) {
 				idx = 0
 			}
 			strike(f, buf, idx)
-		}
+		})
 	}
 }
 
@@ -748,6 +774,17 @@ func (e *rankEngine) restore(vecs map[string]*DistVector, scalars map[string]flo
 	snapIter, err := e.store.Restore(data, scalars, sums)
 	if err != nil {
 		return 0, false
+	}
+	if e.store.Lossy() {
+		// The restored blocks are quantized: the exact carried checksums
+		// that came back with them disagree with the perturbed data by up
+		// to n·bound, which the next verification would flag as a fault.
+		// Re-anchor each rank's partial checksums from the restored data —
+		// a local recomputation, so the verdict stays replicated.
+		for _, v := range vecs {
+			v.LocalChecksums(e.weights, e.lo)
+		}
+		e.res.LossyRestores++
 	}
 	e.res.WastedIterations += e.curIter - snapIter
 	e.trace(e.curIter, core.EvRollback, "restored iteration %d", snapIter)

@@ -72,6 +72,19 @@ func rankPCG(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Options) 
 		}
 		rho = scal["rho"]
 		e.residualFresh(r, x)
+		if e.store.Lossy() {
+			// The restored direction and ρ belong to the exact snapshot
+			// state; against the reconstructed residual — dominated by the
+			// quantization noise A·δx — the stale ρ makes the first
+			// β = ρ'/ρ blow up and permanently poison p. A lossy restore is
+			// therefore a CG restart: z = M⁻¹r, p := z, ρ = rᵀz (replicated,
+			// so every rank restarts identically).
+			if err := e.pco(z, r); err != nil {
+				return iter, false
+			}
+			copyDist(p, z)
+			rho = e.dot(r, z)
+		}
 		return snapIter, true
 	}
 
@@ -150,8 +163,8 @@ func rankPCG(c *Comm, a *sparse.CSR, b []float64, part Partition, opts Options) 
 		}
 		res.ForwardRepairs += repaired
 		res.RollbacksAvoided++
-		if snap := e.store.Latest(); snap != nil {
-			res.IterationsSaved += iter - snap.Iteration
+		if snapIter, ok := e.store.LatestIteration(); ok {
+			res.IterationsSaved += iter - snapIter
 		}
 		return true
 	}

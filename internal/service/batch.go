@@ -204,6 +204,10 @@ func (s *Service) runBatch(b *batch, pool *kernel.Pool) {
 			Encoding:       enc,
 			Pool:           pool,
 			Ctx:            ctx,
+
+			CheckpointCodec:    s.codec,
+			CheckpointAbsBound: s.cfg.CheckpointAbsBound,
+			CheckpointRelBound: s.cfg.CheckpointRelBound,
 		},
 	})
 	solveMillis := float64(time.Since(start).Microseconds()) / 1000

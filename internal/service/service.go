@@ -10,6 +10,7 @@ import (
 
 	"runtime"
 
+	"newsum/internal/checkpoint"
 	"newsum/internal/checksum"
 	"newsum/internal/core"
 	"newsum/internal/fault"
@@ -85,6 +86,16 @@ type Config struct {
 	BatchWindow time.Duration
 	// MaxBatch caps the columns of one block solve (default 8, max 32).
 	MaxBatch int
+	// CheckpointCodec names the snapshot codec every protected solve
+	// checkpoints through: "" or "full" (deep copies), "lossy"
+	// (error-bounded quantization) or "diff"/"incremental" (differential
+	// encoding against the last snapshot); see internal/checkpoint.
+	// Unknown names select full copies.
+	CheckpointCodec string
+	// CheckpointAbsBound and CheckpointRelBound bound the lossy codec's
+	// per-element restore error; both zero selects the package default
+	// relative bound. Ignored by the other codecs.
+	CheckpointAbsBound, CheckpointRelBound float64
 }
 
 func (c Config) normalized() Config {
@@ -152,6 +163,7 @@ type job struct {
 // engines with an encoding cache, per-job deadlines, and bounded retry.
 type Service struct {
 	cfg   Config
+	codec checkpoint.Codec
 	stats stats
 
 	cacheMu sync.Mutex
@@ -171,8 +183,15 @@ type Service struct {
 // lifecycle: Close drains the queue and joins every worker.
 func New(cfg Config) *Service {
 	cfg = cfg.normalized()
+	// Unknown codec names degrade to full copies: a serving config typo
+	// must not take the whole service down, and full is always correct.
+	codec, err := checkpoint.ParseCodec(cfg.CheckpointCodec)
+	if err != nil {
+		codec = checkpoint.Full
+	}
 	s := &Service{
 		cfg:   cfg,
+		codec: codec,
 		queue: make(chan *job, cfg.QueueDepth),
 	}
 	if cfg.CacheSize > 0 {
@@ -672,6 +691,10 @@ func (s *Service) dispatch(ctx context.Context, req *Request, a *sparse.CSR, enc
 			ForwardRecovery: req.Forward,
 			Faults:          parFaultsFor(req, attempt),
 			Ctx:             ctx,
+
+			CheckpointCodec:    s.codec,
+			CheckpointAbsBound: s.cfg.CheckpointAbsBound,
+			CheckpointRelBound: s.cfg.CheckpointRelBound,
 		}
 		var res par.Result
 		var err error
@@ -719,6 +742,10 @@ func (s *Service) dispatch(ctx context.Context, req *Request, a *sparse.CSR, enc
 		Encoding:        enc,
 		Pool:            pool,
 		Ctx:             ctx,
+
+		CheckpointCodec:    s.codec,
+		CheckpointAbsBound: s.cfg.CheckpointAbsBound,
+		CheckpointRelBound: s.cfg.CheckpointRelBound,
 	}
 	var res core.Result
 	var err error

@@ -50,8 +50,12 @@ trap 'rm -f "$bench_out"' EXIT
 go test -run '^$' -bench . -benchmem -benchtime=1x -short . >"$bench_out"
 go run ./cmd/newsum-benchdiff -baseline BENCH_CORE.json -exclude '^BenchmarkServe' -smoke -input "$bench_out"
 go run ./cmd/newsum-benchdiff -baseline BENCH_SERVE.json -only '^BenchmarkServe' -smoke -input "$bench_out"
+# The checkpoint-codec sweep also runs through the CLI path so -exp
+# checkpoint cannot bit-rot: a small deterministic grid, discarded output
+# — BenchmarkCheckpoint above carries the gated metrics.
+go run ./cmd/newsum-bench -exp checkpoint -n 256 >/dev/null
 
-echo "== coverage gate (fault, checksum, accuracy, service, kernel, analysis, core, par, router >= 80%) =="
+echo "== coverage gate (fault, checksum, checkpoint, accuracy, service, kernel, analysis, core, par, router >= 80%) =="
 # The packages that decide whether a fault is caught — and the service
 # layer that promises retry-to-convergence and server-side verification —
 # must themselves be thoroughly exercised; docs/testing.md records the
@@ -66,7 +70,7 @@ echo "== coverage gate (fault, checksum, accuracy, service, kernel, analysis, co
 # internal/router joins with the sharded front tier: its re-dispatch and
 # supervision branches are the whole-process recovery story, and an
 # untested one is a client-visible outage waiting for a crash to find it.
-go test -cover ./internal/fault/ ./internal/checksum/ ./internal/accuracy/ ./internal/service/ ./internal/kernel/ ./internal/analysis/ ./internal/core/ ./internal/par/ ./internal/router/ |
+go test -cover ./internal/fault/ ./internal/checksum/ ./internal/checkpoint/ ./internal/accuracy/ ./internal/service/ ./internal/kernel/ ./internal/analysis/ ./internal/core/ ./internal/par/ ./internal/router/ |
 	awk '
 		{ print }
 		/coverage:/ {
